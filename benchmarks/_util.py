@@ -1,0 +1,35 @@
+"""Shared plumbing for the benchmark suite.
+
+Input sizes are scaled down from the paper's (we interpret SXML on CPython
+rather than compile SML to native code; see DESIGN.md Section 2).  Every
+benchmark prints the same rows/series the paper reports, in addition to the
+pytest-benchmark timing of a representative operation.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import os
+from typing import Iterable
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(capsys, title: str, text: str) -> None:
+    """Print benchmark output to the real terminal and save it to a file."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    filename = title.lower().replace(" ", "_").replace("/", "-") + ".txt"
+    with open(os.path.join(RESULTS_DIR, filename), "w") as fh:
+        fh.write(text + "\n")
+    banner = f"\n===== {title} =====\n"
+    if capsys is not None:
+        with capsys.disabled():
+            print(banner + text)
+    else:  # pragma: no cover
+        print(banner + text)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark's timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

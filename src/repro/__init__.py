@@ -1,0 +1,47 @@
+"""repro: a reproduction of "Type-Directed Automatic Incrementalization"
+(Chen, Dunfield, Acar -- PLDI 2012).
+
+The package provides:
+
+* :mod:`repro.lang` + :mod:`repro.core` -- the LML language and compiler:
+  Standard-ML-like programs annotated with the ``$C`` level qualifier are
+  compiled, via a type-directed translation, into self-adjusting programs;
+* :mod:`repro.sac` -- the self-adjusting computation runtime (modifiables,
+  dynamic dependence graph, memoization, change propagation), also usable
+  directly from Python as an AFL-style library;
+* :mod:`repro.interp` -- the conventional and self-adjusting executables
+  (interpreters) plus input marshalling and change handles;
+* :mod:`repro.apps` -- the paper's benchmarks (lists, vectors, matrices,
+  blocked matrices, and a ray tracer) written in LML;
+* :mod:`repro.bench` -- the measurement harness regenerating the paper's
+  tables and figures;
+* :mod:`repro.testing` -- the random-change verification framework.
+
+Quickstart::
+
+    from repro import compile_program
+    from repro.interp.marshal import ModListInput
+    from repro.interp.values import list_value_to_python
+
+    source = '''
+    datatype cell = Nil | Cons of int * cell $C
+    fun double l =
+      case l of Nil => Nil | Cons (h, t) => Cons (2 * h, double t)
+    val main : cell $C -> cell $C = double
+    '''
+    program = compile_program(source)
+    instance = program.self_adjusting_instance()
+    xs = ModListInput(instance.engine, [1, 2, 3])
+    out = instance.apply(xs.head)
+    assert list_value_to_python(out) == [2, 4, 6]
+    xs.insert(1, 10)
+    instance.propagate()
+    assert list_value_to_python(out) == [2, 20, 4, 6]
+"""
+
+from repro.core.pipeline import CompiledProgram, compile_program
+from repro.sac.engine import Engine
+
+__version__ = "1.0.0"
+
+__all__ = ["CompiledProgram", "Engine", "compile_program", "__version__"]

@@ -1,0 +1,125 @@
+"""Command-line interface: compile and inspect LML programs.
+
+Usage::
+
+    python -m repro compile program.lml            # type-check + translate
+    python -m repro compile program.lml --dump     # print the target code
+    python -m repro compile program.lml --dump-conventional
+    python -m repro compile program.lml --no-optimize --dump
+    python -m repro compile program.lml --counts   # mod/read/write/memo
+    python -m repro verify <app> [-n N] [--changes K]   # Section 4.3 check
+    python -m repro apps                           # list benchmark apps
+
+The ``verify`` subcommand runs the paper's random-change correctness
+protocol against one of the bundled benchmark applications.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import compile_program
+    from repro.lang.errors import LmlError
+
+    try:
+        with open(args.file) as fh:
+            source = fh.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        program = compile_program(
+            source,
+            memoize=not args.no_memoize,
+            optimize_flag=not args.no_optimize,
+            coarse=args.coarse,
+            main=args.main,
+        )
+    except LmlError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"compiled OK (main: {args.main})")
+    if args.counts or not (args.dump or args.dump_conventional):
+        counts = program.primitive_counts()
+        print(
+            "self-adjusting primitives: "
+            + ", ".join(f"{k}={v}" for k, v in counts.items())
+        )
+    if args.dump_conventional:
+        print("\n--- conventional SXML ---")
+        print(program.dump_conventional())
+    if args.dump:
+        print("\n--- translated self-adjusting SXML ---")
+        print(program.dump_translated())
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.apps import REGISTRY
+    from repro.testing import VerificationError, verify_app
+
+    if args.app not in REGISTRY:
+        print(f"error: unknown app {args.app!r}; see `python -m repro apps`",
+              file=sys.stderr)
+        return 1
+    try:
+        result = verify_app(
+            REGISTRY[args.app], n=args.n, changes=args.changes, seed=args.seed
+        )
+    except VerificationError as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(f"OK: {result}")
+    return 0
+
+
+def _cmd_apps(_args: argparse.Namespace) -> int:
+    from repro.apps import REGISTRY
+
+    for name in sorted(REGISTRY):
+        print(name)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile an LML source file")
+    p_compile.add_argument("file")
+    p_compile.add_argument("--main", default="main", help="entry binding")
+    p_compile.add_argument("--dump", action="store_true",
+                           help="print the translated self-adjusting code")
+    p_compile.add_argument("--dump-conventional", action="store_true",
+                           help="print the pre-translation SXML")
+    p_compile.add_argument("--counts", action="store_true",
+                           help="print mod/read/write/memo counts")
+    p_compile.add_argument("--no-optimize", action="store_true",
+                           help="disable the Section 3.4 rewrite rules")
+    p_compile.add_argument("--no-memoize", action="store_true",
+                           help="disable memoized applications")
+    p_compile.add_argument("--coarse", action="store_true",
+                           help="CPS-emulation mode (extra indirections)")
+    p_compile.set_defaults(fn=_cmd_compile)
+
+    p_verify = sub.add_parser(
+        "verify", help="run the Section 4.3 random-change verification"
+    )
+    p_verify.add_argument("app")
+    p_verify.add_argument("-n", type=int, default=32, help="input size")
+    p_verify.add_argument("--changes", type=int, default=10)
+    p_verify.add_argument("--seed", type=int, default=0)
+    p_verify.set_defaults(fn=_cmd_verify)
+
+    p_apps = sub.add_parser("apps", help="list the bundled benchmark apps")
+    p_apps.set_defaults(fn=_cmd_apps)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""The paper's benchmark applications, written in LML.
+
+Each application bundles (paper Section 4.1):
+
+* the LML source (conventional code + the one-or-two-line ``$C``
+  annotations);
+* an input generator (random permutations for integer benchmarks, random
+  reals for floating-point ones, Section 4.2);
+* a change driver performing the paper's incremental change (insert/delete
+  an element for lists; replace an element for vectors/matrices; rewrite a
+  block for blocked matrices; toggle a surface for the ray tracer);
+* a pure-Python reference implementation (the verifier of Section 4.3).
+"""
+
+from repro.apps.registry import REGISTRY, get_app
+
+__all__ = ["REGISTRY", "get_app"]

@@ -1,0 +1,316 @@
+"""Matrix benchmarks: mat-add, transpose, mat-mult, block-mat-mult.
+
+Two representations, chosen purely through type annotations (the paper's
+Sections 2.3-2.4 and 4.6):
+
+* element-granular -- ``((real $C) vector) vector``: any element can change
+  independently; mat-mult then tracks every scalar product;
+* block-granular -- ``((block $C) vector) vector`` where a block is a plain
+  sub-matrix wrapped in a single-constructor datatype: a whole block is one
+  modifiable, so tracking is per block (fewer modifiables, cheaper complete
+  runs, coarser propagation).
+
+The single-constructor ``Block`` datatype gives the block functions an
+explicit elimination point (``case b of Block raw => ...``), which is where
+the translation inserts the read of the block modifiable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List
+
+from repro.apps.base import App, nmul, random_real_matrix
+from repro.apps.vectors import tree_sum
+from repro.interp.marshal import BlockMatrixInput, ModMatrixInput
+from repro.interp.values import ConValue, deep_read
+from repro.sac.engine import Engine
+
+MAT_ADD_SOURCE = """
+type matrix = ((real $C) vector) vector
+
+val main : (matrix * matrix) -> matrix =
+  fn (a, b) => vmap2 (a, b, fn (r1, r2) => vmap2 (r1, r2, fn (x, y) => x + y))
+"""
+
+TRANSPOSE_SOURCE = """
+type matrix = ((real $C) vector) vector
+
+fun transpose b =
+  vtabulate (vlength (vsub (b, 0)), fn i =>
+    vtabulate (vlength b, fn j => vsub (vsub (b, j), i)))
+
+val main : matrix -> matrix = transpose
+"""
+
+MAT_MULT_SOURCE = """
+type matrix = ((real $C) vector) vector
+
+fun nmul (x, y) = (x * y) / (x + y)
+
+fun transpose b =
+  vtabulate (vlength (vsub (b, 0)), fn i =>
+    vtabulate (vlength b, fn j => vsub (vsub (b, j), i)))
+
+fun multiply (a, b) =
+  let
+    val tb = transpose b
+    fun dot (row, col) =
+      vreduce (vmap2 (row, col, nmul), 0.0, fn (x, y) => x + y)
+  in
+    vmap (a, fn row => vmap (tb, fn col => dot (row, col)))
+  end
+
+val main : (matrix * matrix) -> matrix = multiply
+"""
+
+BLOCK_MAT_MULT_SOURCE = """
+datatype block = Block of (real vector) vector
+type bmatrix = ((block $C) vector) vector
+
+fun nmul (x, y) = (x * y) / (x + y)
+
+fun bmul (x, y) =
+  case x of Block bx =>
+  case y of Block by =>
+    Block (vtabulate (vlength bx, fn i =>
+      vtabulate (vlength bx, fn j =>
+        vreduce (vtabulate (vlength bx, fn k =>
+                   nmul (vsub (vsub (bx, i), k), vsub (vsub (by, k), j))),
+                 0.0, fn (p, q) => p + q))))
+
+fun badd (x, y) =
+  case x of Block bx =>
+  case y of Block by =>
+    Block (vtabulate (vlength bx, fn i =>
+      vtabulate (vlength bx, fn j =>
+        vsub (vsub (bx, i), j) + vsub (vsub (by, i), j))))
+
+fun bzero k = Block (vtabulate (k, fn i => vtabulate (k, fn j => 0.0)))
+
+val main : (bmatrix * bmatrix * int) -> ((block $C) vector) vector =
+  fn (a, b, k) =>
+    vtabulate (vlength a, fn i =>
+      vtabulate (vlength a, fn j =>
+        vreduce (vtabulate (vlength a, fn q =>
+                   bmul (vsub (vsub (a, i), q), vsub (vsub (b, q), j))),
+                 bzero k, fn (x, y) => badd (x, y))))
+"""
+
+
+# ----------------------------------------------------------------------
+# References
+
+
+def ref_mat_add(data) -> List[List[float]]:
+    a, b = data
+    return [[x + y for x, y in zip(r1, r2)] for r1, r2 in zip(a, b)]
+
+
+def ref_transpose(m) -> List[List[float]]:
+    return [list(col) for col in zip(*m)]
+
+
+def ref_mat_mult(data) -> List[List[float]]:
+    a, b = data
+    n = len(a)
+    tb = list(zip(*b))
+    return [
+        [tree_sum([nmul(x, y) for x, y in zip(row, col)]) for col in tb]
+        for row in a
+    ]
+
+
+def ref_block_mat_mult_factory(block: int):
+    """Blocked reference: per (i,j), blocks of nmul-products are summed in
+    the same balanced order as the LML program."""
+
+    def ref(data) -> List[List[float]]:
+        a, b = data
+        n = len(a)
+        nb = n // block
+
+        def block_of(m, bi, bj):
+            return [
+                [m[bi * block + r][bj * block + c] for c in range(block)]
+                for r in range(block)
+            ]
+
+        def bmul(x, y):
+            return [
+                [
+                    tree_sum([nmul(x[i][k], y[k][j]) for k in range(block)])
+                    for j in range(block)
+                ]
+                for i in range(block)
+            ]
+
+        def badd(x, y):
+            return [[p + q for p, q in zip(r1, r2)] for r1, r2 in zip(x, y)]
+
+        def tree_badd(blocks):
+            def go(lo, hi):
+                if hi - lo == 1:
+                    return blocks[lo]
+                mid = (lo + hi) // 2
+                return badd(go(lo, mid), go(mid, hi))
+
+            return go(0, len(blocks))
+
+        out = [[0.0] * n for _ in range(n)]
+        for bi in range(nb):
+            for bj in range(nb):
+                partials = [
+                    bmul(block_of(a, bi, k), block_of(b, k, bj)) for k in range(nb)
+                ]
+                cblock = tree_badd(partials)
+                for r in range(block):
+                    for c in range(block):
+                        out[bi * block + r][bj * block + c] = cblock[r][c]
+        return out
+
+    return ref
+
+
+# ----------------------------------------------------------------------
+# Harness plumbing
+
+
+class _MatPairHandle:
+    def __init__(self, a, b) -> None:
+        self.a = a
+        self.b = b
+
+    def data(self):
+        return (self.a.to_python(), self.b.to_python())
+
+
+def _mat_pair_change(handle: _MatPairHandle, rng: random.Random, step: int) -> None:
+    target = handle.a if step % 2 == 0 else handle.b
+    rows, cols = target.shape if hasattr(target, "shape") else (target.n, target.m)
+    target.set(rng.randrange(rows), rng.randrange(cols), 0.5 + rng.random())
+
+
+def _conv_matrix(m) -> tuple:
+    return tuple(tuple(row) for row in m)
+
+
+def _conv_block_matrix(m, block: int) -> tuple:
+    n = len(m)
+    return tuple(
+        tuple(
+            ConValue(
+                "Block",
+                tuple(
+                    tuple(m[bi * block + r][bj * block + c] for c in range(block))
+                    for r in range(block)
+                ),
+            )
+            for bj in range(n // block)
+        )
+        for bi in range(n // block)
+    )
+
+
+def _readback_matrix(out) -> List[List[float]]:
+    return [list(row) for row in deep_read(out)]
+
+
+def _readback_block_matrix_factory(block: int):
+    def readback(out) -> List[List[float]]:
+        blocks = deep_read(out)  # tuple of tuples of ('Block', rows)
+        nb = len(blocks)
+        n = nb * block
+        result = [[0.0] * n for _ in range(n)]
+        for bi in range(nb):
+            for bj in range(nb):
+                tag, rows = blocks[bi][bj]
+                assert tag == "Block"
+                for r in range(block):
+                    for c in range(block):
+                        result[bi * block + r][bj * block + c] = rows[r][c]
+        return result
+
+    return readback
+
+
+def make_apps(block: int = 8) -> dict:
+    def sa_mat_pair(engine: Engine, data):
+        a, b = data
+        ha, hb = ModMatrixInput(engine, a), ModMatrixInput(engine, b)
+        handle = _MatPairHandle(ha, hb)
+        return (ha.value, hb.value), handle
+
+    def sa_mat(engine: Engine, data):
+        handle = ModMatrixInput(engine, data)
+        return handle.value, handle
+
+    def _mat_change(handle: ModMatrixInput, rng: random.Random, step: int) -> None:
+        rows, cols = handle.shape
+        handle.set(rng.randrange(rows), rng.randrange(cols), 0.5 + rng.random())
+
+    mat_add = App(
+        name="mat-add",
+        source=MAT_ADD_SOURCE,
+        make_data=lambda n, rng: (random_real_matrix(n, rng), random_real_matrix(n, rng)),
+        make_sa_input=sa_mat_pair,
+        make_conv_input=lambda data: (_conv_matrix(data[0]), _conv_matrix(data[1])),
+        apply_change=_mat_pair_change,
+        reference=ref_mat_add,
+        readback=_readback_matrix,
+        handle_data=lambda handle: handle.data(),
+    )
+
+    transpose = App(
+        name="transpose",
+        source=TRANSPOSE_SOURCE,
+        make_data=random_real_matrix,
+        make_sa_input=sa_mat,
+        make_conv_input=_conv_matrix,
+        apply_change=_mat_change,
+        reference=ref_transpose,
+        readback=_readback_matrix,
+        handle_data=lambda handle: handle.to_python(),
+    )
+
+    mat_mult = App(
+        name="mat-mult",
+        source=MAT_MULT_SOURCE,
+        make_data=lambda n, rng: (random_real_matrix(n, rng), random_real_matrix(n, rng)),
+        make_sa_input=sa_mat_pair,
+        make_conv_input=lambda data: (_conv_matrix(data[0]), _conv_matrix(data[1])),
+        apply_change=_mat_pair_change,
+        reference=ref_mat_mult,
+        readback=_readback_matrix,
+        handle_data=lambda handle: handle.data(),
+    )
+
+    def sa_block_pair(engine: Engine, data):
+        a, b = data
+        ha = BlockMatrixInput(engine, a, block)
+        hb = BlockMatrixInput(engine, b, block)
+        handle = _MatPairHandle(ha, hb)
+        return (ha.value, hb.value, block), handle
+
+    block_mat_mult = App(
+        name="block-mat-mult",
+        source=BLOCK_MAT_MULT_SOURCE,
+        make_data=lambda n, rng: (random_real_matrix(n, rng), random_real_matrix(n, rng)),
+        make_sa_input=sa_block_pair,
+        make_conv_input=lambda data: (
+            _conv_block_matrix(data[0], block),
+            _conv_block_matrix(data[1], block),
+            block,
+        ),
+        apply_change=_mat_pair_change,
+        reference=ref_block_mat_mult_factory(block),
+        readback=_readback_block_matrix_factory(block),
+        handle_data=lambda handle: handle.data(),
+    )
+
+    return {
+        "mat-add": mat_add,
+        "transpose": transpose,
+        "mat-mult": mat_mult,
+        "block-mat-mult": block_mat_mult,
+    }

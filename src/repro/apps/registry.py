@@ -1,0 +1,27 @@
+"""Registry of all benchmark applications."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.apps.base import App
+from repro.apps import listops, matrices, raytracer, vectors
+
+
+def _build() -> Dict[str, App]:
+    apps: Dict[str, App] = {}
+    apps.update(listops.make_apps())
+    apps.update(vectors.make_apps())
+    apps.update(matrices.make_apps())
+    apps["raytracer"] = raytracer.make_app()
+    return apps
+
+
+REGISTRY: Dict[str, App] = _build()
+
+
+def get_app(name: str, **kwargs) -> App:
+    """Look up a benchmark app; ``block-mat-mult`` accepts ``block=<k>``."""
+    if name == "block-mat-mult" and kwargs:
+        return matrices.make_apps(**kwargs)["block-mat-mult"]
+    return REGISTRY[name]

@@ -1,0 +1,181 @@
+"""Vector benchmarks: vec-reduce, vec-mult, mat-vec-mult (Section 4.1).
+
+The inputs are vectors (and matrices) of changeable double-precision
+reals: ``(real $C) vector``.  The incremental change replaces one element
+with a fresh random value.  Multiplication is the paper's normalized form
+``(x*y)/(x+y)`` (Section 4.1: "we normalize the result by their sum to
+prevent overflows"); inputs are drawn from [0.5, 1.5) so the denominator
+never vanishes.
+
+``vreduce`` is balanced divide-and-conquer, so one element change
+re-executes O(log n) combine reads.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List
+
+from repro.apps.base import App, nmul, random_real_matrix, random_reals
+from repro.interp.marshal import ModMatrixInput, ModVectorInput
+from repro.interp.values import deep_read
+from repro.sac.engine import Engine
+
+VEC_REDUCE_SOURCE = """
+val main : (real $C) vector -> real $C =
+  fn v => vreduce (v, 0.0, fn (x, y) => x + y)
+"""
+
+VEC_MULT_SOURCE = """
+fun nmul (x, y) = (x * y) / (x + y)
+
+val main : ((real $C) vector * (real $C) vector) -> real $C =
+  fn (a, b) => vreduce (vmap2 (a, b, nmul), 0.0, fn (x, y) => x + y)
+"""
+
+MAT_VEC_MULT_SOURCE = """
+type matrix = ((real $C) vector) vector
+
+fun nmul (x, y) = (x * y) / (x + y)
+
+fun dot (a, b) = vreduce (vmap2 (a, b, nmul), 0.0, fn (x, y) => x + y)
+
+val main : (matrix * (real $C) vector) -> (real $C) vector =
+  fn (m, v) => vmap (m, fn row => dot (row, v))
+"""
+
+
+# ----------------------------------------------------------------------
+# References (must mirror the balanced reduction's float association)
+
+
+def tree_sum(values: List[float]) -> float:
+    """Sum with the same balanced association as the ``vreduce`` builtin."""
+    if not values:
+        return 0.0
+
+    def go(lo: int, hi: int) -> float:
+        if hi - lo == 1:
+            return values[lo]
+        mid = (lo + hi) // 2
+        return go(lo, mid) + go(mid, hi)
+
+    return go(0, len(values))
+
+
+def ref_vec_reduce(v: List[float]) -> float:
+    return tree_sum(v)
+
+
+def ref_vec_mult(data) -> float:
+    a, b = data
+    return tree_sum([nmul(x, y) for x, y in zip(a, b)])
+
+
+def ref_mat_vec_mult(data) -> List[float]:
+    m, v = data
+    return [tree_sum([nmul(x, y) for x, y in zip(row, v)]) for row in m]
+
+
+# ----------------------------------------------------------------------
+# Harness plumbing
+
+
+def _vec_change(handle: ModVectorInput, rng: random.Random, step: int) -> None:
+    handle.set(rng.randrange(len(handle)), 0.5 + rng.random())
+
+
+class _PairHandle:
+    """Change handle over a pair of vector inputs (vec-mult)."""
+
+    def __init__(self, a: ModVectorInput, b: ModVectorInput) -> None:
+        self.a = a
+        self.b = b
+
+    def data(self):
+        return (self.a.to_python(), self.b.to_python())
+
+
+def _pair_change(handle: _PairHandle, rng: random.Random, step: int) -> None:
+    target = handle.a if step % 2 == 0 else handle.b
+    target.set(rng.randrange(len(target)), 0.5 + rng.random())
+
+
+class _MatVecHandle:
+    def __init__(self, m: ModMatrixInput, v: ModVectorInput) -> None:
+        self.m = m
+        self.v = v
+
+    def data(self):
+        return (self.m.to_python(), self.v.to_python())
+
+
+def _mat_vec_change(handle: _MatVecHandle, rng: random.Random, step: int) -> None:
+    rows, cols = handle.m.shape
+    if step % 2 == 0:
+        handle.m.set(rng.randrange(rows), rng.randrange(cols), 0.5 + rng.random())
+    else:
+        handle.v.set(rng.randrange(len(handle.v)), 0.5 + rng.random())
+
+
+def make_apps() -> dict:
+    def sa_vec(engine: Engine, data):
+        handle = ModVectorInput(engine, data)
+        return handle.value, handle
+
+    vec_reduce = App(
+        name="vec-reduce",
+        source=VEC_REDUCE_SOURCE,
+        make_data=random_reals,
+        make_sa_input=sa_vec,
+        make_conv_input=lambda data: tuple(data),
+        apply_change=_vec_change,
+        reference=ref_vec_reduce,
+        readback=deep_read,
+        handle_data=lambda handle: handle.to_python(),
+    )
+
+    def sa_pair(engine: Engine, data):
+        a, b = data
+        ha, hb = ModVectorInput(engine, a), ModVectorInput(engine, b)
+        handle = _PairHandle(ha, hb)
+        return (ha.value, hb.value), handle
+
+    vec_mult = App(
+        name="vec-mult",
+        source=VEC_MULT_SOURCE,
+        make_data=lambda n, rng: (random_reals(n, rng), random_reals(n, rng)),
+        make_sa_input=sa_pair,
+        make_conv_input=lambda data: (tuple(data[0]), tuple(data[1])),
+        apply_change=_pair_change,
+        reference=ref_vec_mult,
+        readback=deep_read,
+        handle_data=lambda handle: handle.data(),
+    )
+
+    def sa_mat_vec(engine: Engine, data):
+        m, v = data
+        hm, hv = ModMatrixInput(engine, m), ModVectorInput(engine, v)
+        handle = _MatVecHandle(hm, hv)
+        return (hm.value, hv.value), handle
+
+    mat_vec_mult = App(
+        name="mat-vec-mult",
+        source=MAT_VEC_MULT_SOURCE,
+        make_data=lambda n, rng: (random_real_matrix(n, rng), random_reals(n, rng)),
+        make_sa_input=sa_mat_vec,
+        make_conv_input=lambda data: (
+            tuple(tuple(row) for row in data[0]),
+            tuple(data[1]),
+        ),
+        apply_change=_mat_vec_change,
+        reference=ref_mat_vec_mult,
+        readback=lambda out: list(deep_read(out)),
+        handle_data=lambda handle: handle.data(),
+    )
+
+    return {
+        "vec-reduce": vec_reduce,
+        "vec-mult": vec_mult,
+        "mat-vec-mult": mat_vec_mult,
+    }

@@ -1,0 +1,20 @@
+"""Measurement harness for the paper's tables and figures.
+
+* :mod:`repro.bench.runner` -- timing/space measurement of one benchmark
+  configuration (conventional run, self-adjusting run, average propagation);
+* :mod:`repro.bench.handwritten` -- hand-written self-adjusting programs
+  against the Python runtime API (the AFL baseline of Section 4.9);
+* :mod:`repro.bench.report` -- paper-style table and series formatting.
+"""
+
+from repro.bench.runner import BenchRow, measure_app, measure_handwritten
+from repro.bench.report import format_normalized, format_series, format_table
+
+__all__ = [
+    "BenchRow",
+    "format_normalized",
+    "format_series",
+    "format_table",
+    "measure_app",
+    "measure_handwritten",
+]

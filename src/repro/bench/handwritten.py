@@ -1,0 +1,363 @@
+"""Hand-written self-adjusting programs (the AFL baseline, Section 4.9).
+
+These are direct Python ports of the list benchmarks against the runtime
+API of :class:`repro.sac.Engine`, with hand-placed ``mod``/``read``/
+``write`` and hand-chosen memoization -- structured like the published AFL
+combinator-library benchmarks.  They operate on the same input
+representation as the compiled programs (:class:`ModListInput` cells), so
+the measurement harness can drive both identically.
+
+Being native Python rather than interpreted SXML, they play the role of
+AFL's "carefully engineered hand-written library": somewhat faster than the
+compiler's output, at the cost of writing all the plumbing by hand --
+compare the bodies below with the two-line annotations of
+:mod:`repro.apps.listops`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.interp.values import ConValue
+from repro.sac.api import IdKey
+from repro.sac.engine import Engine
+from repro.sac.modifiable import Modifiable
+
+NIL = ConValue("Nil")
+
+
+def _cons(head: Any, tail: Modifiable) -> ConValue:
+    return ConValue("Cons", (head, tail))
+
+
+def _mangle(h: int) -> int:
+    return h // 3 + h // 5 + h // 7
+
+
+def hand_map(engine: Engine, head: Modifiable, f: Callable = _mangle) -> Modifiable:
+    """AFL-style memoized list map."""
+
+    def go(l: Modifiable) -> Modifiable:
+        def comp(dest: Modifiable) -> None:
+            def on_cell(cell: ConValue) -> None:
+                if cell.arg is None:
+                    engine.write(dest, NIL)
+                else:
+                    h, t = cell.arg
+                    r = engine.memo(("map", IdKey(t)), lambda: go(t))
+                    engine.write(dest, _cons(f(h), r))
+
+            engine.read(l, on_cell)
+
+        return engine.mod(comp)
+
+    return go(head)
+
+
+def hand_filter(engine: Engine, head: Modifiable) -> Modifiable:
+    """AFL-style memoized filter (copy-through on dropped elements)."""
+
+    def go(l: Modifiable) -> Modifiable:
+        def comp(dest: Modifiable) -> None:
+            def on_cell(cell: ConValue) -> None:
+                if cell.arg is None:
+                    engine.write(dest, NIL)
+                else:
+                    h, t = cell.arg
+                    r = engine.memo(("filter", IdKey(t)), lambda: go(t))
+                    if _mangle(h) % 2 == 0:
+                        engine.write(dest, _cons(h, r))
+                    else:
+                        engine.read(r, lambda c: engine.write(dest, c))
+
+            engine.read(l, on_cell)
+
+        return engine.mod(comp)
+
+    return go(head)
+
+
+def hand_split(engine: Engine, head: Modifiable):
+    """Two filter passes returning a stable pair of changeable lists."""
+
+    def half(keep_parity: int, l: Modifiable) -> Modifiable:
+        def go(l: Modifiable) -> Modifiable:
+            def comp(dest: Modifiable) -> None:
+                def on_cell(cell: ConValue) -> None:
+                    if cell.arg is None:
+                        engine.write(dest, NIL)
+                    else:
+                        h, t = cell.arg
+                        r = engine.memo(("split", keep_parity, IdKey(t)), lambda: go(t))
+                        if h % 2 == keep_parity:
+                            engine.write(dest, _cons(h, r))
+                        else:
+                            engine.read(r, lambda c: engine.write(dest, c))
+
+                engine.read(l, on_cell)
+
+            return engine.mod(comp)
+
+        return go(l)
+
+    return (half(0, head), half(1, head))
+
+
+def hand_qsort(engine: Engine, head: Modifiable) -> Modifiable:
+    """AFL-style accumulator quicksort with memoized filters."""
+
+    def filt(pred_key: str, p: int, keep: Callable, l: Modifiable) -> Modifiable:
+        def go(l: Modifiable) -> Modifiable:
+            def comp(dest: Modifiable) -> None:
+                def on_cell(cell: ConValue) -> None:
+                    if cell.arg is None:
+                        engine.write(dest, NIL)
+                    else:
+                        h, t = cell.arg
+                        r = engine.memo((pred_key, p, IdKey(t)), lambda: go(t))
+                        if keep(h):
+                            engine.write(dest, _cons(h, r))
+                        else:
+                            engine.read(r, lambda c: engine.write(dest, c))
+
+                engine.read(l, on_cell)
+
+            return engine.mod(comp)
+
+        return go(l)
+
+    def qs(l: Modifiable, rest: Modifiable) -> Modifiable:
+        def comp(dest: Modifiable) -> None:
+            def on_cell(cell: ConValue) -> None:
+                if cell.arg is None:
+                    engine.read(rest, lambda c: engine.write(dest, c))
+                else:
+                    h, t = cell.arg
+                    le = engine.memo(
+                        ("lt", h, IdKey(t)), lambda: filt("lt", h, lambda x: x < h, t)
+                    )
+                    gt = engine.memo(
+                        ("ge", h, IdKey(t)), lambda: filt("ge", h, lambda x: x >= h, t)
+                    )
+                    bigger = engine.memo(
+                        ("qs", IdKey(gt), IdKey(rest)), lambda: qs(gt, rest)
+                    )
+                    mid = engine.mod(lambda d: engine.write(d, _cons(h, bigger)))
+                    smaller = engine.memo(
+                        ("qs", IdKey(le), IdKey(mid)), lambda: qs(le, mid)
+                    )
+                    engine.read(smaller, lambda c: engine.write(dest, c))
+
+            engine.read(l, on_cell)
+
+        return engine.mod(comp)
+
+    nil_mod = engine.mod(lambda d: engine.write(d, NIL))
+    return qs(head, nil_mod)
+
+
+def hand_msort(engine: Engine, head: Modifiable) -> Modifiable:
+    """AFL-style mergesort with value-bit division (see apps.listops)."""
+
+    def half(b: int, m: int, l: Modifiable) -> Modifiable:
+        def go(l: Modifiable) -> Modifiable:
+            def comp(dest: Modifiable) -> None:
+                def on_cell(cell: ConValue) -> None:
+                    if cell.arg is None:
+                        engine.write(dest, NIL)
+                    else:
+                        h, t = cell.arg
+                        r = engine.memo(("half", b, m, IdKey(t)), lambda: go(t))
+                        if (h // m) % 2 == b:
+                            engine.write(dest, _cons(h, r))
+                        else:
+                            engine.read(r, lambda c: engine.write(dest, c))
+
+                engine.read(l, on_cell)
+
+            return engine.mod(comp)
+
+        return go(l)
+
+    def cp(l: Modifiable) -> Modifiable:
+        """Identity-stable copy: output cells keyed by the input cells, so
+        merge's exhaustion case never shares the other list's spine (see
+        apps.listops for why sharing cascades)."""
+
+        def comp(dest: Modifiable) -> None:
+            def on_cell(cell: ConValue) -> None:
+                if cell.arg is None:
+                    engine.write(dest, NIL)
+                else:
+                    h, t = cell.arg
+                    r = engine.memo(("cp", IdKey(t)), lambda: cp(t))
+                    engine.write(dest, _cons(h, r))
+
+            engine.read(l, on_cell)
+
+        return engine.mod(comp)
+
+    def merge(a: Modifiable, b: Modifiable) -> Modifiable:
+        def comp(dest: Modifiable) -> None:
+            def on_a(ca: ConValue) -> None:
+                if ca.arg is None:
+                    r = engine.memo(("cpm", IdKey(b)), lambda: cp(b))
+                    engine.read(r, lambda c: engine.write(dest, c))
+                    return
+                ha, ta = ca.arg
+
+                def on_b(cb: ConValue) -> None:
+                    if cb.arg is None:
+                        r = engine.memo(("cpm", IdKey(ta)), lambda: cp(ta))
+                        engine.write(dest, _cons(ha, r))
+                    elif ha <= cb.arg[0]:
+                        r = engine.memo(
+                            ("mg", IdKey(ta), IdKey(b)), lambda: merge(ta, b)
+                        )
+                        engine.write(dest, _cons(ha, r))
+                    else:
+                        hb, tb = cb.arg
+                        r = engine.memo(
+                            ("mg", IdKey(a), IdKey(tb)), lambda: merge(a, tb)
+                        )
+                        engine.write(dest, _cons(hb, r))
+
+                engine.read(b, on_b)
+
+            engine.read(a, on_a)
+
+        return engine.mod(comp)
+
+    def ms(l: Modifiable, m: int) -> Modifiable:
+        def comp(dest: Modifiable) -> None:
+            def on_cell(cell: ConValue) -> None:
+                if cell.arg is None:
+                    engine.write(dest, NIL)
+                    return
+                h, t = cell.arg
+
+                def on_tail(tc: ConValue) -> None:
+                    if tc.arg is None:
+                        engine.write(dest, _cons(h, t))
+                        return
+                    h0 = engine.memo(("h0", m, IdKey(l)), lambda: half(0, m, l))
+                    h1 = engine.memo(("h1", m, IdKey(l)), lambda: half(1, m, l))
+                    s0 = engine.memo(("ms", 2 * m, IdKey(h0)), lambda: ms(h0, 2 * m))
+                    s1 = engine.memo(("ms", 2 * m, IdKey(h1)), lambda: ms(h1, 2 * m))
+                    r = engine.memo(("mg", IdKey(s0), IdKey(s1)), lambda: merge(s0, s1))
+                    engine.read(r, lambda c: engine.write(dest, c))
+
+                engine.read(t, on_tail)
+
+            engine.read(l, on_cell)
+
+        return engine.mod(comp)
+
+    return ms(head, 1)
+
+
+#: The hand-written programs usable with ``measure_handwritten``; keyed by
+#: the compiled app they correspond to.
+HANDWRITTEN = {
+    "map": hand_map,
+    "filter": hand_filter,
+    "split": hand_split,
+    "qsort": hand_qsort,
+    "msort": hand_msort,
+}
+
+
+def hand_msort_keyed(engine: Engine, head: Modifiable) -> Modifiable:
+    """Mergesort using the runtime's unsafe interface (``keyed_mod``).
+
+    Identical division strategy to :func:`hand_msort`, but every merged
+    output cell is allocated under a stable key ``(merge instance, element
+    value)``.  When a change shifts the merge interleaving, the re-executed
+    steps write equal contents into the *recycled* cells, so propagation
+    cuts off instead of re-keying the suffix -- the fix for the cascade
+    documented in DESIGN.md Section 6 (paper Section 4.9: "AFL provides an
+    unsafe interface ... our compiler does not directly support these
+    low-level primitives").
+    """
+
+    def half(b: int, m: int, l: Modifiable) -> Modifiable:
+        def go(l: Modifiable) -> Modifiable:
+            def comp(dest: Modifiable) -> None:
+                def on_cell(cell: ConValue) -> None:
+                    if cell.arg is None:
+                        engine.write(dest, NIL)
+                    else:
+                        h, t = cell.arg
+                        r = engine.memo(("kh", b, m, IdKey(t)), lambda: go(t))
+                        if (h // m) % 2 == b:
+                            engine.write(dest, _cons(h, r))
+                        else:
+                            engine.read(r, lambda c: engine.write(dest, c))
+
+                engine.read(l, on_cell)
+
+            return engine.mod(comp)
+
+        return go(l)
+
+    def merge(a: Modifiable, b: Modifiable) -> Modifiable:
+        sid = (IdKey(a), IdKey(b))
+
+        def produce(dest: Modifiable, ra: Modifiable, rb: Modifiable) -> None:
+            """Write the merge of (ra, rb) into dest, one cell at a time;
+            each successor cell's identity is keyed by its element."""
+
+            def on_a(ca: ConValue) -> None:
+                def on_b(cb: ConValue) -> None:
+                    if ca.arg is None and cb.arg is None:
+                        engine.write(dest, NIL)
+                        return
+                    if cb.arg is None or (
+                        ca.arg is not None and ca.arg[0] <= cb.arg[0]
+                    ):
+                        h, na, nb = ca.arg[0], ca.arg[1], rb
+                    else:
+                        h, na, nb = cb.arg[0], ra, cb.arg[1]
+                    nxt = engine.memo(
+                        ("kmg", sid, h, IdKey(na), IdKey(nb)),
+                        lambda: engine.keyed_mod(
+                            ("kcell", sid, h), lambda d: produce(d, na, nb)
+                        ),
+                    )
+                    engine.write(dest, _cons(h, nxt))
+
+                engine.read(rb, on_b)
+
+            engine.read(ra, on_a)
+
+        return engine.memo(
+            ("kmg-top", sid),
+            lambda: engine.keyed_mod(("kcell-top", sid), lambda d: produce(d, a, b)),
+        )
+
+    def ms(l: Modifiable, m: int) -> Modifiable:
+        def comp(dest: Modifiable) -> None:
+            def on_cell(cell: ConValue) -> None:
+                if cell.arg is None:
+                    engine.write(dest, NIL)
+                    return
+                h, t = cell.arg
+
+                def on_tail(tc: ConValue) -> None:
+                    if tc.arg is None:
+                        engine.write(dest, _cons(h, t))
+                        return
+                    h0 = engine.memo(("kh0", m, IdKey(l)), lambda: half(0, m, l))
+                    h1 = engine.memo(("kh1", m, IdKey(l)), lambda: half(1, m, l))
+                    s0 = engine.memo(("kms", 2 * m, IdKey(h0)), lambda: ms(h0, 2 * m))
+                    s1 = engine.memo(("kms", 2 * m, IdKey(h1)), lambda: ms(h1, 2 * m))
+                    r = engine.memo(("kmm", IdKey(s0), IdKey(s1)), lambda: merge(s0, s1))
+                    engine.read(r, lambda c: engine.write(dest, c))
+
+                engine.read(t, on_tail)
+
+            engine.read(l, on_cell)
+
+        return engine.mod(comp)
+
+    return ms(head, 1)

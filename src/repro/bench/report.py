@@ -1,0 +1,83 @@
+"""Paper-style table and series formatting for benchmark results."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.bench.runner import BenchRow
+
+
+def _fmt_time(seconds: float) -> str:
+    if seconds != seconds:  # NaN
+        return "-"
+    if seconds >= 0.1:
+        return f"{seconds:.2f}"
+    if seconds >= 1e-3:
+        return f"{seconds*1e3:.2f}e-3"
+    return f"{seconds:.1e}"
+
+
+def _fmt_ratio(value: float) -> str:
+    if value != value:
+        return "-"
+    if value >= 1000:
+        return f"{value:.1e}"
+    return f"{value:.1f}"
+
+
+def format_table(rows: Iterable[BenchRow], title: str = "") -> str:
+    """Render rows in the layout of the paper's Table 1."""
+    header = (
+        f"{'Application (n)':<24} {'Conv. Run (s)':>14} {'Self-Adj. Run (s)':>18} "
+        f"{'Avg. Prop. (s)':>15} {'Overhead':>9} {'Speedup':>9}"
+    )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            f"{row.name + f'({row.n})':<24} {_fmt_time(row.conv_run):>14} "
+            f"{_fmt_time(row.sa_run):>18} {_fmt_time(row.avg_prop):>15} "
+            f"{_fmt_ratio(row.overhead):>9} {_fmt_ratio(row.speedup):>9}"
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    xs: Sequence,
+    series: dict,
+    x_label: str = "n",
+    fmt=lambda v: f"{v:.4g}",
+) -> str:
+    """Render figure data as an aligned text table: one row per x value."""
+    names = list(series)
+    header = f"{x_label:>10} " + " ".join(f"{name:>16}" for name in names)
+    lines = [title, header, "-" * len(header)]
+    for i, x in enumerate(xs):
+        cells = " ".join(f"{fmt(series[name][i]):>16}" for name in names)
+        lines.append(f"{x:>10} {cells}")
+    return "\n".join(lines)
+
+
+def format_normalized(
+    title: str,
+    benchmarks: Sequence[str],
+    series: dict,
+    baseline: str,
+) -> str:
+    """Render a normalized bar-chart-style table (the paper's Figure 9):
+    every series divided by the baseline series, per benchmark."""
+    names = list(series)
+    header = f"{'benchmark':>12} " + " ".join(f"{name:>14}" for name in names)
+    lines = [title + f"  (normalized to {baseline} = 1.0)", header, "-" * len(header)]
+    for i, bench in enumerate(benchmarks):
+        base = series[baseline][i]
+        cells = " ".join(
+            f"{(series[name][i] / base if base else float('nan')):>14.2f}"
+            for name in names
+        )
+        lines.append(f"{bench:>12} {cells}")
+    return "\n".join(lines)

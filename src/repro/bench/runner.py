@@ -1,0 +1,171 @@
+"""Benchmark measurement (the paper's Section 4.2 methodology, scaled).
+
+For each configuration we measure:
+
+* **Conv. Run** -- wall time of the conventional executable;
+* **Self-Adj. Run** -- wall time of the initial self-adjusting run
+  (builds the trace);
+* **Self-Adj. Avg. Prop.** -- average time of change propagation over a
+  sample of random incremental changes;
+* **Overhead** = self-adjusting run / conventional run;
+* **Speedup** = conventional run / average propagation;
+* **trace size** -- live timestamps + edges + memo entries, the paper's
+  space axis (DESIGN.md explains why we report trace size instead of RSS).
+
+As in the paper, timings exclude input construction, the initial run is
+excluded from propagation timings, and garbage collection is excluded from
+timed sections by default (Section 4.10 discusses GC separately;
+``gc_enabled=True`` reproduces Figure 10's inclusive timing).
+"""
+
+from __future__ import annotations
+
+import gc
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.apps.base import App
+from repro.sac.engine import Engine
+
+
+@dataclass
+class BenchRow:
+    """One measured configuration (one row of Table 1 / one point of a
+    figure)."""
+
+    name: str
+    n: int
+    conv_run: float
+    sa_run: float
+    avg_prop: float
+    trace_size: int = 0
+    mods_created: int = 0
+    prop_samples: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def overhead(self) -> float:
+        return self.sa_run / self.conv_run if self.conv_run > 0 else float("nan")
+
+    @property
+    def speedup(self) -> float:
+        return self.conv_run / self.avg_prop if self.avg_prop > 0 else float("inf")
+
+
+def _timed(fn: Callable[[], Any], gc_enabled: bool) -> float:
+    """Wall time of one call, optionally with the collector disabled."""
+    was_enabled = gc.isenabled()
+    if not gc_enabled and was_enabled:
+        gc.disable()
+    try:
+        start = time.perf_counter()
+        fn()
+        return time.perf_counter() - start
+    finally:
+        if not gc_enabled and was_enabled:
+            gc.enable()
+
+
+def measure_app(
+    app: App,
+    n: int,
+    *,
+    prop_samples: int = 20,
+    seed: int = 0,
+    repeats: int = 1,
+    memoize: bool = True,
+    optimize_flag: bool = True,
+    coarse: bool = False,
+    gc_enabled: bool = False,
+    skip_conventional: bool = False,
+) -> BenchRow:
+    """Measure one compiled benchmark at input size ``n``."""
+    rng = random.Random(seed)
+    program = app.compiled(
+        memoize=memoize, optimize_flag=optimize_flag, coarse=coarse
+    )
+    data = app.make_data(n, rng)
+
+    # Conventional run (fresh instance per repeat; average).
+    conv_time = 0.0
+    if not skip_conventional:
+        times = []
+        for _ in range(repeats):
+            conv = program.conventional_instance()
+            conv_input = app.make_conv_input(data)
+            times.append(_timed(lambda: conv.apply(conv_input), gc_enabled))
+        conv_time = sum(times) / len(times)
+
+    # Self-adjusting complete run.
+    engine = Engine()
+    instance = program.self_adjusting_instance(engine)
+    input_value, handle = app.make_sa_input(engine, data)
+    sa_time = _timed(lambda: instance.apply(input_value), gc_enabled)
+    trace_size = engine.trace_size()
+    mods = engine.meter.mods_created
+
+    # Average propagation over random changes.
+    prop_total = 0.0
+    for step in range(prop_samples):
+        app.apply_change(handle, rng, step)
+        prop_total += _timed(engine.propagate, gc_enabled)
+    avg_prop = prop_total / prop_samples if prop_samples else float("nan")
+
+    return BenchRow(
+        name=app.name,
+        n=n,
+        conv_run=conv_time,
+        sa_run=sa_time,
+        avg_prop=avg_prop,
+        trace_size=max(trace_size, engine.trace_size()),
+        mods_created=mods,
+        prop_samples=prop_samples,
+    )
+
+
+def measure_handwritten(
+    name: str,
+    run: Callable[[Engine, Any], Any],
+    app: App,
+    n: int,
+    *,
+    prop_samples: int = 20,
+    seed: int = 0,
+    gc_enabled: bool = False,
+) -> BenchRow:
+    """Measure a hand-written (AFL-style) self-adjusting program.
+
+    ``run(engine, input_value)`` performs the initial run and returns the
+    output.  Inputs, changes, and the conventional baseline come from the
+    corresponding compiled app so the comparison is apples-to-apples.
+    """
+    rng = random.Random(seed)
+    data = app.make_data(n, rng)
+
+    program = app.compiled()
+    conv = program.conventional_instance()
+    conv_input = app.make_conv_input(data)
+    conv_time = _timed(lambda: conv.apply(conv_input), gc_enabled)
+
+    engine = Engine()
+    input_value, handle = app.make_sa_input(engine, data)
+    sa_time = _timed(lambda: run(engine, input_value), gc_enabled)
+
+    prop_total = 0.0
+    for step in range(prop_samples):
+        app.apply_change(handle, rng, step)
+        prop_total += _timed(engine.propagate, gc_enabled)
+    avg_prop = prop_total / prop_samples if prop_samples else float("nan")
+
+    return BenchRow(
+        name=name,
+        n=n,
+        conv_run=conv_time,
+        sa_run=sa_time,
+        avg_prop=avg_prop,
+        trace_size=engine.trace_size(),
+        mods_created=engine.meter.mods_created,
+        prop_samples=prop_samples,
+    )

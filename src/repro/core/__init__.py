@@ -1,0 +1,30 @@
+"""The LML compiler middle-end and back-end.
+
+This package contains the paper's compiler pipeline (Figure 3):
+
+* :mod:`repro.core.ir` -- the typed Core IR produced by elaboration;
+* :mod:`repro.core.monomorphize` -- specialization of polymorphic bindings
+  and datatypes (MLton's monomorphisation);
+* :mod:`repro.core.matchcomp` -- nested-pattern compilation;
+* :mod:`repro.core.anf` -- A-normalization into the SXML-like IR;
+* :mod:`repro.core.levels` -- level ($S/$C) inference on the monomorphic
+  program (the propagation of level annotations through the pipeline);
+* :mod:`repro.core.translate` -- the type-directed self-adjusting
+  translation (the paper's primary contribution, Section 3.3);
+* :mod:`repro.core.optimize` -- the three shrinking rewrite rules of
+  Section 3.4 (terminating and confluent, Theorem 3.1);
+* :mod:`repro.core.deadcode` -- dead-code elimination on ANF;
+* :mod:`repro.core.pipeline` -- the driver tying it all together.
+"""
+
+__all__ = ["CompiledProgram", "compile_program"]
+
+
+def __getattr__(name):
+    # Lazy to avoid a circular import: the pipeline imports the interpreters,
+    # which import the SXML IR from this package.
+    if name in __all__:
+        from repro.core import pipeline
+
+        return getattr(pipeline, name)
+    raise AttributeError(name)

@@ -1,0 +1,227 @@
+"""A-normalization: Core IR to SXML.
+
+Mirrors MLton's linearization into A-normal form (paper Section 3.2): every
+intermediate result is named by a ``let``, every operand is an atom.  The
+input must be monomorphic and match-compiled (simple cases only).
+
+A copy-propagation cleanup removes the trivial ``let x = y`` bindings that
+naive normalization introduces, so the translated output stays in the form
+the Section 3.4 rewrite rules expect.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.core import ir as C
+from repro.core import sxml as S
+from repro.core.freshen import fresh
+from repro.core.sxmlutil import copy_propagate
+from repro.lang.errors import LmlCompileError
+
+
+def normalize(program: C.CoreProgram) -> S.Expr:
+    """Convert the program body into SXML (with copy propagation)."""
+    norm = _Normalizer(program.datatypes)
+    expr = norm.norm(program.body, lambda atom: S.ERet(ty=atom.ty, atom=atom))
+    return copy_propagate(expr)
+
+
+class _Normalizer:
+    def __init__(self, datatypes) -> None:
+        self.datatypes = datatypes
+
+    def norm(self, e: C.CoreExpr, k: Callable[[S.Atom], S.Expr]) -> S.Expr:
+        """Normalize ``e``; pass its atom to the continuation ``k``."""
+        if isinstance(e, C.CVar):
+            return k(S.AVar(ty=e.ty, name=e.name, is_builtin=e.is_builtin))
+        if isinstance(e, C.CConst):
+            return k(S.AConst(ty=e.ty, value=e.value, kind=e.kind))
+        if isinstance(e, C.CLet):
+            # let x = rhs in body: normalize rhs, binding its result to x.
+            return self.norm(
+                e.rhs,
+                lambda a: S.ELet(
+                    ty=e.ty,
+                    name=e.name,
+                    bind=S.BAtom(ty=a.ty, atom=a),
+                    body=self.norm(e.body, k),
+                ),
+            )
+        if isinstance(e, C.CLetRec):
+            bindings = []
+            for name, _scheme, lam in e.bindings:
+                if not isinstance(lam, C.CLam):
+                    raise LmlCompileError("letrec binding is not a lambda")
+                bindings.append((name, self.norm_lam(lam, name_hint=name)))
+            return S.ELetRec(ty=e.ty, bindings=bindings, body=self.norm(e.body, k))
+        if isinstance(e, C.CLam):
+            return self.bind(e.ty, self.norm_lam(e), k, hint="fn")
+        if isinstance(e, C.CApp):
+            return self.norm(
+                e.fn,
+                lambda f: self.norm(
+                    e.arg,
+                    lambda a: self.bind(
+                        e.ty, S.BApp(ty=e.ty, fn=f, arg=a), k, hint="app"
+                    ),
+                ),
+            )
+        if isinstance(e, C.CPrim):
+            if e.op == "matchfail":
+                return self.bind(e.ty, S.BMatchFail(ty=e.ty), k, hint="fail")
+            return self.norm_list(
+                e.args,
+                lambda atoms: self.bind(
+                    e.ty, S.BPrim(ty=e.ty, op=e.op, args=atoms), k, hint="prim"
+                ),
+            )
+        if isinstance(e, C.CCon):
+            return self.norm_list(
+                e.args,
+                lambda atoms: self.bind(
+                    e.ty,
+                    S.BCon(ty=e.ty, dt=e.dt, tag=e.tag, args=atoms),
+                    k,
+                    hint="con",
+                ),
+            )
+        if isinstance(e, C.CTuple):
+            return self.norm_list(
+                e.items,
+                lambda atoms: self.bind(
+                    e.ty, S.BTuple(ty=e.ty, items=atoms), k, hint="tup"
+                ),
+            )
+        if isinstance(e, C.CProj):
+            return self.norm(
+                e.arg,
+                lambda a: self.bind(
+                    e.ty, S.BProj(ty=e.ty, index=e.index, arg=a), k, hint="proj"
+                ),
+            )
+        if isinstance(e, C.CIf):
+            return self.norm(
+                e.cond,
+                lambda c: self.bind(
+                    e.ty,
+                    S.BIf(
+                        ty=e.ty,
+                        cond=c,
+                        then=self.tail(e.then),
+                        els=self.tail(e.els),
+                    ),
+                    k,
+                    hint="if",
+                ),
+            )
+        if isinstance(e, C.CCase):
+            return self.norm(e.scrut, lambda s: self.norm_case(e, s, k))
+        if isinstance(e, C.CRef):
+            return self.norm(
+                e.arg,
+                lambda a: self.bind(e.ty, S.BRef(ty=e.ty, arg=a), k, hint="ref"),
+            )
+        if isinstance(e, C.CDeref):
+            return self.norm(
+                e.arg,
+                lambda a: self.bind(e.ty, S.BDeref(ty=e.ty, arg=a), k, hint="drf"),
+            )
+        if isinstance(e, C.CAssign):
+            return self.norm(
+                e.ref,
+                lambda r: self.norm(
+                    e.value,
+                    lambda v: self.bind(
+                        e.ty, S.BAssign(ty=e.ty, ref=r, value=v), k, hint="asn"
+                    ),
+                ),
+            )
+        if isinstance(e, C.CAscribe):
+            return self.norm(
+                e.expr,
+                lambda a: self.bind(
+                    e.ty, S.BAscribe(ty=e.ty, atom=a, spec=e.spec), k, hint="asc"
+                ),
+            )
+        raise AssertionError(f"unknown Core node {e!r}")
+
+    # ------------------------------------------------------------------
+
+    def norm_lam(self, lam: C.CLam, name_hint: str = "") -> S.BLam:
+        return S.BLam(
+            ty=lam.ty,
+            param=lam.param,
+            param_ty=lam.param_ty,
+            body=self.tail(lam.body),
+            param_spec=lam.param_spec,
+            name_hint=name_hint,
+        )
+
+    def tail(self, e: C.CoreExpr) -> S.Expr:
+        return self.norm(e, lambda a: S.ERet(ty=a.ty, atom=a))
+
+    def bind(
+        self,
+        ty,
+        bind: S.Bind,
+        k: Callable[[S.Atom], S.Expr],
+        hint: str = "t",
+    ) -> S.Expr:
+        name = fresh(hint)
+        body = k(S.AVar(ty=ty, name=name))
+        return S.ELet(ty=body.ty, name=name, bind=bind, body=body)
+
+    def norm_list(
+        self, exprs: List[C.CoreExpr], k: Callable[[List[S.Atom]], S.Expr]
+    ) -> S.Expr:
+        atoms: List[S.Atom] = []
+
+        def go(index: int) -> S.Expr:
+            if index == len(exprs):
+                return k(atoms)
+            return self.norm(
+                exprs[index], lambda a: (atoms.append(a), go(index + 1))[1]
+            )
+
+        return go(0)
+
+    def norm_case(
+        self, e: C.CCase, scrut: S.Atom, k: Callable[[S.Atom], S.Expr]
+    ) -> S.Expr:
+        """Normalize a simple (match-compiled) case."""
+        clauses: List[S.CaseClause] = []
+        default: Optional[S.Expr] = None
+        dt = ""
+        for pat, body in e.clauses:
+            if isinstance(pat, C.CPCon):
+                dt = pat.dt
+                if pat.args:
+                    arg_pat = pat.args[0]
+                    if isinstance(arg_pat, C.CPVar):
+                        binder: Optional[str] = arg_pat.name
+                        binder_ty = arg_pat.ty
+                    elif isinstance(arg_pat, C.CPWild):
+                        binder = fresh("w")
+                        binder_ty = arg_pat.ty
+                    else:
+                        raise LmlCompileError("case not match-compiled")
+                else:
+                    binder = None
+                    binder_ty = None
+                clauses.append(
+                    S.CaseClause(
+                        tag=pat.tag,
+                        binder=binder,
+                        binder_ty=binder_ty,
+                        body=self.tail(body),
+                    )
+                )
+            elif isinstance(pat, C.CPWild):
+                default = self.tail(body)
+            else:
+                raise LmlCompileError(f"case not match-compiled: {pat!r}")
+        case_bind = S.BCase(
+            ty=e.ty, dt=dt, scrut=scrut, clauses=clauses, default=default
+        )
+        return self.bind(e.ty, case_bind, k, hint="case")

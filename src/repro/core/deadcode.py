@@ -1,0 +1,177 @@
+"""Dead-code elimination on SXML.
+
+Removes ``let`` bindings whose variable is unused and whose right-hand side
+is *pure* (cannot write to an observable modifiable, assign a reference, or
+fail).  ``mod`` is pure for this purpose: its internal writes only target
+the freshly allocated modifiable, so dropping an unused one is unobservable.
+Applications are conservatively kept (they may diverge or allocate shared
+state), matching the cautious stance the paper takes around MLton's DCE
+(Section 3.5).
+"""
+
+from __future__ import annotations
+
+from repro.core import sxml as S
+from repro.core.sxmlutil import free_vars
+
+
+_PURE_BINDS = (
+    S.BAtom,
+    S.BPrim,
+    S.BTuple,
+    S.BProj,
+    S.BCon,
+    S.BLam,
+    S.BAscribe,
+    S.BDeref,
+    S.BRef,
+    S.BMod,
+)
+
+
+def _is_pure(b: S.Bind) -> bool:
+    if isinstance(b, S.BPrim) and b.op == "matchfail":
+        return False
+    if isinstance(b, (S.BIf, S.BCase, S.BCaseConst)):
+        return False  # branches may contain impure code; keep it simple
+    if isinstance(b, S.BMod):
+        return not _writes_imperatively(b.body)
+    return isinstance(b, _PURE_BINDS)
+
+
+def _writes_imperatively(e) -> bool:
+    """Does a changeable expression contain an imperative write?
+
+    A ``mod`` whose body updates a pre-existing reference is observable and
+    must not be removed even when its own result is unused.
+    """
+    if isinstance(e, S.CImpWrite):
+        return True
+    if isinstance(e, S.CRead):
+        return _writes_imperatively(e.body)
+    if isinstance(e, S.CLet):
+        if isinstance(e.bind, (S.BAssign,)):
+            return True
+        if isinstance(e.bind, S.BMod) and _writes_imperatively(e.bind.body):
+            return True
+        return _writes_imperatively(e.body)
+    if isinstance(e, S.CLetRec):
+        return _writes_imperatively(e.body)
+    if isinstance(e, S.CIf):
+        return _writes_imperatively(e.then) or _writes_imperatively(e.els)
+    if isinstance(e, S.CCase):
+        return any(_writes_imperatively(c.body) for c in e.clauses) or (
+            e.default is not None and _writes_imperatively(e.default)
+        )
+    if isinstance(e, S.CCaseConst):
+        return any(_writes_imperatively(b) for _v, b in e.arms) or (
+            e.default is not None and _writes_imperatively(e.default)
+        )
+    return False
+
+
+def eliminate_dead_code(expr: S.Expr) -> S.Expr:
+    """Iteratively remove unused pure bindings (to a fixpoint)."""
+    dce = _Dce()
+    result = expr
+    while True:
+        dce.changed = False
+        result = dce.expr(result)
+        if not dce.changed:
+            return result
+
+
+class _Dce:
+    def __init__(self) -> None:
+        self.changed = False
+
+    def expr(self, e: S.Expr) -> S.Expr:
+        if isinstance(e, S.ELet):
+            body = self.expr(e.body)
+            if _is_pure(e.bind) and e.name not in free_vars(body):
+                self.changed = True
+                return body
+            return S.ELet(ty=e.ty, name=e.name, bind=self.bnd(e.bind), body=body)
+        if isinstance(e, S.ELetRec):
+            body = self.expr(e.body)
+            used = free_vars(body)
+            for _n, lam in e.bindings:
+                used |= free_vars(lam)
+            if not any(n in used for n, _ in e.bindings):
+                self.changed = True
+                return body
+            bindings = [(n, self.bnd(l)) for n, l in e.bindings]
+            return S.ELetRec(ty=e.ty, bindings=bindings, body=body)
+        if isinstance(e, S.ERet):
+            return e
+        raise AssertionError(f"unknown expr {e!r}")
+
+    def cexpr(self, e: S.CExpr) -> S.CExpr:
+        if isinstance(e, S.CWrite):
+            return e
+        if isinstance(e, S.CRead):
+            return S.CRead(
+                src=e.src, binder=e.binder, binder_ty=e.binder_ty,
+                body=self.cexpr(e.body),
+            )
+        if isinstance(e, S.CLet):
+            body = self.cexpr(e.body)
+            if _is_pure(e.bind) and e.name not in free_vars(body):
+                self.changed = True
+                return body
+            return S.CLet(name=e.name, bind=self.bnd(e.bind), body=body)
+        if isinstance(e, S.CLetRec):
+            body = self.cexpr(e.body)
+            used = free_vars(body)
+            for _n, lam in e.bindings:
+                used |= free_vars(lam)
+            if not any(n in used for n, _ in e.bindings):
+                self.changed = True
+                return body
+            bindings = [(n, self.bnd(l)) for n, l in e.bindings]
+            return S.CLetRec(bindings=bindings, body=body)
+        if isinstance(e, S.CIf):
+            return S.CIf(cond=e.cond, then=self.cexpr(e.then), els=self.cexpr(e.els))
+        if isinstance(e, S.CCase):
+            clauses = [
+                S.CaseClause(
+                    tag=c.tag, binder=c.binder, binder_ty=c.binder_ty,
+                    body=self.cexpr(c.body),
+                )
+                for c in e.clauses
+            ]
+            default = self.cexpr(e.default) if e.default is not None else None
+            return S.CCase(dt=e.dt, scrut=e.scrut, clauses=clauses, default=default)
+        if isinstance(e, S.CCaseConst):
+            arms = [(v, self.cexpr(b)) for v, b in e.arms]
+            default = self.cexpr(e.default) if e.default is not None else None
+            return S.CCaseConst(scrut=e.scrut, arms=arms, default=default)
+        if isinstance(e, S.CImpWrite):
+            return S.CImpWrite(ref=e.ref, value=e.value, body=self.cexpr(e.body))
+        raise AssertionError(f"unknown cexpr {e!r}")
+
+    def bnd(self, b: S.Bind) -> S.Bind:
+        if isinstance(b, S.BMod):
+            return S.BMod(ty=b.ty, body=self.cexpr(b.body))
+        if isinstance(b, S.BLam):
+            return S.BLam(
+                ty=b.ty, param=b.param, param_ty=b.param_ty, body=self.expr(b.body),
+                param_spec=b.param_spec, name_hint=b.name_hint,
+            )
+        if isinstance(b, S.BIf):
+            return S.BIf(ty=b.ty, cond=b.cond, then=self.expr(b.then), els=self.expr(b.els))
+        if isinstance(b, S.BCase):
+            clauses = [
+                S.CaseClause(
+                    tag=c.tag, binder=c.binder, binder_ty=c.binder_ty,
+                    body=self.expr(c.body),
+                )
+                for c in b.clauses
+            ]
+            default = self.expr(b.default) if b.default is not None else None
+            return S.BCase(ty=b.ty, dt=b.dt, scrut=b.scrut, clauses=clauses, default=default)
+        if isinstance(b, S.BCaseConst):
+            arms = [(v, self.expr(body)) for v, body in b.arms]
+            default = self.expr(b.default) if b.default is not None else None
+            return S.BCaseConst(ty=b.ty, scrut=b.scrut, arms=arms, default=default)
+        return b

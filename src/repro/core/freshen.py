@@ -1,0 +1,122 @@
+"""Uniquification of Core binders.
+
+Monomorphization and A-normalization assume globally unique binder names
+(like MLton's IL invariants).  This pass alpha-renames every Core binder to
+a unique name.  It is also reused to freshen specialized copies during
+monomorphization.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from repro.core import ir as C
+
+_counter = itertools.count()
+
+
+def fresh(base: str) -> str:
+    base = base.split("#")[0]
+    return f"{base}#{next(_counter)}"
+
+
+def uniquify(expr: C.CoreExpr, rename: Optional[Dict[str, str]] = None) -> C.CoreExpr:
+    """Return a copy of ``expr`` with all binders renamed uniquely.
+
+    ``rename`` maps in-scope source names to their unique names.
+    """
+    if rename is None:
+        rename = {}
+    return _go(expr, rename)
+
+
+def _go(e: C.CoreExpr, rn: Dict[str, str]) -> C.CoreExpr:
+    if isinstance(e, C.CVar):
+        return C.CVar(
+            ty=e.ty, name=rn.get(e.name, e.name), inst=e.inst,
+            is_builtin=e.is_builtin, span=e.span,
+        )
+    if isinstance(e, C.CConst):
+        return e
+    if isinstance(e, C.CLam):
+        new_param = fresh(e.param)
+        inner = dict(rn)
+        inner[e.param] = new_param
+        return C.CLam(
+            ty=e.ty, param=new_param, param_ty=e.param_ty,
+            body=_go(e.body, inner), param_spec=e.param_spec, span=e.span,
+        )
+    if isinstance(e, C.CApp):
+        return C.CApp(ty=e.ty, fn=_go(e.fn, rn), arg=_go(e.arg, rn), span=e.span)
+    if isinstance(e, C.CPrim):
+        return C.CPrim(ty=e.ty, op=e.op, args=[_go(a, rn) for a in e.args], span=e.span)
+    if isinstance(e, C.CCon):
+        return C.CCon(
+            ty=e.ty, dt=e.dt, tag=e.tag, args=[_go(a, rn) for a in e.args], span=e.span
+        )
+    if isinstance(e, C.CTuple):
+        return C.CTuple(ty=e.ty, items=[_go(i, rn) for i in e.items], span=e.span)
+    if isinstance(e, C.CProj):
+        return C.CProj(ty=e.ty, index=e.index, arg=_go(e.arg, rn), span=e.span)
+    if isinstance(e, C.CIf):
+        return C.CIf(
+            ty=e.ty, cond=_go(e.cond, rn), then=_go(e.then, rn), els=_go(e.els, rn),
+            span=e.span,
+        )
+    if isinstance(e, C.CCase):
+        clauses = []
+        for pat, body in e.clauses:
+            inner = dict(rn)
+            new_pat = _go_pat(pat, inner)
+            clauses.append((new_pat, _go(body, inner)))
+        return C.CCase(ty=e.ty, scrut=_go(e.scrut, rn), clauses=clauses, span=e.span)
+    if isinstance(e, C.CLet):
+        new_rhs = _go(e.rhs, rn)
+        new_name = fresh(e.name)
+        inner = dict(rn)
+        inner[e.name] = new_name
+        return C.CLet(
+            ty=e.ty, name=new_name, scheme=e.scheme, rhs=new_rhs,
+            body=_go(e.body, inner), span=e.span,
+        )
+    if isinstance(e, C.CLetRec):
+        inner = dict(rn)
+        new_names = {}
+        for name, _scheme, _lam in e.bindings:
+            new_names[name] = fresh(name)
+            inner[name] = new_names[name]
+        bindings = [
+            (new_names[name], scheme, _go(lam, inner))
+            for name, scheme, lam in e.bindings
+        ]
+        return C.CLetRec(ty=e.ty, bindings=bindings, body=_go(e.body, inner), span=e.span)
+    if isinstance(e, C.CRef):
+        return C.CRef(ty=e.ty, arg=_go(e.arg, rn), span=e.span)
+    if isinstance(e, C.CDeref):
+        return C.CDeref(ty=e.ty, arg=_go(e.arg, rn), span=e.span)
+    if isinstance(e, C.CAssign):
+        return C.CAssign(ty=e.ty, ref=_go(e.ref, rn), value=_go(e.value, rn), span=e.span)
+    if isinstance(e, C.CAscribe):
+        return C.CAscribe(ty=e.ty, expr=_go(e.expr, rn), spec=e.spec, span=e.span)
+    raise AssertionError(f"unknown Core node {e!r}")
+
+
+def _go_pat(p: C.CPat, rn: Dict[str, str]) -> C.CPat:
+    """Rename pattern binders, extending ``rn`` in place."""
+    if isinstance(p, (C.CPWild, C.CPConst)):
+        return p
+    if isinstance(p, C.CPVar):
+        new_name = fresh(p.name)
+        rn[p.name] = new_name
+        return C.CPVar(ty=p.ty, name=new_name, span=p.span)
+    if isinstance(p, C.CPTuple):
+        return C.CPTuple(
+            ty=p.ty, items=[_go_pat(i, rn) for i in p.items], span=p.span
+        )
+    if isinstance(p, C.CPCon):
+        return C.CPCon(
+            ty=p.ty, dt=p.dt, tag=p.tag, args=[_go_pat(a, rn) for a in p.args],
+            span=p.span,
+        )
+    raise AssertionError(f"unknown pattern {p!r}")

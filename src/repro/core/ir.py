@@ -1,0 +1,210 @@
+"""Typed Core IR.
+
+Produced by elaboration (:mod:`repro.lang.elaborate`); the input to
+monomorphization, match compilation, and A-normalization.  Every node
+carries its (possibly not-yet-zonked) ML type.
+
+Conventions:
+
+* Functions take exactly one argument (curried source functions elaborate
+  to nested :class:`CLam`).
+* Constructor applications are saturated: :class:`CCon` holds the argument
+  expressions (empty for nullary constructors).
+* ``CVar.inst`` records the instantiation of a polymorphic binding (one
+  type per quantified variable); monomorphization keys on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang.errors import NO_SPAN, SourceSpan
+from repro.lang.levelspec import LSpec
+from repro.lang.types import Scheme, Type
+
+
+@dataclass
+class CoreExpr:
+    ty: Type = None  # type: ignore[assignment]
+    span: SourceSpan = field(default=NO_SPAN, kw_only=True)
+
+
+@dataclass
+class CVar(CoreExpr):
+    name: str = ""
+    inst: Optional[List[Type]] = None  # instantiation of a polymorphic binding
+    is_builtin: bool = False
+
+
+@dataclass
+class CConst(CoreExpr):
+    value: object = None
+    kind: str = "int"
+
+
+@dataclass
+class CLam(CoreExpr):
+    param: str = ""
+    param_ty: Type = None  # type: ignore[assignment]
+    body: Optional[CoreExpr] = None
+    param_spec: Optional[LSpec] = None  # level annotation on the parameter
+
+
+@dataclass
+class CApp(CoreExpr):
+    fn: Optional[CoreExpr] = None
+    arg: Optional[CoreExpr] = None
+
+
+@dataclass
+class CPrim(CoreExpr):
+    op: str = ""
+    args: List[CoreExpr] = field(default_factory=list)
+
+
+@dataclass
+class CCon(CoreExpr):
+    dt: str = ""  # datatype name (monomorphized later)
+    tag: str = ""
+    args: List[CoreExpr] = field(default_factory=list)
+
+
+@dataclass
+class CTuple(CoreExpr):
+    items: List[CoreExpr] = field(default_factory=list)
+
+
+@dataclass
+class CProj(CoreExpr):
+    index: int = 1  # 1-based
+    arg: Optional[CoreExpr] = None
+
+
+@dataclass
+class CIf(CoreExpr):
+    cond: Optional[CoreExpr] = None
+    then: Optional[CoreExpr] = None
+    els: Optional[CoreExpr] = None
+
+
+@dataclass
+class CPat:
+    ty: Type = None  # type: ignore[assignment]
+    span: SourceSpan = NO_SPAN
+
+
+@dataclass
+class CPWild(CPat):
+    pass
+
+
+@dataclass
+class CPVar(CPat):
+    name: str = ""
+
+
+@dataclass
+class CPConst(CPat):
+    value: object = None
+    kind: str = "int"
+
+
+@dataclass
+class CPTuple(CPat):
+    items: List[CPat] = field(default_factory=list)
+
+
+@dataclass
+class CPCon(CPat):
+    dt: str = ""
+    tag: str = ""
+    args: List[CPat] = field(default_factory=list)
+
+
+@dataclass
+class CCase(CoreExpr):
+    scrut: Optional[CoreExpr] = None
+    clauses: List[Tuple[CPat, CoreExpr]] = field(default_factory=list)
+
+
+@dataclass
+class CLet(CoreExpr):
+    name: str = ""
+    scheme: Optional[Scheme] = None  # generalized type of the binding
+    rhs: Optional[CoreExpr] = None
+    body: Optional[CoreExpr] = None
+
+
+@dataclass
+class CLetRec(CoreExpr):
+    # Each binding: (name, scheme, lambda)
+    bindings: List[Tuple[str, Scheme, CoreExpr]] = field(default_factory=list)
+    body: Optional[CoreExpr] = None
+
+
+@dataclass
+class CRef(CoreExpr):
+    arg: Optional[CoreExpr] = None
+
+
+@dataclass
+class CDeref(CoreExpr):
+    arg: Optional[CoreExpr] = None
+
+
+@dataclass
+class CAssign(CoreExpr):
+    ref: Optional[CoreExpr] = None
+    value: Optional[CoreExpr] = None
+
+
+@dataclass
+class CAscribe(CoreExpr):
+    """Carries a level annotation down to level inference."""
+
+    expr: Optional[CoreExpr] = None
+    spec: Optional[LSpec] = None
+
+
+# ----------------------------------------------------------------------
+# Datatype environment
+
+
+@dataclass
+class ConInfo:
+    """One constructor of a datatype."""
+
+    dt: str
+    tag: str
+    index: int
+    arg_ty: Optional[Type]  # None for nullary; may mention the dt's tyvars
+    arg_spec: Optional[LSpec]  # level spec of the field (rigid positions)
+
+
+@dataclass
+class DataInfo:
+    """One (possibly polymorphic, later monomorphized) datatype."""
+
+    name: str
+    tyvars: List[Type]  # TVar placeholders for the parameters
+    constructors: List[ConInfo] = field(default_factory=list)
+
+    def con(self, tag: str) -> ConInfo:
+        for c in self.constructors:
+            if c.tag == tag:
+                return c
+        raise KeyError(tag)
+
+
+@dataclass
+class CoreProgram:
+    """A whole elaborated compilation unit.
+
+    ``body`` is a single Core expression (the declaration chain ending in a
+    reference to ``main``); ``datatypes`` maps datatype names to their info.
+    """
+
+    body: CoreExpr = None  # type: ignore[assignment]
+    datatypes: Dict[str, DataInfo] = field(default_factory=dict)
+    main_type: Type = None  # type: ignore[assignment]

@@ -1,0 +1,492 @@
+"""Level inference on the monomorphic SXML program.
+
+The paper's compiler propagates the surface ``$C`` annotations through every
+MLton phase down to SXML, where the translation consumes them (Section 3.2).
+We implement the same result as a standalone inference pass over SXML,
+following the information-flow discipline of Chen et al. (ICFP 2011) /
+Pottier-Simonet:
+
+* every type position in the program gets a *level variable*;
+* value flow adds equalities (union-find merges);
+* elimination forms add directed ``lower -> upper`` constraints: the result
+  of inspecting changeable data is changeable (``if``/``case`` on a
+  changeable scrutinee, primops over changeable operands, projection from a
+  changeable tuple, application of a changeable function, dereference);
+* ``$C`` annotations seed C; unannotated *datatype-declaration* positions
+  and base positions of builtin signatures are rigidly stable -- changeable
+  data flowing there is a level error directing the programmer to annotate.
+
+Solving is a least fixed point: propagate C through merged groups and along
+edges; everything unreached is stable.  Over-approximation is sound for the
+translation (extra tracking, never missed tracking).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from repro.core import sxml as S
+from repro.core.ir import DataInfo
+from repro.lang.builtins import BUILTIN_SCHEMES
+from repro.lang.errors import LmlLevelError
+from repro.lang.levelspec import LSpec
+from repro.lang.types import (
+    TArrow,
+    TCon,
+    TTuple,
+    TVar,
+    Type,
+    force,
+    mangle,
+    subst_vars,
+)
+
+_ids = itertools.count()
+
+
+class LVar:
+    """A level variable: union-find node with directed flow edges."""
+
+    __slots__ = ("id", "parent", "value", "rigid", "out", "origin")
+
+    def __init__(self, origin: str = "") -> None:
+        self.id = next(_ids)
+        self.parent: Optional["LVar"] = None
+        self.value: Optional[str] = None  # 'C' once known changeable
+        self.rigid = False  # must stay stable
+        self.out: List["LVar"] = []
+        self.origin = origin
+
+    def find(self) -> "LVar":
+        node = self
+        while node.parent is not None:
+            if node.parent.parent is not None:
+                node.parent = node.parent.parent
+            node = node.parent
+        return node
+
+    @property
+    def level(self) -> str:
+        return self.find().value or "S"
+
+
+class LTy:
+    """A level-shadowed type: one level variable per position.
+
+    ``kind`` is 'base', 'tuple', 'arrow', 'vector', 'ref', or 'data'.
+    Datatype positions carry no children (their field levels live in the
+    per-instance tables of :class:`LevelInference`), keyed by ``dtkey``.
+    """
+
+    __slots__ = ("kind", "top", "children", "dtkey")
+
+    def __init__(self, kind: str, top: LVar, children=None, dtkey: str = "") -> None:
+        self.kind = kind
+        self.top = top
+        self.children: List["LTy"] = children or []
+        self.dtkey = dtkey
+
+    @property
+    def level(self) -> str:
+        return self.top.level
+
+    def describe(self) -> str:  # pragma: no cover - debugging aid
+        mark = "$C" if self.level == "C" else ""
+        if self.kind == "tuple":
+            return "(" + " * ".join(c.describe() for c in self.children) + ")" + mark
+        if self.kind == "arrow":
+            return f"({self.children[0].describe()} -> {self.children[1].describe()}){mark}"
+        if self.kind in ("vector", "ref"):
+            return f"({self.children[0].describe()} {self.kind}){mark}"
+        return (self.dtkey or self.kind) + mark
+
+
+class LevelInference:
+    """Inference state: level variables, flow edges, per-datatype tables."""
+
+    def __init__(self, datatypes: Dict[str, DataInfo]) -> None:
+        self.datatypes = datatypes
+        self.var_lty: Dict[str, LTy] = {}
+        self.dt_fields: Dict[str, Dict[str, Optional[LTy]]] = {}
+        self._c_seeds: List[LVar] = []
+        self._atom_cache: Dict[int, LTy] = {}
+
+    # ------------------------------------------------------------------
+    # Constraint primitives
+
+    def fresh(self, origin: str = "") -> LVar:
+        return LVar(origin)
+
+    def set_c(self, v: LVar, origin: str = "") -> None:
+        root = v.find()
+        if root.value != "C":
+            root.value = "C"
+            self._c_seeds.append(root)
+        if origin and not root.origin:
+            root.origin = origin
+
+    def flow(self, lower: LVar, upper: LVar) -> None:
+        """If ``lower`` is changeable then ``upper`` must be."""
+        lo, up = lower.find(), upper.find()
+        if lo is up:
+            return
+        lo.out.append(up)
+
+    def union(self, a: LVar, b: LVar) -> None:
+        ra, rb = a.find(), b.find()
+        if ra is rb:
+            return
+        rb.parent = ra
+        ra.out.extend(rb.out)
+        rb.out = []
+        ra.rigid = ra.rigid or rb.rigid
+        if rb.value == "C":
+            self.set_c(ra)
+        if not ra.origin:
+            ra.origin = rb.origin
+
+    def unify(self, a: LTy, b: LTy) -> None:
+        self.union(a.top, b.top)
+        if a.kind == "data" or b.kind == "data":
+            return  # field levels are shared per-datatype, nothing to do
+        for ca, cb in zip(a.children, b.children):
+            self.unify(ca, cb)
+
+    # ------------------------------------------------------------------
+    # Building level types
+
+    def build_lty(self, ty: Type, origin: str = "") -> LTy:
+        ty = force(ty)
+        top = self.fresh(origin)
+        if isinstance(ty, TVar):  # residual polymorphism (defaults to unit)
+            return LTy("base", top)
+        if isinstance(ty, TTuple):
+            return LTy("tuple", top, [self.build_lty(t, origin) for t in ty.items])
+        if isinstance(ty, TArrow):
+            return LTy(
+                "arrow", top, [self.build_lty(ty.dom, origin), self.build_lty(ty.cod, origin)]
+            )
+        if isinstance(ty, TCon):
+            if ty.name in ("vector", "ref"):
+                return LTy(ty.name, top, [self.build_lty(ty.args[0], origin)])
+            if ty.name in self.datatypes:
+                key = mangle(ty)
+                self._ensure_fields(ty, key)
+                return LTy("data", top, dtkey=key)
+            return LTy("base", top)
+        raise AssertionError(f"unknown type {ty!r}")
+
+    def _ensure_fields(self, ty: TCon, key: str) -> None:
+        """Build the shared field level-types of a datatype instance."""
+        if key in self.dt_fields:
+            return
+        table: Dict[str, Optional[LTy]] = {}
+        self.dt_fields[key] = table
+        info = self.datatypes[ty.name]
+        tmap = {id(tv): arg for tv, arg in zip(info.tyvars, ty.args)}
+        for con in info.constructors:
+            if con.arg_ty is None:
+                table[con.tag] = None
+                continue
+            field_ty = subst_vars(con.arg_ty, tmap)
+            flty = self.build_lty(field_ty, origin=f"field of {con.tag}")
+            if con.arg_spec is not None:
+                self.constrain_spec(flty, con.arg_spec, f"datatype {ty.name}")
+            table[con.tag] = flty
+
+    def fields_of(self, ty: Type) -> Dict[str, Optional[LTy]]:
+        ty = force(ty)
+        assert isinstance(ty, TCon)
+        key = mangle(ty)
+        self._ensure_fields(ty, key)
+        return self.dt_fields[key]
+
+    # ------------------------------------------------------------------
+    # Annotations
+
+    def constrain_spec(self, lty: LTy, spec: LSpec, where: str) -> None:
+        """Apply a level annotation to a level type."""
+        if spec.kind == "flex":
+            return
+        if spec.level == "C":
+            self.set_c(lty.top, where)
+        elif spec.level == "S" and spec.rigid:
+            lty.top.find().rigid = True
+            if not lty.top.find().origin:
+                lty.top.find().origin = where
+        if lty.kind == "data":
+            # Parameter-position annotations on datatypes are not supported
+            # (annotate in the datatype declaration instead); children of
+            # the spec would refer to instantiation parameters.
+            return
+        for clty, cspec in zip(lty.children, spec.children):
+            self.constrain_spec(clty, cspec, where)
+
+    # ------------------------------------------------------------------
+    # Builtin signatures
+
+    def builtin_lty(self, name: str, use_ty: Type) -> LTy:
+        """Level type for one use of a builtin, from its scheme.
+
+        Scheme type variables share a level type per occurrence (e.g. all
+        three ``'a`` positions of ``vreduce``); concrete scheme positions
+        (vector spines, indices, the function arrows themselves) are rigidly
+        stable.
+        """
+        scheme = BUILTIN_SCHEMES[name]
+        qmap: Dict[int, LTy] = {}
+
+        def go(sty: Type, gty: Type) -> LTy:
+            sty = force(sty)
+            gty = force(gty)
+            if isinstance(sty, TVar):
+                if id(sty) not in qmap:
+                    qmap[id(sty)] = self.build_lty(gty, origin=f"use of {name}")
+                return qmap[id(sty)]
+            top = self.fresh(f"signature of {name}")
+            top.rigid = True
+            if isinstance(sty, TTuple):
+                assert isinstance(gty, TTuple)
+                return LTy(
+                    "tuple", top, [go(s, g) for s, g in zip(sty.items, gty.items)]
+                )
+            if isinstance(sty, TArrow):
+                assert isinstance(gty, TArrow)
+                return LTy("arrow", top, [go(sty.dom, gty.dom), go(sty.cod, gty.cod)])
+            if isinstance(sty, TCon):
+                if sty.name == "vector":
+                    assert isinstance(gty, TCon)
+                    return LTy("vector", top, [go(sty.args[0], gty.args[0])])
+                return LTy("base", top)
+            raise AssertionError(f"unknown scheme type {sty!r}")
+
+        return go(scheme.body, use_ty)
+
+    # ------------------------------------------------------------------
+    # Solving
+
+    def solve(self) -> None:
+        """Propagate changeability; raise on rigid violations."""
+        seen = set()
+        stack = [v.find() for v in self._c_seeds]
+        while stack:
+            root = stack.pop().find()
+            if id(root) in seen:
+                continue
+            seen.add(id(root))
+            root.value = "C"
+            if root.rigid:
+                where = root.origin or "a stable position"
+                raise LmlLevelError(
+                    "changeable data flows into a rigidly stable position "
+                    f"({where}); add a $C annotation to the type declaration"
+                )
+            for succ in root.out:
+                succ_root = succ.find()
+                if succ_root.value != "C":
+                    stack.append(succ_root)
+                elif id(succ_root) not in seen:
+                    stack.append(succ_root)
+
+
+class LevelInfo:
+    """The result of level inference, consumed by the translation."""
+
+    def __init__(self, inference: LevelInference, main_lty: LTy) -> None:
+        self._inf = inference
+        self.main_lty = main_lty
+
+    def lty(self, name: str) -> LTy:
+        return self._inf.var_lty[name]
+
+    def has(self, name: str) -> bool:
+        return name in self._inf.var_lty
+
+    def level_of(self, name: str) -> str:
+        return self._inf.var_lty[name].level
+
+    def fields_of(self, ty: Type) -> Dict[str, Optional[LTy]]:
+        return self._inf.fields_of(ty)
+
+
+def infer_levels(
+    expr: S.Expr,
+    datatypes: Dict[str, DataInfo],
+    main_name: Optional[str] = None,
+) -> LevelInfo:
+    """Run level inference over an SXML program and solve.
+
+    Returns a :class:`LevelInfo` whose ``main_lty`` is the level type of the
+    program's result atom.
+    """
+    inf = LevelInference(datatypes)
+    walker = _Walker(inf)
+    main_lty = walker.expr(expr)
+    inf.solve()
+    return LevelInfo(inf, main_lty)
+
+
+class _Walker:
+    def __init__(self, inf: LevelInference) -> None:
+        self.inf = inf
+
+    # -- atoms ----------------------------------------------------------
+
+    def atom(self, a: S.Atom) -> LTy:
+        inf = self.inf
+        if isinstance(a, S.AVar):
+            if a.is_builtin:
+                cached = inf._atom_cache.get(id(a))
+                if cached is None:
+                    cached = inf.builtin_lty(a.name, a.ty)
+                    inf._atom_cache[id(a)] = cached
+                return cached
+            return inf.var_lty[a.name]
+        cached = inf._atom_cache.get(id(a))
+        if cached is None:
+            cached = inf.build_lty(a.ty, origin="constant")
+            inf._atom_cache[id(a)] = cached
+        return cached
+
+    # -- expressions -----------------------------------------------------
+
+    def expr(self, e: S.Expr) -> LTy:
+        inf = self.inf
+        while True:
+            if isinstance(e, S.ELet):
+                inf.var_lty[e.name] = self.bind(e.bind)
+                e = e.body
+            elif isinstance(e, S.ELetRec):
+                for name, lam in e.bindings:
+                    inf.var_lty[name] = inf.build_lty(lam.ty, origin=name)
+                for name, lam in e.bindings:
+                    inf.unify(self.bind(lam), inf.var_lty[name])
+                e = e.body
+            elif isinstance(e, S.ERet):
+                return self.atom(e.atom)
+            else:
+                raise AssertionError(f"unknown expr {e!r}")
+
+    # -- binds -------------------------------------------------------------
+
+    def bind(self, b: S.Bind) -> LTy:
+        inf = self.inf
+        if isinstance(b, S.BAtom):
+            return self.atom(b.atom)
+        if isinstance(b, S.BPrim):
+            result = inf.build_lty(b.ty, origin=f"result of {b.op}")
+            for a in b.args:
+                inf.flow(self.atom(a).top, result.top)
+            return result
+        if isinstance(b, S.BApp):
+            f = self.atom(b.fn)
+            a = self.atom(b.arg)
+            assert f.kind == "arrow", f"application of non-arrow {f.kind}"
+            inf.unify(f.children[0], a)
+            inf.flow(f.top, f.children[1].top)
+            return f.children[1]
+        if isinstance(b, S.BTuple):
+            return LTy("tuple", inf.fresh("tuple"), [self.atom(a) for a in b.items])
+        if isinstance(b, S.BProj):
+            t = self.atom(b.arg)
+            assert t.kind == "tuple"
+            result = t.children[b.index - 1]
+            inf.flow(t.top, result.top)
+            return result
+        if isinstance(b, S.BCon):
+            fields = inf.fields_of(b.ty)
+            if b.args:
+                field = fields[b.tag]
+                assert field is not None
+                inf.unify(self.atom(b.args[0]), field)
+            return inf.build_lty(b.ty, origin=f"value of {b.tag}")
+        if isinstance(b, S.BLam):
+            dom = inf.build_lty(b.param_ty, origin=f"parameter {b.param}")
+            if b.param_spec is not None:
+                inf.constrain_spec(dom, b.param_spec, f"parameter {b.param}")
+            inf.var_lty[b.param] = dom
+            cod = self.expr(b.body)
+            return LTy("arrow", inf.fresh("lambda"), [dom, cod])
+        if isinstance(b, S.BIf):
+            c = self.atom(b.cond)
+            t1 = self.expr(b.then)
+            t2 = self.expr(b.els)
+            inf.unify(t1, t2)
+            inf.flow(c.top, t1.top)
+            return t1
+        if isinstance(b, S.BCase):
+            s = self.atom(b.scrut)
+            fields = inf.fields_of(b.scrut.ty)
+            result: Optional[LTy] = None
+            for clause in b.clauses:
+                if clause.binder is not None:
+                    field = fields[clause.tag]
+                    assert field is not None
+                    inf.var_lty[clause.binder] = field
+                bt = self.expr(clause.body)
+                if result is None:
+                    result = bt
+                else:
+                    inf.unify(result, bt)
+            if b.default is not None:
+                bt = self.expr(b.default)
+                if result is None:
+                    result = bt
+                else:
+                    inf.unify(result, bt)
+            assert result is not None
+            inf.flow(s.top, result.top)
+            return result
+        if isinstance(b, S.BCaseConst):
+            s = self.atom(b.scrut)
+            result: Optional[LTy] = None
+            for _v, body in b.arms:
+                bt = self.expr(body)
+                result = bt if result is None else (inf.unify(result, bt), result)[1]
+            if b.default is not None:
+                bt = self.expr(b.default)
+                result = bt if result is None else (inf.unify(result, bt), result)[1]
+            assert result is not None
+            inf.flow(s.top, result.top)
+            return result
+        if isinstance(b, S.BRef):
+            # Paper Figure 4: (ref x) : t ref $C.  The *cell* is the
+            # changeable thing; its content type t stays stable at the top
+            # (store a stable value; nested changeable components are fine).
+            inner = self.atom(b.arg)
+            inner.top.find().rigid = True
+            if not inner.top.find().origin:
+                inner.top.find().origin = "reference content"
+            top = inf.fresh("ref")
+            inf.set_c(top, "ref allocation")
+            return LTy("ref", top, [inner])
+        if isinstance(b, S.BDeref):
+            # !x is changeable data: same shape as the content, but the
+            # value as a whole lives in the cell's modifiable.
+            t = self.atom(b.arg)
+            assert t.kind == "ref"
+            inner = t.children[0]
+            top = inf.fresh("deref")
+            inf.set_c(top, "dereference")
+            return LTy(inner.kind, top, inner.children, inner.dtkey)
+        if isinstance(b, S.BAssign):
+            # The stored content is the raw value (a changeable right-hand
+            # side is read first; the translation unboxes it), so only the
+            # structure *below* the top must agree with the cell's content.
+            t = self.atom(b.ref)
+            assert t.kind == "ref"
+            inner = t.children[0]
+            v = self.atom(b.value)
+            for ci, cv in zip(inner.children, v.children):
+                inf.unify(ci, cv)
+            result = inf.build_lty(b.ty, origin="assignment")
+            inf.flow(v.top, result.top)
+            return result
+        if isinstance(b, S.BAscribe):
+            t = self.atom(b.atom)
+            inf.constrain_spec(t, b.spec, "annotation")
+            return t
+        if isinstance(b, S.BMatchFail):
+            return inf.build_lty(b.ty, origin="match failure")
+        raise AssertionError(f"unknown bind {b!r}")

@@ -1,0 +1,330 @@
+"""Pattern-match compilation.
+
+Lowers Core ``case`` expressions with nested patterns into *simple* cases:
+
+* datatype cases whose clauses are ``Tag x => e`` / ``Tag => e`` plus an
+  optional wildcard default;
+* constant cases over base types;
+* irrefutable tuple bindings, which become projections.
+
+The algorithm is the classic first-column specialization over a clause
+matrix.  Right-hand sides may be duplicated when clauses overlap across
+constructors; benchmark-scale programs keep this harmless (DESIGN.md
+Section 6 records the trade-off).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core import ir as C
+from repro.core.freshen import fresh
+from repro.lang.errors import LmlCompileError
+from repro.lang.types import TCon, Type, force
+
+
+def compile_matches(program: C.CoreProgram) -> C.CoreProgram:
+    """Rewrite all nested-pattern cases in ``program`` into simple cases."""
+    mc = _MatchComp(program.datatypes)
+    return C.CoreProgram(
+        body=mc.go(program.body),
+        datatypes=program.datatypes,
+        main_type=program.main_type,
+    )
+
+
+def _is_var_pat(p: C.CPat) -> bool:
+    return isinstance(p, (C.CPVar, C.CPWild))
+
+
+class _MatchComp:
+    def __init__(self, datatypes) -> None:
+        self.datatypes = datatypes
+
+    # -- generic traversal -------------------------------------------------
+
+    def go(self, e: C.CoreExpr) -> C.CoreExpr:
+        if isinstance(e, (C.CVar, C.CConst)):
+            return e
+        if isinstance(e, C.CLam):
+            return C.CLam(
+                ty=e.ty, param=e.param, param_ty=e.param_ty, body=self.go(e.body),
+                param_spec=e.param_spec, span=e.span,
+            )
+        if isinstance(e, C.CApp):
+            return C.CApp(ty=e.ty, fn=self.go(e.fn), arg=self.go(e.arg), span=e.span)
+        if isinstance(e, C.CPrim):
+            return C.CPrim(ty=e.ty, op=e.op, args=[self.go(a) for a in e.args], span=e.span)
+        if isinstance(e, C.CCon):
+            return C.CCon(ty=e.ty, dt=e.dt, tag=e.tag, args=[self.go(a) for a in e.args], span=e.span)
+        if isinstance(e, C.CTuple):
+            return C.CTuple(ty=e.ty, items=[self.go(i) for i in e.items], span=e.span)
+        if isinstance(e, C.CProj):
+            return C.CProj(ty=e.ty, index=e.index, arg=self.go(e.arg), span=e.span)
+        if isinstance(e, C.CIf):
+            return C.CIf(ty=e.ty, cond=self.go(e.cond), then=self.go(e.then), els=self.go(e.els), span=e.span)
+        if isinstance(e, C.CLet):
+            return C.CLet(ty=e.ty, name=e.name, scheme=e.scheme, rhs=self.go(e.rhs), body=self.go(e.body), span=e.span)
+        if isinstance(e, C.CLetRec):
+            bindings = [(n, s, self.go(l)) for n, s, l in e.bindings]
+            return C.CLetRec(ty=e.ty, bindings=bindings, body=self.go(e.body), span=e.span)
+        if isinstance(e, C.CRef):
+            return C.CRef(ty=e.ty, arg=self.go(e.arg), span=e.span)
+        if isinstance(e, C.CDeref):
+            return C.CDeref(ty=e.ty, arg=self.go(e.arg), span=e.span)
+        if isinstance(e, C.CAssign):
+            return C.CAssign(ty=e.ty, ref=self.go(e.ref), value=self.go(e.value), span=e.span)
+        if isinstance(e, C.CAscribe):
+            return C.CAscribe(ty=e.ty, expr=self.go(e.expr), spec=e.spec, span=e.span)
+        if isinstance(e, C.CCase):
+            scrut = self.go(e.scrut)
+            clauses = [(pat, self.go(body)) for pat, body in e.clauses]
+            return self.compile_case(scrut, clauses, e.ty)
+        raise AssertionError(f"unknown Core node {e!r}")
+
+    # -- match compilation --------------------------------------------------
+
+    def compile_case(
+        self,
+        scrut: C.CoreExpr,
+        clauses: List[Tuple[C.CPat, C.CoreExpr]],
+        result_ty: Type,
+    ) -> C.CoreExpr:
+        """Compile one source case into simple cases."""
+        # Name the scrutinee so the matrix works over variables.
+        if isinstance(scrut, C.CVar):
+            var = scrut
+            wrap = lambda body: body  # noqa: E731
+        else:
+            name = fresh("scrut")
+            var = C.CVar(ty=scrut.ty, name=name)
+            wrap = lambda body: C.CLet(  # noqa: E731
+                ty=body.ty, name=name, scheme=None, rhs=scrut, body=body
+            )
+        rows = [([pat], body) for pat, body in clauses]
+        compiled = self.match([var], rows, result_ty)
+        return wrap(compiled)
+
+    def match(
+        self,
+        scruts: List[C.CoreExpr],
+        rows: List[Tuple[List[C.CPat], C.CoreExpr]],
+        result_ty: Type,
+    ) -> C.CoreExpr:
+        if not rows:
+            return C.CPrim(ty=result_ty, op="matchfail", args=[])
+        first_pats, first_body = rows[0]
+        # All patterns in the first row are variables: bind and done.
+        if all(_is_var_pat(p) for p in first_pats):
+            body = first_body
+            for pat, scrut in zip(first_pats, scruts):
+                if isinstance(pat, C.CPVar):
+                    body = C.CLet(
+                        ty=body.ty, name=pat.name, scheme=None, rhs=scrut, body=body
+                    )
+            return body
+        # Pick the first column with a non-variable pattern.
+        col = next(
+            i for i, p in enumerate(first_pats) if not _is_var_pat(p)
+        )
+        scrut = scruts[col]
+        head = first_pats[col]
+        if isinstance(head, C.CPTuple):
+            return self.match_tuple(scruts, rows, col, result_ty)
+        if isinstance(head, C.CPCon):
+            return self.match_con(scruts, rows, col, result_ty)
+        if isinstance(head, C.CPConst):
+            return self.match_const(scruts, rows, col, result_ty)
+        raise AssertionError(f"unknown pattern {head!r}")
+
+    def match_tuple(self, scruts, rows, col, result_ty) -> C.CoreExpr:
+        """Expand a tuple column into one column per component."""
+        scrut = scruts[col]
+        tup_ty = force(scrut.ty)
+        arity = len(tup_ty.items)  # type: ignore[attr-defined]
+        comp_names = [fresh("f") for _ in range(arity)]
+        comp_vars = [
+            C.CVar(ty=tup_ty.items[i], name=comp_names[i]) for i in range(arity)
+        ]
+        new_scruts = scruts[:col] + comp_vars + scruts[col + 1 :]
+        new_rows = []
+        for pats, body in rows:
+            p = pats[col]
+            if isinstance(p, C.CPTuple):
+                sub = p.items
+            elif isinstance(p, C.CPVar):
+                # Rebind the variable to the tuple itself; components wild.
+                body = C.CLet(ty=body.ty, name=p.name, scheme=None, rhs=scrut, body=body)
+                sub = [C.CPWild(ty=t) for t in tup_ty.items]  # type: ignore[attr-defined]
+            elif isinstance(p, C.CPWild):
+                sub = [C.CPWild(ty=t) for t in tup_ty.items]  # type: ignore[attr-defined]
+            else:
+                raise LmlCompileError("tuple pattern against non-tuple")
+            new_rows.append((pats[:col] + list(sub) + pats[col + 1 :], body))
+        inner = self.match(new_scruts, new_rows, result_ty)
+        for i in reversed(range(arity)):
+            inner = C.CLet(
+                ty=inner.ty,
+                name=comp_names[i],
+                scheme=None,
+                rhs=C.CProj(ty=tup_ty.items[i], index=i + 1, arg=scrut),  # type: ignore[attr-defined]
+                body=inner,
+            )
+        return inner
+
+    def match_con(self, scruts, rows, col, result_ty) -> C.CoreExpr:
+        scrut = scruts[col]
+        scrut_ty = force(scrut.ty)
+        assert isinstance(scrut_ty, TCon)
+        info = self.datatypes[scrut_ty.name]
+        from repro.lang.types import subst_vars
+
+        tmap = {id(tv): arg for tv, arg in zip(info.tyvars, scrut_ty.args)}
+
+        # Which constructors appear in this column?
+        seen_tags = []
+        for pats, _body in rows:
+            p = pats[col]
+            if isinstance(p, C.CPCon) and p.tag not in seen_tags:
+                seen_tags.append(p.tag)
+        has_default_rows = any(_is_var_pat(pats[col]) for pats, _ in rows)
+        exhaustive = len(seen_tags) == len(info.constructors)
+
+        clauses = []
+        for tag in seen_tags:
+            con = info.con(tag)
+            field_ty = (
+                subst_vars(con.arg_ty, tmap) if con.arg_ty is not None else None
+            )
+            if field_ty is not None:
+                binder = fresh("arg")
+                binder_var = C.CVar(ty=field_ty, name=binder)
+                sub_scruts = scruts[:col] + [binder_var] + scruts[col + 1 :]
+            else:
+                binder = None
+                sub_scruts = scruts[:col] + [scrut] + scruts[col + 1 :]
+            sub_rows = []
+            for pats, body in rows:
+                p = pats[col]
+                if isinstance(p, C.CPCon):
+                    if p.tag != tag:
+                        continue
+                    sub_pat = (
+                        p.args[0]
+                        if p.args
+                        else C.CPWild(ty=scrut_ty)
+                    )
+                    sub_rows.append((pats[:col] + [sub_pat] + pats[col + 1 :], body))
+                else:  # var/wild row applies to every constructor
+                    if isinstance(p, C.CPVar):
+                        body = C.CLet(
+                            ty=body.ty, name=p.name, scheme=None, rhs=scrut, body=body
+                        )
+                    filler_ty = field_ty if field_ty is not None else scrut_ty
+                    sub_rows.append(
+                        (pats[:col] + [C.CPWild(ty=filler_ty)] + pats[col + 1 :], body)
+                    )
+            sub = self.match(sub_scruts, sub_rows, result_ty)
+            pat_args = (
+                [C.CPVar(ty=field_ty, name=binder)] if binder is not None else []
+            )
+            clauses.append(
+                (C.CPCon(ty=scrut_ty, dt=info.name, tag=tag, args=pat_args), sub)
+            )
+
+        default: Optional[C.CoreExpr] = None
+        if not exhaustive:
+            default_rows = []
+            for pats, body in rows:
+                p = pats[col]
+                if _is_var_pat(p):
+                    if isinstance(p, C.CPVar):
+                        body = C.CLet(
+                            ty=body.ty, name=p.name, scheme=None, rhs=scrut, body=body
+                        )
+                    default_rows.append(
+                        (pats[:col] + [C.CPWild(ty=scrut_ty)] + pats[col + 1 :], body)
+                    )
+            if default_rows:
+                default = self.match(scruts, default_rows, result_ty)
+            else:
+                default = C.CPrim(ty=result_ty, op="matchfail", args=[])
+        elif has_default_rows:
+            # Exhaustive via constructors; var rows already distributed.
+            pass
+
+        case_clauses = list(clauses)
+        if default is not None:
+            case_clauses.append((C.CPWild(ty=scrut_ty), default))
+        return C.CCase(ty=result_ty, scrut=scrut, clauses=case_clauses)
+
+    def match_const(self, scruts, rows, col, result_ty) -> C.CoreExpr:
+        scrut = scruts[col]
+        values = []
+        for pats, _body in rows:
+            p = pats[col]
+            if isinstance(p, C.CPConst) and p.value not in values:
+                values.append(p.value)
+        # Build nested simple constant-cases: value arms plus default.
+        arms = []
+        for value in values:
+            sub_rows = []
+            for pats, body in rows:
+                p = pats[col]
+                if isinstance(p, C.CPConst):
+                    if p.value == value and type(p.value) is type(value):
+                        sub_rows.append(
+                            (pats[:col] + [C.CPWild(ty=p.ty)] + pats[col + 1 :], body)
+                        )
+                else:
+                    if isinstance(p, C.CPVar):
+                        body = C.CLet(
+                            ty=body.ty, name=p.name, scheme=None, rhs=scrut, body=body
+                        )
+                    sub_rows.append(
+                        (pats[:col] + [C.CPWild(ty=p.ty)] + pats[col + 1 :], body)
+                    )
+            arms.append((value, self.match(scruts, sub_rows, result_ty)))
+        default_rows = []
+        for pats, body in rows:
+            p = pats[col]
+            if _is_var_pat(p):
+                if isinstance(p, C.CPVar):
+                    body = C.CLet(
+                        ty=body.ty, name=p.name, scheme=None, rhs=scrut, body=body
+                    )
+                default_rows.append(
+                    (pats[:col] + [C.CPWild(ty=scrut.ty)] + pats[col + 1 :], body)
+                )
+        if default_rows:
+            default = self.match(scruts, default_rows, result_ty)
+        else:
+            default = C.CPrim(ty=result_ty, op="matchfail", args=[])
+        # Represent as a chain of equality tests (simple, and keeps the
+        # simple-case IR free of constant dispatch nodes).
+        result = default
+        from repro.lang.types import BOOL
+
+        for value, arm in reversed(arms):
+            kind = _const_kind(value)
+            cond = C.CPrim(
+                ty=BOOL,
+                op="=",
+                args=[scrut, C.CConst(ty=scrut.ty, value=value, kind=kind)],
+            )
+            result = C.CIf(ty=result_ty, cond=cond, then=arm, els=result)
+        return result
+
+
+def _const_kind(value) -> str:
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "real"
+    if isinstance(value, str):
+        return "string"
+    if value == ():
+        return "unit"
+    raise AssertionError(f"unknown constant {value!r}")

@@ -1,0 +1,244 @@
+"""Monomorphization.
+
+The paper's translation algorithm "expects, and produces, monomorphic code
+in A-normal form" (Section 3.3); MLton's pipeline provides this via its
+monomorphisation pass.  This module is our equivalent: it specializes every
+polymorphic top-level binding per ground instantiation, keyed by the
+instantiation types recorded at each use site during elaboration.
+
+After this pass every type in the program is ground (residual unconstrained
+type variables default to ``unit``), so the downstream passes (match
+compilation, A-normalization, level inference, translation) never see a
+type variable.
+
+Polymorphic *datatypes* need no renaming: constructor tags identify the
+clause regardless of instantiation, and level inference keys its per-
+datatype field tables by the mangled ground instance type.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import ir as C
+from repro.core.freshen import fresh
+from repro.lang.types import (
+    TVar,
+    Type,
+    UNIT,
+    force,
+    mangle,
+    subst_vars,
+    zonk,
+)
+
+
+def monomorphize(program: C.CoreProgram) -> C.CoreProgram:
+    """Specialize all polymorphic bindings; returns a ground program."""
+    mono = _Mono()
+    body = mono.go(program.body, {}, {})
+    return C.CoreProgram(
+        body=body,
+        datatypes=program.datatypes,
+        main_type=_ground(program.main_type, {}),
+    )
+
+
+def _ground(ty: Type, tmap: Dict[int, Type]) -> Type:
+    """Zonk, substitute, and default residual variables to unit."""
+    ty = zonk(subst_vars(zonk(ty), tmap))
+    return _default_tvars(ty)
+
+
+def _default_tvars(ty: Type) -> Type:
+    from repro.lang.types import TArrow, TCon, TTuple
+
+    ty = force(ty)
+    if isinstance(ty, TVar):
+        return UNIT
+    if isinstance(ty, TCon):
+        if not ty.args:
+            return ty
+        return TCon(ty.name, [_default_tvars(a) for a in ty.args])
+    if isinstance(ty, TTuple):
+        return TTuple([_default_tvars(t) for t in ty.items])
+    if isinstance(ty, TArrow):
+        return TArrow(_default_tvars(ty.dom), _default_tvars(ty.cod))
+    raise AssertionError(f"unknown type {ty!r}")
+
+
+class _Mono:
+    def __init__(self) -> None:
+        # original binding name -> {mangled key: instantiation types}
+        self.requests: Dict[str, Dict[str, List[Type]]] = {}
+
+    # ------------------------------------------------------------------
+
+    def go(self, e: C.CoreExpr, tmap: Dict[int, Type], rn: Dict[str, str]) -> C.CoreExpr:
+        """Copy ``e`` with types grounded by ``tmap``, binders freshened by
+        ``rn``, and polymorphic bindings specialized."""
+        ty = _ground(e.ty, tmap)
+
+        if isinstance(e, C.CVar):
+            if e.is_builtin:
+                return C.CVar(ty=ty, name=e.name, inst=None, is_builtin=True, span=e.span)
+            if e.inst is not None:
+                inst_tys = [_ground(t, tmap) for t in e.inst]
+                key = ",".join(mangle(t) for t in inst_tys)
+                self.requests.setdefault(e.name, {})[key] = inst_tys
+                return C.CVar(ty=ty, name=_spec_name(e.name, key), span=e.span)
+            return C.CVar(ty=ty, name=rn.get(e.name, e.name), span=e.span)
+
+        if isinstance(e, C.CConst):
+            return C.CConst(ty=ty, value=e.value, kind=e.kind, span=e.span)
+
+        if isinstance(e, C.CLam):
+            new_param = fresh(e.param)
+            inner = dict(rn)
+            inner[e.param] = new_param
+            return C.CLam(
+                ty=ty,
+                param=new_param,
+                param_ty=_ground(e.param_ty, tmap),
+                body=self.go(e.body, tmap, inner),
+                param_spec=e.param_spec,
+                span=e.span,
+            )
+
+        if isinstance(e, C.CApp):
+            return C.CApp(
+                ty=ty, fn=self.go(e.fn, tmap, rn), arg=self.go(e.arg, tmap, rn),
+                span=e.span,
+            )
+        if isinstance(e, C.CPrim):
+            return C.CPrim(
+                ty=ty, op=e.op, args=[self.go(a, tmap, rn) for a in e.args], span=e.span
+            )
+        if isinstance(e, C.CCon):
+            return C.CCon(
+                ty=ty, dt=e.dt, tag=e.tag,
+                args=[self.go(a, tmap, rn) for a in e.args], span=e.span,
+            )
+        if isinstance(e, C.CTuple):
+            return C.CTuple(ty=ty, items=[self.go(i, tmap, rn) for i in e.items], span=e.span)
+        if isinstance(e, C.CProj):
+            return C.CProj(ty=ty, index=e.index, arg=self.go(e.arg, tmap, rn), span=e.span)
+        if isinstance(e, C.CIf):
+            return C.CIf(
+                ty=ty, cond=self.go(e.cond, tmap, rn),
+                then=self.go(e.then, tmap, rn), els=self.go(e.els, tmap, rn),
+                span=e.span,
+            )
+        if isinstance(e, C.CCase):
+            clauses = []
+            for pat, body in e.clauses:
+                inner = dict(rn)
+                new_pat = self.go_pat(pat, tmap, inner)
+                clauses.append((new_pat, self.go(body, tmap, inner)))
+            return C.CCase(
+                ty=ty, scrut=self.go(e.scrut, tmap, rn), clauses=clauses, span=e.span
+            )
+        if isinstance(e, C.CRef):
+            return C.CRef(ty=ty, arg=self.go(e.arg, tmap, rn), span=e.span)
+        if isinstance(e, C.CDeref):
+            return C.CDeref(ty=ty, arg=self.go(e.arg, tmap, rn), span=e.span)
+        if isinstance(e, C.CAssign):
+            return C.CAssign(
+                ty=ty, ref=self.go(e.ref, tmap, rn), value=self.go(e.value, tmap, rn),
+                span=e.span,
+            )
+        if isinstance(e, C.CAscribe):
+            return C.CAscribe(ty=ty, expr=self.go(e.expr, tmap, rn), spec=e.spec, span=e.span)
+
+        if isinstance(e, C.CLet):
+            if e.scheme is not None and e.scheme.qvars:
+                return self.specialize_let(e, tmap, rn, ty)
+            new_rhs = self.go(e.rhs, tmap, rn)
+            new_name = fresh(e.name)
+            inner = dict(rn)
+            inner[e.name] = new_name
+            return C.CLet(
+                ty=ty, name=new_name, scheme=None, rhs=new_rhs,
+                body=self.go(e.body, tmap, inner), span=e.span,
+            )
+
+        if isinstance(e, C.CLetRec):
+            qvars = e.bindings[0][1].qvars if e.bindings else []
+            if qvars:
+                return self.specialize_letrec(e, tmap, rn, ty)
+            inner = dict(rn)
+            new_names = {name: fresh(name) for name, _s, _l in e.bindings}
+            inner.update(new_names)
+            bindings = [
+                (new_names[name], None, self.go(lam, tmap, inner))
+                for name, _scheme, lam in e.bindings
+            ]
+            return C.CLetRec(ty=ty, bindings=bindings, body=self.go(e.body, tmap, inner), span=e.span)
+
+        raise AssertionError(f"unknown Core node {e!r}")
+
+    # ------------------------------------------------------------------
+
+    def specialize_let(
+        self, e: C.CLet, tmap: Dict[int, Type], rn: Dict[str, str], ty: Type
+    ) -> C.CoreExpr:
+        result = self.go(e.body, tmap, rn)
+        requests = self.requests.pop(e.name, {})
+        for key, inst_tys in requests.items():
+            tmap2 = dict(tmap)
+            for qv, t in zip(e.scheme.qvars, inst_tys):
+                tmap2[id(qv)] = t
+            rhs = self.go(e.rhs, tmap2, rn)
+            result = C.CLet(
+                ty=result.ty, name=_spec_name(e.name, key), scheme=None,
+                rhs=rhs, body=result, span=e.span,
+            )
+        return result
+
+    def specialize_letrec(
+        self, e: C.CLetRec, tmap: Dict[int, Type], rn: Dict[str, str], ty: Type
+    ) -> C.CoreExpr:
+        result = self.go(e.body, tmap, rn)
+        qvars = e.bindings[0][1].qvars
+        # Union of requests for all group members.
+        merged: Dict[str, List[Type]] = {}
+        for name, _scheme, _lam in e.bindings:
+            merged.update(self.requests.pop(name, {}))
+        for key, inst_tys in merged.items():
+            tmap2 = dict(tmap)
+            for qv, t in zip(qvars, inst_tys):
+                tmap2[id(qv)] = t
+            inner = dict(rn)
+            for name, _scheme, _lam in e.bindings:
+                inner[name] = _spec_name(name, key)
+            bindings = [
+                (_spec_name(name, key), None, self.go(lam, tmap2, inner))
+                for name, _scheme, lam in e.bindings
+            ]
+            result = C.CLetRec(ty=result.ty, bindings=bindings, body=result, span=e.span)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def go_pat(self, p: C.CPat, tmap: Dict[int, Type], rn: Dict[str, str]) -> C.CPat:
+        ty = _ground(p.ty, tmap)
+        if isinstance(p, C.CPWild):
+            return C.CPWild(ty=ty, span=p.span)
+        if isinstance(p, C.CPConst):
+            return C.CPConst(ty=ty, value=p.value, kind=p.kind, span=p.span)
+        if isinstance(p, C.CPVar):
+            new_name = fresh(p.name)
+            rn[p.name] = new_name
+            return C.CPVar(ty=ty, name=new_name, span=p.span)
+        if isinstance(p, C.CPTuple):
+            return C.CPTuple(ty=ty, items=[self.go_pat(i, tmap, rn) for i in p.items], span=p.span)
+        if isinstance(p, C.CPCon):
+            return C.CPCon(
+                ty=ty, dt=p.dt, tag=p.tag,
+                args=[self.go_pat(a, tmap, rn) for a in p.args], span=p.span,
+            )
+        raise AssertionError(f"unknown pattern {p!r}")
+
+
+def _spec_name(name: str, key: str) -> str:
+    return f"{name}@{key}"

@@ -1,0 +1,269 @@
+"""The post-translation optimization phase (paper Section 3.4, Figure 5).
+
+Three shrinking rewrite rules eliminate the redundant modifiable traffic
+that the local translation rules generate:
+
+1. ``read (mod (let r = e1 in write r)) as x in e2  -->  let x = e1 in e2``
+2. ``read (mod e) as x in write x                   -->  e``
+3. ``mod (read a as x in write x)                   -->  a``
+
+Each rule removes one ``read``, one ``write``, and one ``mod``.  The rules
+are terminating (each strictly shrinks the term) and confluent
+(Theorem 3.1); the property tests in ``tests/test_optimize.py`` check both
+on randomized terms and rewrite orders.  As the paper notes, one bottom-up
+pass normalizes, but we iterate to a fixpoint anyway as a safety net.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core import sxml as S
+from repro.core.sxmlutil import free_vars, subst_expr
+
+
+def optimize(expr: S.Expr) -> S.Expr:
+    """Apply rules (1)-(3) to a fixpoint."""
+    opt = _Optimizer()
+    result = expr
+    while True:
+        opt.changed = False
+        result = opt.expr(result)
+        if not opt.changed:
+            return result
+
+
+def count_primitives(e) -> dict:
+    """Count mods/reads/writes in a term (used by tests and benchmarks)."""
+    counts = {"mod": 0, "read": 0, "write": 0, "memo": 0}
+    _count(e, counts)
+    return counts
+
+
+def try_rules_cexpr(e: S.CExpr) -> Optional[S.CExpr]:
+    """One rewrite step at the root of a changeable expression, or None.
+
+    Exposed at module level so the confluence property tests can drive the
+    rules in arbitrary orders.
+    """
+    # Rules 1 and 2 fire on:  let m = mod(body) in read m as x in rest
+    if (
+        isinstance(e, S.CLet)
+        and isinstance(e.bind, S.BMod)
+        and isinstance(e.body, S.CRead)
+        and isinstance(e.body.src, S.AVar)
+        and e.body.src.name == e.name
+    ):
+        mod_body = e.bind.body
+        read = e.body
+        # Rule 2: read (mod e) as x in write x  -->  e
+        if (
+            isinstance(read.body, S.CWrite)
+            and isinstance(read.body.atom, S.AVar)
+            and read.body.atom.name == read.binder
+            and e.name not in free_vars(mod_body)
+        ):
+            return mod_body
+        # Rule 1: read (mod (let r = e1 in write r)) as x in e2
+        #         -->  let x = e1 in e2
+        if (
+            isinstance(mod_body, S.CLet)
+            and isinstance(mod_body.body, S.CWrite)
+            and isinstance(mod_body.body.atom, S.AVar)
+            and mod_body.body.atom.name == mod_body.name
+            and e.name not in free_vars(read.body)
+        ):
+            return S.CLet(name=read.binder, bind=mod_body.bind, body=read.body)
+        # Rule 1, degenerate body: read (mod (write a)) as x in e2
+        #         -->  e2[x := a]
+        if isinstance(mod_body, S.CWrite) and e.name not in free_vars(read.body):
+            return subst_expr(read.body, {read.binder: mod_body.atom})
+    # Rule 3 inside changeable lets:
+    #   let y = mod (read a as x in write x) in rest  -->  rest[y := a]
+    if isinstance(e, S.CLet):
+        target = _rule3_target(e.bind)
+        if target is not None:
+            return subst_expr(e.body, {e.name: target})
+    return None
+
+
+def try_rules_expr(e: S.Expr) -> Optional[S.Expr]:
+    """One rewrite step at the root of a stable expression, or None."""
+    # Rule 3 at stable lets.
+    if isinstance(e, S.ELet):
+        target = _rule3_target(e.bind)
+        if target is not None:
+            return subst_expr(e.body, {e.name: target})
+    return None
+
+
+class _Optimizer:
+    def __init__(self) -> None:
+        self.changed = False
+
+    def rewrite_cexpr(self, e: S.CExpr) -> S.CExpr:
+        """Apply rules at this node to exhaustion (children already done)."""
+        while True:
+            new = try_rules_cexpr(e)
+            if new is None:
+                return e
+            self.changed = True
+            e = new
+
+    def rewrite_expr(self, e: S.Expr) -> S.Expr:
+        while True:
+            new = try_rules_expr(e)
+            if new is None:
+                return e
+            self.changed = True
+            e = new
+
+    # -- traversal ----------------------------------------------------------
+
+    def expr(self, e: S.Expr) -> S.Expr:
+        if isinstance(e, S.ELet):
+            e = S.ELet(
+                ty=e.ty, name=e.name, bind=self.bnd(e.bind), body=self.expr(e.body)
+            )
+            return self.rewrite_expr(e)
+        if isinstance(e, S.ELetRec):
+            bindings = [(n, self.bnd(l)) for n, l in e.bindings]
+            return S.ELetRec(ty=e.ty, bindings=bindings, body=self.expr(e.body))
+        if isinstance(e, S.ERet):
+            return e
+        raise AssertionError(f"unknown expr {e!r}")
+
+    def cexpr(self, e: S.CExpr) -> S.CExpr:
+        if isinstance(e, S.CWrite):
+            return e
+        if isinstance(e, S.CRead):
+            e = S.CRead(
+                src=e.src, binder=e.binder, binder_ty=e.binder_ty,
+                body=self.cexpr(e.body),
+            )
+            return self.rewrite_cexpr(e)
+        if isinstance(e, S.CLet):
+            e = S.CLet(name=e.name, bind=self.bnd(e.bind), body=self.cexpr(e.body))
+            return self.rewrite_cexpr(e)
+        if isinstance(e, S.CLetRec):
+            bindings = [(n, self.bnd(l)) for n, l in e.bindings]
+            return S.CLetRec(bindings=bindings, body=self.cexpr(e.body))
+        if isinstance(e, S.CIf):
+            return S.CIf(
+                cond=e.cond, then=self.cexpr(e.then), els=self.cexpr(e.els)
+            )
+        if isinstance(e, S.CCase):
+            clauses = [
+                S.CaseClause(
+                    tag=c.tag, binder=c.binder, binder_ty=c.binder_ty,
+                    body=self.cexpr(c.body),
+                )
+                for c in e.clauses
+            ]
+            default = self.cexpr(e.default) if e.default is not None else None
+            return S.CCase(dt=e.dt, scrut=e.scrut, clauses=clauses, default=default)
+        if isinstance(e, S.CCaseConst):
+            arms = [(v, self.cexpr(b)) for v, b in e.arms]
+            default = self.cexpr(e.default) if e.default is not None else None
+            return S.CCaseConst(scrut=e.scrut, arms=arms, default=default)
+        if isinstance(e, S.CImpWrite):
+            return S.CImpWrite(ref=e.ref, value=e.value, body=self.cexpr(e.body))
+        raise AssertionError(f"unknown cexpr {e!r}")
+
+    def bnd(self, b: S.Bind) -> S.Bind:
+        if isinstance(b, S.BMod):
+            return S.BMod(ty=b.ty, body=self.cexpr(b.body))
+        if isinstance(b, S.BLam):
+            return S.BLam(
+                ty=b.ty, param=b.param, param_ty=b.param_ty, body=self.expr(b.body),
+                param_spec=b.param_spec, name_hint=b.name_hint,
+            )
+        if isinstance(b, S.BIf):
+            return S.BIf(
+                ty=b.ty, cond=b.cond, then=self.expr(b.then), els=self.expr(b.els)
+            )
+        if isinstance(b, S.BCase):
+            clauses = [
+                S.CaseClause(
+                    tag=c.tag, binder=c.binder, binder_ty=c.binder_ty,
+                    body=self.expr(c.body),
+                )
+                for c in b.clauses
+            ]
+            default = self.expr(b.default) if b.default is not None else None
+            return S.BCase(
+                ty=b.ty, dt=b.dt, scrut=b.scrut, clauses=clauses, default=default
+            )
+        if isinstance(b, S.BCaseConst):
+            arms = [(v, self.expr(body)) for v, body in b.arms]
+            default = self.expr(b.default) if b.default is not None else None
+            return S.BCaseConst(ty=b.ty, scrut=b.scrut, arms=arms, default=default)
+        return b
+
+
+def _rule3_target(b: S.Bind) -> Optional[S.Atom]:
+    """Match ``mod (read a as x in write x)``; return ``a`` on success."""
+    if (
+        isinstance(b, S.BMod)
+        and isinstance(b.body, S.CRead)
+        and isinstance(b.body.body, S.CWrite)
+        and isinstance(b.body.body.atom, S.AVar)
+        and b.body.body.atom.name == b.body.binder
+    ):
+        return b.body.src
+    return None
+
+
+def _count(e, counts: dict) -> None:
+    if isinstance(e, S.BMod):
+        counts["mod"] += 1
+        _count(e.body, counts)
+    elif isinstance(e, S.CRead):
+        counts["read"] += 1
+        _count(e.body, counts)
+    elif isinstance(e, S.CWrite):
+        counts["write"] += 1
+    elif isinstance(e, S.BMemoApp):
+        counts["memo"] += 1
+    elif isinstance(e, S.ELet):
+        _count(e.bind, counts)
+        _count(e.body, counts)
+    elif isinstance(e, (S.ELetRec, S.CLetRec)):
+        for _n, lam in e.bindings:
+            _count(lam, counts)
+        _count(e.body, counts)
+    elif isinstance(e, S.CLet):
+        _count(e.bind, counts)
+        _count(e.body, counts)
+    elif isinstance(e, S.CIf):
+        _count(e.then, counts)
+        _count(e.els, counts)
+    elif isinstance(e, S.CCase):
+        for c in e.clauses:
+            _count(c.body, counts)
+        if e.default is not None:
+            _count(e.default, counts)
+    elif isinstance(e, S.CCaseConst):
+        for _v, body in e.arms:
+            _count(body, counts)
+        if e.default is not None:
+            _count(e.default, counts)
+    elif isinstance(e, S.CImpWrite):
+        _count(e.body, counts)
+    elif isinstance(e, S.BLam):
+        _count(e.body, counts)
+    elif isinstance(e, S.BIf):
+        _count(e.then, counts)
+        _count(e.els, counts)
+    elif isinstance(e, S.BCase):
+        for c in e.clauses:
+            _count(c.body, counts)
+        if e.default is not None:
+            _count(e.default, counts)
+    elif isinstance(e, S.BCaseConst):
+        for _v, body in e.arms:
+            _count(body, counts)
+        if e.default is not None:
+            _count(e.default, counts)
+    elif isinstance(e, (S.ERet, S.Bind)):
+        pass

@@ -1,0 +1,171 @@
+"""Pretty-printer for SXML (both conventional and translated forms).
+
+Renders the IR in an SML-like concrete syntax close to the paper's
+notation, e.g.::
+
+    mod (read a as a' in read b as b' in write (a' * b'))
+
+Used by golden tests, ``CompiledProgram.dump()``, and debugging.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core import sxml as S
+
+
+def pretty_expr(e, indent: int = 0) -> str:
+    return "\n".join(_expr(e, indent))
+
+
+def _pad(indent: int) -> str:
+    return "  " * indent
+
+
+def _atom(a: S.Atom) -> str:
+    if isinstance(a, S.AVar):
+        return a.name
+    if isinstance(a, S.AConst):
+        if a.kind == "string":
+            return repr(a.value)
+        if a.kind == "unit":
+            return "()"
+        return str(a.value)
+    raise AssertionError(f"unknown atom {a!r}")
+
+
+def _bind(b: S.Bind, indent: int) -> str:
+    if isinstance(b, S.BAtom):
+        return _atom(b.atom)
+    if isinstance(b, S.BPrim):
+        if len(b.args) == 2:
+            return f"({_atom(b.args[0])} {b.op} {_atom(b.args[1])})"
+        return f"{b.op}({', '.join(_atom(a) for a in b.args)})"
+    if isinstance(b, S.BApp):
+        return f"{_atom(b.fn)} {_atom(b.arg)}"
+    if isinstance(b, S.BMemoApp):
+        return f"memo {_atom(b.fn)} {_atom(b.arg)}"
+    if isinstance(b, S.BTuple):
+        return "(" + ", ".join(_atom(a) for a in b.items) + ")"
+    if isinstance(b, S.BProj):
+        return f"#{b.index} {_atom(b.arg)}"
+    if isinstance(b, S.BCon):
+        if b.args:
+            return f"{b.tag} {_atom(b.args[0])}"
+        return b.tag
+    if isinstance(b, S.BLam):
+        body = pretty_expr(b.body, indent + 1)
+        return f"fn {b.param} =>\n{body}"
+    if isinstance(b, S.BIf):
+        lines = [f"if {_atom(b.cond)} then"]
+        lines += _expr(b.then, indent + 1)
+        lines.append(_pad(indent) + "else")
+        lines += _expr(b.els, indent + 1)
+        return "\n".join(lines)
+    if isinstance(b, S.BCase):
+        lines = [f"case {_atom(b.scrut)} of"]
+        for c in b.clauses:
+            binder = f" {c.binder}" if c.binder else ""
+            lines.append(_pad(indent + 1) + f"{c.tag}{binder} =>")
+            lines += _expr(c.body, indent + 2)
+        if b.default is not None:
+            lines.append(_pad(indent + 1) + "_ =>")
+            lines += _expr(b.default, indent + 2)
+        return "\n".join(lines)
+    if isinstance(b, S.BCaseConst):
+        lines = [f"case {_atom(b.scrut)} of"]
+        for v, body in b.arms:
+            lines.append(_pad(indent + 1) + f"{v!r} =>")
+            lines += _expr(body, indent + 2)
+        if b.default is not None:
+            lines.append(_pad(indent + 1) + "_ =>")
+            lines += _expr(b.default, indent + 2)
+        return "\n".join(lines)
+    if isinstance(b, S.BRef):
+        return f"ref {_atom(b.arg)}"
+    if isinstance(b, S.BDeref):
+        return f"!{_atom(b.arg)}"
+    if isinstance(b, S.BAssign):
+        return f"{_atom(b.ref)} := {_atom(b.value)}"
+    if isinstance(b, S.BAscribe):
+        return f"({_atom(b.atom)} : {b.spec})"
+    if isinstance(b, S.BMatchFail):
+        return "matchfail"
+    if isinstance(b, S.BMod):
+        inner = _cexpr(b.body, indent + 1)
+        if len(inner) == 1:
+            return f"mod ({inner[0].strip()})"
+        return "mod (\n" + "\n".join(inner) + ")"
+    raise AssertionError(f"unknown bind {b!r}")
+
+
+def _expr(e, indent: int) -> List[str]:
+    pad = _pad(indent)
+    if isinstance(e, S.ELet):
+        rhs = _bind(e.bind, indent)
+        lines = [f"{pad}let {e.name} = {rhs} in"]
+        lines += _expr(e.body, indent)
+        return lines
+    if isinstance(e, S.ELetRec):
+        lines = []
+        for name, lam in e.bindings:
+            lines.append(f"{pad}fun {name} {lam.param} =")
+            lines += _expr(lam.body, indent + 1)
+        lines += _expr(e.body, indent)
+        return lines
+    if isinstance(e, S.ERet):
+        return [f"{pad}{_atom(e.atom)}"]
+    raise AssertionError(f"unknown expr {e!r}")
+
+
+def _cexpr(e, indent: int) -> List[str]:
+    pad = _pad(indent)
+    if isinstance(e, S.CWrite):
+        return [f"{pad}write {_atom(e.atom)}"]
+    if isinstance(e, S.CRead):
+        lines = [f"{pad}read {_atom(e.src)} as {e.binder} in"]
+        lines += _cexpr(e.body, indent)
+        return lines
+    if isinstance(e, S.CLet):
+        rhs = _bind(e.bind, indent)
+        lines = [f"{pad}let {e.name} = {rhs} in"]
+        lines += _cexpr(e.body, indent)
+        return lines
+    if isinstance(e, S.CLetRec):
+        lines = []
+        for name, lam in e.bindings:
+            lines.append(f"{pad}fun {name} {lam.param} =")
+            lines += _expr(lam.body, indent + 1)
+        lines += _cexpr(e.body, indent)
+        return lines
+    if isinstance(e, S.CIf):
+        lines = [f"{pad}if {_atom(e.cond)} then"]
+        lines += _cexpr(e.then, indent + 1)
+        lines.append(f"{pad}else")
+        lines += _cexpr(e.els, indent + 1)
+        return lines
+    if isinstance(e, S.CCase):
+        lines = [f"{pad}case {_atom(e.scrut)} of"]
+        for c in e.clauses:
+            binder = f" {c.binder}" if c.binder else ""
+            lines.append(_pad(indent + 1) + f"{c.tag}{binder} =>")
+            lines += _cexpr(c.body, indent + 2)
+        if e.default is not None:
+            lines.append(_pad(indent + 1) + "_ =>")
+            lines += _cexpr(e.default, indent + 2)
+        return lines
+    if isinstance(e, S.CCaseConst):
+        lines = [f"{pad}case {_atom(e.scrut)} of"]
+        for v, body in e.arms:
+            lines.append(_pad(indent + 1) + f"{v!r} =>")
+            lines += _cexpr(body, indent + 2)
+        if e.default is not None:
+            lines.append(_pad(indent + 1) + "_ =>")
+            lines += _cexpr(e.default, indent + 2)
+        return lines
+    if isinstance(e, S.CImpWrite):
+        lines = [f"{pad}impwrite {_atom(e.ref)} := {_atom(e.value)} in"]
+        lines += _cexpr(e.body, indent)
+        return lines
+    raise AssertionError(f"unknown cexpr {e!r}")

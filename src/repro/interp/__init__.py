@@ -1,0 +1,39 @@
+"""Interpreters for SXML.
+
+The paper compiles SXML to native code through the unmodified MLton
+back-end (Section 3.5).  Our "executables" are closures over two
+interpreters instead:
+
+* :mod:`repro.interp.conventional` runs the *pre-translation* SXML: this is
+  the paper's conventional (reference) executable;
+* :mod:`repro.interp.selfadjusting` runs the *translated* SXML against a
+  :class:`repro.sac.Engine`: the self-adjusting executable, supporting
+  change propagation.
+
+:mod:`repro.interp.marshal` converts Python data to and from LML runtime
+values and provides change handles for inputs (modifiable lists, vectors
+and matrices of modifiables).
+"""
+
+import sys
+
+#: Deep recursion is inherent to interpreting recursive ML programs over
+#: lists; CPython 3.11+ keeps pure-Python frames on the heap, so a high
+#: recursion limit is safe.
+RECURSION_LIMIT = 600_000
+
+
+def ensure_recursion_headroom(limit: int = RECURSION_LIMIT) -> None:
+    """Raise the interpreter recursion limit if it is below ``limit``."""
+    if sys.getrecursionlimit() < limit:
+        sys.setrecursionlimit(limit)
+
+
+from repro.interp.conventional import ConventionalInterpreter  # noqa: E402
+from repro.interp.selfadjusting import SelfAdjustingInterpreter  # noqa: E402
+
+__all__ = [
+    "ConventionalInterpreter",
+    "SelfAdjustingInterpreter",
+    "ensure_recursion_headroom",
+]

@@ -1,0 +1,142 @@
+"""Implementations of the built-in primitives and vector operations.
+
+The functions here are *stable library code*: their control flow never
+inspects changeable data, so they are shared verbatim by the conventional
+and self-adjusting interpreters.  Changeability rides inside the element
+values (modifiables) and inside the function arguments they apply (which,
+in self-adjusting runs, are translated closures that allocate modifiables
+and record reads).
+
+``vreduce`` is a *balanced* divide-and-conquer reduction, which is what
+makes change propagation through reductions O(log n) (paper Sections 2.1
+and 4.1); a left fold would re-execute O(n) combines per change.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Tuple
+
+from repro.interp.values import LmlRuntimeError
+
+
+def eval_prim(op: str, args: list) -> Any:
+    """Evaluate a primitive operator on base-type values."""
+    if op == "+":
+        return args[0] + args[1]
+    if op == "-":
+        return args[0] - args[1]
+    if op == "*":
+        return args[0] * args[1]
+    if op == "/":
+        if args[1] == 0.0:
+            raise LmlRuntimeError("division by zero")
+        return args[0] / args[1]
+    if op == "div":
+        if args[1] == 0:
+            raise LmlRuntimeError("div by zero")
+        return args[0] // args[1]
+    if op == "mod":
+        if args[1] == 0:
+            raise LmlRuntimeError("mod by zero")
+        return args[0] % args[1]
+    if op == "~":
+        return -args[0]
+    if op == "<":
+        return args[0] < args[1]
+    if op == "<=":
+        return args[0] <= args[1]
+    if op == ">":
+        return args[0] > args[1]
+    if op == ">=":
+        return args[0] >= args[1]
+    if op == "=":
+        return args[0] == args[1]
+    if op == "<>":
+        return args[0] != args[1]
+    if op == "not":
+        return not args[0]
+    if op == "^":
+        return args[0] + args[1]
+    if op == "sqrt":
+        if args[0] < 0.0:
+            raise LmlRuntimeError("sqrt of negative")
+        return math.sqrt(args[0])
+    if op == "rpow":
+        return math.pow(args[0], args[1])
+    if op == "floor":
+        return math.floor(args[0])
+    if op == "toReal":
+        return float(args[0])
+    raise LmlRuntimeError(f"unknown primitive {op}")
+
+
+class BuiltinFn:
+    """A built-in function value.
+
+    ``fn`` receives the interpreter (anything with an ``apply(f, arg)``
+    method) and the single (possibly tuple) argument value.
+    """
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, fn: Callable) -> None:
+        self.name = name
+        self.fn = fn
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<builtin {self.name}>"
+
+
+def _vtabulate(rt, arg: Tuple[int, Any]) -> tuple:
+    n, f = arg
+    if n < 0:
+        raise LmlRuntimeError("vtabulate with negative length")
+    return tuple(rt.apply(f, i) for i in range(n))
+
+
+def _vlength(rt, v: tuple) -> int:
+    return len(v)
+
+
+def _vsub(rt, arg: Tuple[tuple, int]) -> Any:
+    v, i = arg
+    if not 0 <= i < len(v):
+        raise LmlRuntimeError(f"vector index {i} out of bounds (length {len(v)})")
+    return v[i]
+
+
+def _vmap(rt, arg: Tuple[tuple, Any]) -> tuple:
+    v, f = arg
+    return tuple(rt.apply(f, x) for x in v)
+
+
+def _vmap2(rt, arg: Tuple[tuple, tuple, Any]) -> tuple:
+    v1, v2, f = arg
+    if len(v1) != len(v2):
+        raise LmlRuntimeError("vmap2 on vectors of different lengths")
+    return tuple(rt.apply(f, (x, y)) for x, y in zip(v1, v2))
+
+
+def _vreduce(rt, arg: Tuple[tuple, Any, Any]) -> Any:
+    v, z, f = arg
+    if not v:
+        return z
+
+    def go(lo: int, hi: int) -> Any:
+        if hi - lo == 1:
+            return v[lo]
+        mid = (lo + hi) // 2
+        return rt.apply(f, (go(lo, mid), go(mid, hi)))
+
+    return go(0, len(v))
+
+
+BUILTIN_IMPLS: Dict[str, BuiltinFn] = {
+    "vtabulate": BuiltinFn("vtabulate", _vtabulate),
+    "vlength": BuiltinFn("vlength", _vlength),
+    "vsub": BuiltinFn("vsub", _vsub),
+    "vmap": BuiltinFn("vmap", _vmap),
+    "vmap2": BuiltinFn("vmap2", _vmap2),
+    "vreduce": BuiltinFn("vreduce", _vreduce),
+}

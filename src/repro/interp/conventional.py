@@ -1,0 +1,112 @@
+"""The conventional interpreter: runs pre-translation SXML.
+
+This is the paper's reference executable ("Conv. Run" in Table 1): it
+executes the same monomorphic A-normal-form program as the self-adjusting
+version, but with no dependence tracking at all -- references are plain
+cells, levels are ignored, ``$C`` data is ordinary data.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core import sxml as S
+from repro.interp.builtins import BUILTIN_IMPLS, BuiltinFn, eval_prim
+from repro.interp.values import (
+    Closure,
+    ConValue,
+    Env,
+    LmlRuntimeError,
+    MatchFailure,
+    RefCell,
+)
+
+
+class ConventionalInterpreter:
+    """Evaluates conventional SXML expressions."""
+
+    def run(self, expr: S.Expr) -> Any:
+        """Evaluate a whole program body; returns its value (e.g. ``main``)."""
+        return self.eval(expr, Env())
+
+    # ------------------------------------------------------------------
+
+    def apply(self, fn: Any, arg: Any) -> Any:
+        if isinstance(fn, Closure):
+            env = Env(fn.env)
+            env.bind(fn.param, arg)
+            return self.eval(fn.body, env)
+        if isinstance(fn, BuiltinFn):
+            return fn.fn(self, arg)
+        raise LmlRuntimeError(f"application of non-function {fn!r}")
+
+    def atom(self, a: S.Atom, env: Env) -> Any:
+        if isinstance(a, S.AVar):
+            if a.is_builtin:
+                return BUILTIN_IMPLS[a.name]
+            return env.lookup(a.name)
+        return a.value
+
+    # ------------------------------------------------------------------
+
+    def eval(self, e: S.Expr, env: Env) -> Any:
+        while True:
+            if isinstance(e, S.ELet):
+                env.bind(e.name, self.eval_bind(e.bind, env))
+                e = e.body
+            elif isinstance(e, S.ELetRec):
+                for name, lam in e.bindings:
+                    env.bind(name, Closure(lam.param, lam.body, env, name=name))
+                e = e.body
+            elif isinstance(e, S.ERet):
+                return self.atom(e.atom, env)
+            else:
+                raise AssertionError(f"unknown expr {e!r}")
+
+    def eval_bind(self, b: S.Bind, env: Env) -> Any:
+        if isinstance(b, S.BAtom):
+            return self.atom(b.atom, env)
+        if isinstance(b, S.BPrim):
+            return eval_prim(b.op, [self.atom(a, env) for a in b.args])
+        if isinstance(b, S.BApp):
+            return self.apply(self.atom(b.fn, env), self.atom(b.arg, env))
+        if isinstance(b, S.BTuple):
+            return tuple(self.atom(a, env) for a in b.items)
+        if isinstance(b, S.BProj):
+            return self.atom(b.arg, env)[b.index - 1]
+        if isinstance(b, S.BCon):
+            if b.args:
+                return ConValue(b.tag, self.atom(b.args[0], env))
+            return ConValue(b.tag)
+        if isinstance(b, S.BLam):
+            return Closure(b.param, b.body, env, name=b.name_hint)
+        if isinstance(b, S.BIf):
+            cond = self.atom(b.cond, env)
+            return self.eval(b.then if cond else b.els, Env(env))
+        if isinstance(b, S.BCase):
+            scrut = self.atom(b.scrut, env)
+            if not isinstance(scrut, ConValue):
+                raise LmlRuntimeError(f"case on non-constructor {scrut!r}")
+            for clause in b.clauses:
+                if clause.tag == scrut.tag:
+                    inner = Env(env)
+                    if clause.binder is not None:
+                        inner.bind(clause.binder, scrut.arg)
+                    return self.eval(clause.body, inner)
+            if b.default is not None:
+                return self.eval(b.default, Env(env))
+            raise MatchFailure(f"no clause for {scrut.tag}")
+        if isinstance(b, S.BRef):
+            return RefCell(self.atom(b.arg, env))
+        if isinstance(b, S.BDeref):
+            cell = self.atom(b.arg, env)
+            return cell.value
+        if isinstance(b, S.BAssign):
+            cell = self.atom(b.ref, env)
+            cell.value = self.atom(b.value, env)
+            return ()
+        if isinstance(b, S.BAscribe):
+            return self.atom(b.atom, env)
+        if isinstance(b, S.BMatchFail):
+            raise MatchFailure("inexhaustive match")
+        raise AssertionError(f"unexpected bind in conventional code: {b!r}")

@@ -1,0 +1,197 @@
+"""The self-adjusting interpreter: runs translated SXML against an Engine.
+
+Stable expressions evaluate to values; changeable expressions execute with
+a destination modifiable, ending in a ``write`` (possibly under nested
+reads).  Read continuations capture their environment frame and destination
+so the engine can re-execute them during change propagation.
+
+Memoized applications (``BMemoApp``) key on the function closure's identity
+plus the structural/identity memo key of the argument -- the same strategy
+as the AFL library benchmarks (paper Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core import sxml as S
+from repro.interp.builtins import BUILTIN_IMPLS, BuiltinFn, eval_prim
+from repro.interp.values import (
+    Closure,
+    ConValue,
+    Env,
+    LmlRuntimeError,
+    MatchFailure,
+)
+from repro.sac.api import IdKey, memo_key
+from repro.sac.engine import Engine
+from repro.sac.modifiable import Modifiable
+
+
+class SelfAdjustingInterpreter:
+    """Evaluates translated SXML with self-adjusting primitives."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+
+    def run(self, expr: S.Expr) -> Any:
+        return self.eval(expr, Env())
+
+    # ------------------------------------------------------------------
+
+    def apply(self, fn: Any, arg: Any) -> Any:
+        if isinstance(fn, Closure):
+            env = Env(fn.env)
+            env.bind(fn.param, arg)
+            return self.eval(fn.body, env)
+        if isinstance(fn, BuiltinFn):
+            return fn.fn(self, arg)
+        raise LmlRuntimeError(f"application of non-function {fn!r}")
+
+    def atom(self, a: S.Atom, env: Env) -> Any:
+        if isinstance(a, S.AVar):
+            if a.is_builtin:
+                return BUILTIN_IMPLS[a.name]
+            return env.lookup(a.name)
+        return a.value
+
+    # ------------------------------------------------------------------
+    # Stable mode
+
+    def eval(self, e: S.Expr, env: Env) -> Any:
+        while True:
+            if isinstance(e, S.ELet):
+                env.bind(e.name, self.eval_bind(e.bind, env))
+                e = e.body
+            elif isinstance(e, S.ELetRec):
+                for name, lam in e.bindings:
+                    env.bind(name, Closure(lam.param, lam.body, env, name=name))
+                e = e.body
+            elif isinstance(e, S.ERet):
+                return self.atom(e.atom, env)
+            else:
+                raise AssertionError(f"unknown expr {e!r}")
+
+    def eval_bind(self, b: S.Bind, env: Env) -> Any:
+        if isinstance(b, S.BAtom):
+            return self.atom(b.atom, env)
+        if isinstance(b, S.BPrim):
+            return eval_prim(b.op, [self.atom(a, env) for a in b.args])
+        if isinstance(b, S.BApp):
+            return self.apply(self.atom(b.fn, env), self.atom(b.arg, env))
+        if isinstance(b, S.BMemoApp):
+            fn = self.atom(b.fn, env)
+            arg = self.atom(b.arg, env)
+            key = (memo_key(fn), memo_key(arg))
+            return self.engine.memo(key, lambda: self.apply(fn, arg))
+        if isinstance(b, S.BTuple):
+            return tuple(self.atom(a, env) for a in b.items)
+        if isinstance(b, S.BProj):
+            return self.atom(b.arg, env)[b.index - 1]
+        if isinstance(b, S.BCon):
+            if b.args:
+                return ConValue(b.tag, self.atom(b.args[0], env))
+            return ConValue(b.tag)
+        if isinstance(b, S.BLam):
+            return Closure(b.param, b.body, env, name=b.name_hint)
+        if isinstance(b, S.BIf):
+            cond = self.atom(b.cond, env)
+            return self.eval(b.then if cond else b.els, Env(env))
+        if isinstance(b, S.BCase):
+            scrut = self.atom(b.scrut, env)
+            for clause in b.clauses:
+                if clause.tag == scrut.tag:
+                    inner = Env(env)
+                    if clause.binder is not None:
+                        inner.bind(clause.binder, scrut.arg)
+                    return self.eval(clause.body, inner)
+            if b.default is not None:
+                return self.eval(b.default, Env(env))
+            raise MatchFailure(f"no clause for {scrut.tag}")
+        if isinstance(b, S.BMod):
+            return self.engine.mod(
+                lambda dest, body=b.body, env=Env(env): self.ceval(body, env, dest)
+            )
+        if isinstance(b, S.BAssign):
+            cell = self.atom(b.ref, env)
+            if not isinstance(cell, Modifiable):
+                raise LmlRuntimeError("assignment to a non-modifiable")
+            self.engine.impwrite(cell, self.atom(b.value, env))
+            return ()
+        if isinstance(b, S.BAscribe):
+            return self.atom(b.atom, env)
+        if isinstance(b, S.BMatchFail):
+            raise MatchFailure("inexhaustive match")
+        # BRef / BDeref never survive translation (they become mod/aliases).
+        raise AssertionError(f"unexpected bind in translated code: {b!r}")
+
+    # ------------------------------------------------------------------
+    # Changeable mode
+
+    def ceval(self, e: S.CExpr, env: Env, dest: Modifiable) -> None:
+        engine = self.engine
+        while True:
+            if isinstance(e, S.CWrite):
+                engine.write(dest, self.atom(e.atom, env))
+                return
+            if isinstance(e, S.CRead):
+                src = self.atom(e.src, env)
+                if not isinstance(src, Modifiable):
+                    raise LmlRuntimeError(
+                        f"read of a non-modifiable value: {src!r}"
+                    )
+
+                def reader(value, body=e.body, env=env, binder=e.binder, dest=dest):
+                    inner = Env(env)
+                    inner.bind(binder, value)
+                    self.ceval(body, inner, dest)
+
+                engine.read(src, reader)
+                return
+            if isinstance(e, S.CLet):
+                env.bind(e.name, self.eval_bind(e.bind, env))
+                e = e.body
+            elif isinstance(e, S.CLetRec):
+                for name, lam in e.bindings:
+                    env.bind(name, Closure(lam.param, lam.body, env, name=name))
+                e = e.body
+            elif isinstance(e, S.CIf):
+                cond = self.atom(e.cond, env)
+                env = Env(env)
+                e = e.then if cond else e.els
+            elif isinstance(e, S.CCase):
+                scrut = self.atom(e.scrut, env)
+                chosen = None
+                for clause in e.clauses:
+                    if clause.tag == scrut.tag:
+                        chosen = clause
+                        break
+                if chosen is not None:
+                    env = Env(env)
+                    if chosen.binder is not None:
+                        env.bind(chosen.binder, scrut.arg)
+                    e = chosen.body
+                elif e.default is not None:
+                    env = Env(env)
+                    e = e.default
+                else:
+                    raise MatchFailure(f"no clause for {scrut.tag}")
+            elif isinstance(e, S.CCaseConst):
+                scrut = self.atom(e.scrut, env)
+                target = None
+                for value, body in e.arms:
+                    if value == scrut and type(value) is type(scrut):
+                        target = body
+                        break
+                if target is None:
+                    if e.default is None:
+                        raise MatchFailure(f"no arm for {scrut!r}")
+                    target = e.default
+                env = Env(env)
+                e = target
+            elif isinstance(e, S.CImpWrite):
+                cell = self.atom(e.ref, env)
+                engine.impwrite(cell, self.atom(e.value, env))
+                e = e.body
+            else:
+                raise AssertionError(f"unknown cexpr {e!r}")

@@ -1,0 +1,16 @@
+"""The LML language frontend.
+
+LML (paper Section 3) is Standard ML extended with a single type qualifier,
+``$C``, marking *changeable* data.  This package provides the lexer, parser,
+surface AST, the ML type system (Hindley-Milner inference with operator
+overloading), and elaboration into the typed Core IR consumed by the
+compiler middle-end in :mod:`repro.core`.
+
+Level (``$S``/``$C``) *inference* runs later, on the monomorphic A-normal
+form (see :mod:`repro.core.levels`), mirroring how the paper's compiler
+propagates levels through MLton's intermediate languages down to SXML.
+"""
+
+from repro.lang.errors import LmlError, LmlSyntaxError, LmlTypeError, SourceSpan
+
+__all__ = ["LmlError", "LmlSyntaxError", "LmlTypeError", "SourceSpan"]

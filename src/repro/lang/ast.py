@@ -1,0 +1,264 @@
+"""Surface abstract syntax for LML.
+
+The surface language is the SML subset used by the paper's benchmarks:
+datatypes, type abbreviations, (mutually) recursive functions, ``val``
+bindings, higher-order functions, tuples, ``case`` with nested patterns,
+references, and the ``$C`` level qualifier on types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.lang.errors import NO_SPAN, SourceSpan
+
+
+# ----------------------------------------------------------------------
+# Type syntax
+
+
+@dataclass
+class TySyn:
+    span: SourceSpan = field(default=NO_SPAN, kw_only=True)
+
+
+@dataclass
+class TSVar(TySyn):
+    """A type variable, e.g. ``'a``."""
+
+    name: str = ""
+
+
+@dataclass
+class TSCon(TySyn):
+    """A (possibly parameterized) named type: ``int``, ``int list``,
+    ``(int, bool) pair``, ``t vector``, ``t ref``."""
+
+    name: str = ""
+    args: List[TySyn] = field(default_factory=list)
+
+
+@dataclass
+class TSTuple(TySyn):
+    """A product type ``t1 * t2 * ... * tn`` (n >= 2)."""
+
+    items: List[TySyn] = field(default_factory=list)
+
+
+@dataclass
+class TSArrow(TySyn):
+    dom: Optional[TySyn] = None
+    cod: Optional[TySyn] = None
+
+
+@dataclass
+class TSLevel(TySyn):
+    """A level-qualified type ``t $C`` (the paper's changeable qualifier)."""
+
+    body: Optional[TySyn] = None
+    level: str = "C"  # '$S' is accepted and means "explicitly stable"
+
+
+# ----------------------------------------------------------------------
+# Patterns
+
+
+@dataclass
+class Pat:
+    span: SourceSpan = field(default=NO_SPAN, kw_only=True)
+
+
+@dataclass
+class PWild(Pat):
+    pass
+
+
+@dataclass
+class PVar(Pat):
+    name: str = ""
+
+
+@dataclass
+class PConst(Pat):
+    value: object = None
+    kind: str = "int"  # int | real | string | bool | unit
+
+
+@dataclass
+class PTuple(Pat):
+    items: List[Pat] = field(default_factory=list)
+
+
+@dataclass
+class PCon(Pat):
+    """Constructor pattern ``C`` or ``C pat``."""
+
+    name: str = ""
+    arg: Optional[Pat] = None
+
+
+@dataclass
+class PAnnot(Pat):
+    """Pattern with a type ascription, ``pat : ty``."""
+
+    pat: Optional[Pat] = None
+    ty: Optional[TySyn] = None
+
+
+# ----------------------------------------------------------------------
+# Expressions
+
+
+@dataclass
+class Expr:
+    span: SourceSpan = field(default=NO_SPAN, kw_only=True)
+
+
+@dataclass
+class EVar(Expr):
+    name: str = ""
+
+
+@dataclass
+class EConst(Expr):
+    value: object = None
+    kind: str = "int"  # int | real | string | bool | unit
+
+
+@dataclass
+class EApp(Expr):
+    fn: Optional[Expr] = None
+    arg: Optional[Expr] = None
+
+
+@dataclass
+class EPrim(Expr):
+    """Built-in operator application (infix/unary operators)."""
+
+    op: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class ETuple(Expr):
+    items: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class EIf(Expr):
+    cond: Optional[Expr] = None
+    then: Optional[Expr] = None
+    els: Optional[Expr] = None
+
+
+@dataclass
+class ECase(Expr):
+    scrut: Optional[Expr] = None
+    clauses: List[Tuple[Pat, Expr]] = field(default_factory=list)
+
+
+@dataclass
+class EFn(Expr):
+    param: Optional[Pat] = None
+    body: Optional[Expr] = None
+
+
+@dataclass
+class ELet(Expr):
+    decls: List["Decl"] = field(default_factory=list)
+    body: Optional[Expr] = None
+
+
+@dataclass
+class EAnnot(Expr):
+    expr: Optional[Expr] = None
+    ty: Optional[TySyn] = None
+
+
+@dataclass
+class ERef(Expr):
+    arg: Optional[Expr] = None
+
+
+@dataclass
+class EDeref(Expr):
+    arg: Optional[Expr] = None
+
+
+@dataclass
+class EAssign(Expr):
+    ref: Optional[Expr] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class ESeq(Expr):
+    """Sequencing ``(e1; e2)``."""
+
+    first: Optional[Expr] = None
+    second: Optional[Expr] = None
+
+
+@dataclass
+class EProj(Expr):
+    """Tuple projection ``#1 e`` (1-based, as in SML)."""
+
+    index: int = 1
+    arg: Optional[Expr] = None
+
+
+# ----------------------------------------------------------------------
+# Declarations
+
+
+@dataclass
+class Decl:
+    span: SourceSpan = field(default=NO_SPAN, kw_only=True)
+
+
+@dataclass
+class DDatatype(Decl):
+    """``datatype 'a name = C1 of ty | C2 | ...`` (possibly ``and``-joined)."""
+
+    name: str = ""
+    tyvars: List[str] = field(default_factory=list)
+    constructors: List[Tuple[str, Optional[TySyn]]] = field(default_factory=list)
+
+
+@dataclass
+class DTypeAbbrev(Decl):
+    name: str = ""
+    tyvars: List[str] = field(default_factory=list)
+    body: Optional[TySyn] = None
+
+
+@dataclass
+class DVal(Decl):
+    """``val pat = e`` or ``val pat : ty = e``."""
+
+    pat: Optional[Pat] = None
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class FunClause:
+    """One function binding ``f p1 p2 ... = e`` with optional result type."""
+
+    name: str = ""
+    params: List[Pat] = field(default_factory=list)
+    result_ty: Optional[TySyn] = None
+    body: Optional[Expr] = None
+    span: SourceSpan = NO_SPAN
+
+
+@dataclass
+class DFun(Decl):
+    """``fun f ... = e [and g ... = e]`` -- mutually recursive functions."""
+
+    clauses: List[FunClause] = field(default_factory=list)
+
+
+@dataclass
+class Program:
+    decls: List[Decl] = field(default_factory=list)

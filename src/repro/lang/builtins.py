@@ -1,0 +1,154 @@
+"""Built-in primitives and library functions of LML.
+
+Two kinds of built-in names:
+
+* **Primitive operators** (``PRIMS``): arithmetic, comparisons, and the
+  real-valued math functions.  They operate on *base* types, may be
+  overloaded between ``int`` and ``real``, and -- crucially for the
+  translation -- are *level-polymorphic*: applied to changeable operands,
+  the translation wraps them in reads and a write (paper Section 3.3's
+  coercions, and the ``a * b`` example of Figure 2).
+
+* **Vector operations** (``BUILTINS``): the stable, ML-polymorphic vector
+  library of paper Section 2.1 (``map``, ``map2``, ``reduce`` and friends).
+  Their control flow is stable -- changeability rides entirely inside the
+  element type -- and ``vreduce`` combines elements with a *balanced
+  divide-and-conquer*, which is what gives O(log n) change propagation
+  through reductions.
+
+The Python implementations of the vector operations live in
+:mod:`repro.interp.builtins`; this module defines only names and types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang.types import (
+    BOOL,
+    INT,
+    REAL,
+    STRING,
+    Scheme,
+    TArrow,
+    TTuple,
+    TVar,
+    Type,
+    vector_of,
+)
+
+
+@dataclass(frozen=True)
+class PrimSig:
+    """Typing of one primitive operator.
+
+    ``overload`` lists the admissible operand base types; ``None`` means the
+    signature is fixed.  ``shape`` describes argument/result types in terms
+    of the overloaded type ``a``: e.g. ``("a", "a") -> "a"`` for ``+``.
+    """
+
+    name: str
+    arg_kinds: Tuple[str, ...]  # each: 'a' (overloaded) or a base type name
+    result_kind: str
+    overload: Optional[Tuple[str, ...]] = None
+    default: str = "int"
+
+
+PRIMS: Dict[str, PrimSig] = {}
+
+
+def _prim(name, args, result, overload=None, default="int"):
+    PRIMS[name] = PrimSig(name, tuple(args), result, overload, default)
+
+
+# Arithmetic (overloaded int/real, as in SML)
+_prim("+", ["a", "a"], "a", ("int", "real"))
+_prim("-", ["a", "a"], "a", ("int", "real"))
+_prim("*", ["a", "a"], "a", ("int", "real"))
+_prim("~", ["a"], "a", ("int", "real"))
+_prim("/", ["real", "real"], "real")
+_prim("div", ["int", "int"], "int")
+_prim("mod", ["int", "int"], "int")
+
+# Comparisons and equality
+_prim("<", ["a", "a"], "bool", ("int", "real", "string"))
+_prim("<=", ["a", "a"], "bool", ("int", "real", "string"))
+_prim(">", ["a", "a"], "bool", ("int", "real", "string"))
+_prim(">=", ["a", "a"], "bool", ("int", "real", "string"))
+_prim("=", ["a", "a"], "bool", ("int", "real", "string", "bool"))
+_prim("<>", ["a", "a"], "bool", ("int", "real", "string", "bool"))
+
+# Booleans and strings
+_prim("not", ["bool"], "bool")
+_prim("^", ["string", "string"], "string")
+
+# Real math (named prims: parsed as identifiers, recognized in elaboration)
+_prim("sqrt", ["real"], "real")
+_prim("rpow", ["real", "real"], "real")
+_prim("floor", ["real"], "int")
+_prim("toReal", ["int"], "real")
+
+#: Named (identifier-spelled) prims, usable in expression position.
+NAMED_PRIMS = {"sqrt", "rpow", "floor", "toReal", "not", "div", "mod"}
+
+_BASE: Dict[str, Type] = {
+    "int": INT,
+    "real": REAL,
+    "bool": BOOL,
+    "string": STRING,
+}
+
+
+def prim_instance(sig: PrimSig) -> Tuple[List[Type], Type, Optional[TVar]]:
+    """Instantiate a prim signature.
+
+    Returns (argument types, result type, overloaded variable or None).
+    """
+    over: Optional[TVar] = TVar() if sig.overload else None
+
+    def kind_ty(kind: str) -> Type:
+        if kind == "a":
+            assert over is not None
+            return over
+        return _BASE[kind]
+
+    args = [kind_ty(k) for k in sig.arg_kinds]
+    result = kind_ty(sig.result_kind)
+    return args, result, over
+
+
+# ----------------------------------------------------------------------
+# Vector builtins
+
+
+def _scheme(n_vars: int, build) -> Scheme:
+    qvars = [TVar() for _ in range(n_vars)]
+    return Scheme(qvars, build(*qvars))
+
+
+BUILTIN_SCHEMES: Dict[str, Scheme] = {
+    # vtabulate (n, f) = <f 0, ..., f (n-1)>
+    "vtabulate": _scheme(1, lambda a: TArrow(TTuple([INT, TArrow(INT, a)]), vector_of(a))),
+    "vlength": _scheme(1, lambda a: TArrow(vector_of(a), INT)),
+    "vsub": _scheme(1, lambda a: TArrow(TTuple([vector_of(a), INT]), a)),
+    "vmap": _scheme(
+        2, lambda a, b: TArrow(TTuple([vector_of(a), TArrow(a, b)]), vector_of(b))
+    ),
+    "vmap2": _scheme(
+        3,
+        lambda a, b, c: TArrow(
+            TTuple([vector_of(a), vector_of(b), TArrow(TTuple([a, b]), c)]),
+            vector_of(c),
+        ),
+    ),
+    # vreduce (v, z, f): balanced reduction; z returned for the empty vector.
+    "vreduce": _scheme(
+        1,
+        lambda a: TArrow(TTuple([vector_of(a), a, TArrow(TTuple([a, a]), a)]), a),
+    ),
+}
+
+#: Scheme positions with these base types must remain stable (e.g. vector
+#: lengths and indices); see DESIGN.md Section 6.
+BUILTIN_NAMES = frozenset(BUILTIN_SCHEMES)

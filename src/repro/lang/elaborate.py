@@ -1,0 +1,714 @@
+"""Elaboration: Hindley-Milner type inference producing typed Core IR.
+
+This is the analogue of MLton's front-end phases that the paper modified to
+accept and propagate level annotations (Section 3.2).  Elaboration:
+
+* resolves names (values, constructors, named primitives, builtins);
+* infers ML types with let-polymorphism (value restriction; top-level
+  bindings generalize, local ``let`` bindings stay monomorphic);
+* resolves SML-style operator overloading (``+`` etc. over int/real,
+  defaulting to int);
+* expands type abbreviations;
+* collects ``$C`` annotations into :class:`~repro.lang.levelspec.LSpec`
+  trees attached to the Core IR (``CAscribe`` nodes, lambda parameter
+  specs, and datatype field specs), for consumption by the level-inference
+  pass that runs after monomorphization.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang import ast as A
+from repro.lang.builtins import (
+    BUILTIN_SCHEMES,
+    NAMED_PRIMS,
+    PRIMS,
+    prim_instance,
+)
+from repro.lang.errors import LmlTypeError, SourceSpan
+from repro.lang.levelspec import LSpec, flex
+from repro.lang.types import (
+    BASE_NAMES,
+    BOOL,
+    INT,
+    REAL,
+    STRING,
+    UNIT,
+    Scheme,
+    TArrow,
+    TCon,
+    TTuple,
+    TVar,
+    Type,
+    force,
+    free_type_vars,
+    pretty,
+    ref_of,
+    unify,
+    vector_of,
+    zonk,
+)
+from repro.core import ir as C
+
+_CONST_TYPES = {"int": INT, "real": REAL, "bool": BOOL, "string": STRING, "unit": UNIT}
+
+
+class Elaborator:
+    def __init__(self) -> None:
+        self.datatypes: Dict[str, C.DataInfo] = {}
+        self.constructors: Dict[str, C.ConInfo] = {}
+        self.abbrevs: Dict[str, Tuple[List[str], A.TySyn]] = {}
+        self.overloads: List[Tuple[TVar, Tuple[str, ...], str, SourceSpan]] = []
+        self._fresh = itertools.count()
+
+    def fresh_name(self, hint: str = "t") -> str:
+        return f"{hint}%{next(self._fresh)}"
+
+    # ------------------------------------------------------------------
+    # Types from syntax
+
+    def elab_ty(
+        self,
+        ts: A.TySyn,
+        tvenv: Dict[str, Type],
+        rigid: bool,
+    ) -> Tuple[Type, LSpec]:
+        """Elaborate type syntax to (ML type, level spec).
+
+        ``rigid`` is True inside datatype declarations, where unannotated
+        concrete positions are rigidly stable.
+        """
+        if isinstance(ts, A.TSVar):
+            if ts.name not in tvenv:
+                raise LmlTypeError(f"unbound type variable {ts.name}", ts.span)
+            return tvenv[ts.name], flex()
+        if isinstance(ts, A.TSLevel):
+            ty, spec = self.elab_ty(ts.body, tvenv, rigid)
+            # $C is a lower bound (forces changeable); an explicit $S is a
+            # rigid upper bound (changeable data flowing there is an error).
+            return ty, spec.with_level(ts.level, rigid=(ts.level == "S"))
+        if isinstance(ts, A.TSTuple):
+            parts = [self.elab_ty(t, tvenv, rigid) for t in ts.items]
+            spec = LSpec("tuple", None, False, [s for _, s in parts])
+            return TTuple([t for t, _ in parts]), spec
+        if isinstance(ts, A.TSArrow):
+            dom_ty, dom_spec = self.elab_ty(ts.dom, tvenv, rigid)
+            cod_ty, cod_spec = self.elab_ty(ts.cod, tvenv, rigid)
+            spec = LSpec("arrow", None, False, [dom_spec, cod_spec])
+            return TArrow(dom_ty, cod_ty), spec
+        if isinstance(ts, A.TSCon):
+            name = ts.name
+            if name in self.abbrevs:
+                params, body = self.abbrevs[name]
+                if len(params) != len(ts.args):
+                    raise LmlTypeError(
+                        f"type abbreviation {name} expects {len(params)} "
+                        f"arguments, got {len(ts.args)}",
+                        ts.span,
+                    )
+                expanded = _subst_tysyn(body, dict(zip(params, ts.args)))
+                return self.elab_ty(expanded, tvenv, rigid)
+            if name in BASE_NAMES:
+                if ts.args:
+                    raise LmlTypeError(f"{name} takes no type arguments", ts.span)
+                base_ty = _CONST_TYPES.get(name, UNIT)
+                return base_ty, LSpec("base", None, False, [], name)
+            if name in ("vector", "ref"):
+                if len(ts.args) != 1:
+                    raise LmlTypeError(f"{name} takes one type argument", ts.span)
+                inner_ty, inner_spec = self.elab_ty(ts.args[0], tvenv, rigid)
+                level = "C" if name == "ref" else None
+                spec = LSpec("con", level, False, [inner_spec], name)
+                return TCon(name, [inner_ty]), spec
+            if name in self.datatypes:
+                info = self.datatypes[name]
+                if len(info.tyvars) != len(ts.args):
+                    raise LmlTypeError(
+                        f"datatype {name} expects {len(info.tyvars)} "
+                        f"type arguments, got {len(ts.args)}",
+                        ts.span,
+                    )
+                parts = [self.elab_ty(t, tvenv, rigid) for t in ts.args]
+                spec = LSpec("con", None, False, [s for _, s in parts], name)
+                return TCon(name, [t for t, _ in parts]), spec
+            raise LmlTypeError(f"unbound type constructor {name}", ts.span)
+        raise AssertionError(f"unknown type syntax {ts!r}")
+
+    # ------------------------------------------------------------------
+    # Overloads
+
+    def add_overload(
+        self, var: TVar, options: Tuple[str, ...], default: str, span: SourceSpan
+    ) -> None:
+        self.overloads.append((var, options, default, span))
+
+    def resolve_overloads(self) -> None:
+        """Default or check all pending overload constraints."""
+        for var, options, default, span in self.overloads:
+            ty = force(var)
+            if isinstance(ty, TVar):
+                unify(ty, _CONST_TYPES[default], span)
+            else:
+                if not (isinstance(ty, TCon) and ty.name in options):
+                    raise LmlTypeError(
+                        f"operator not available at type {pretty(ty)}", span
+                    )
+        self.overloads.clear()
+
+    # ------------------------------------------------------------------
+    # Declarations
+
+    def elab_program(self, program: A.Program, main: str = "main") -> C.CoreProgram:
+        env: Dict[str, Scheme] = {}
+        wrappers = []
+        for decl in program.decls:
+            wrappers.append(self.elab_decl(decl, env, toplevel=True))
+        if main not in env:
+            raise LmlTypeError(f"program has no binding for {main!r}")
+        scheme = env[main]
+        main_ty, inst = scheme.instantiate()
+        body: C.CoreExpr = C.CVar(
+            ty=main_ty, name=main, inst=inst if scheme.qvars else None
+        )
+        for wrap in reversed(wrappers):
+            body = wrap(body)
+        return C.CoreProgram(
+            body=body, datatypes=self.datatypes, main_type=zonk(main_ty)
+        )
+
+    def elab_decl(self, decl: A.Decl, env: Dict[str, Scheme], toplevel: bool):
+        """Elaborate a declaration, extending ``env`` in place.
+
+        Returns a wrapper: a function from the continuation Core expression
+        to the Core expression including this declaration's bindings.
+        """
+        if isinstance(decl, A.DDatatype):
+            self.elab_datatype(decl)
+            return lambda body: body
+        if isinstance(decl, A.DTypeAbbrev):
+            if decl.name in self.abbrevs or decl.name in self.datatypes:
+                raise LmlTypeError(f"duplicate type name {decl.name}", decl.span)
+            self.abbrevs[decl.name] = (decl.tyvars, decl.body)
+            return lambda body: body
+        if isinstance(decl, A.DVal):
+            return self.elab_val(decl, env, toplevel)
+        if isinstance(decl, A.DFun):
+            return self.elab_fun(decl, env, toplevel)
+        raise AssertionError(f"unknown declaration {decl!r}")
+
+    def elab_datatype(self, decl: A.DDatatype) -> None:
+        if decl.name in self.datatypes or decl.name in self.abbrevs:
+            raise LmlTypeError(f"duplicate type name {decl.name}", decl.span)
+        tyvars = [TVar() for _ in decl.tyvars]
+        tvenv = dict(zip(decl.tyvars, tyvars))
+        info = C.DataInfo(name=decl.name, tyvars=tyvars)
+        # Register the datatype before elaborating fields (recursion).
+        self.datatypes[decl.name] = info
+        for index, (tag, arg_syntax) in enumerate(decl.constructors):
+            if tag in self.constructors:
+                raise LmlTypeError(f"duplicate constructor {tag}", decl.span)
+            if arg_syntax is None:
+                arg_ty, arg_spec = None, None
+            else:
+                arg_ty, arg_spec = self.elab_ty(arg_syntax, tvenv, rigid=True)
+            con = C.ConInfo(
+                dt=decl.name, tag=tag, index=index, arg_ty=arg_ty, arg_spec=arg_spec
+            )
+            info.constructors.append(con)
+            self.constructors[tag] = con
+
+    def elab_val(self, decl: A.DVal, env: Dict[str, Scheme], toplevel: bool):
+        pat = decl.pat
+        spec: Optional[LSpec] = None
+        if isinstance(pat, A.PAnnot):
+            annot_ty, spec = self.elab_ty(pat.ty, {}, rigid=False)
+            pat = pat.pat
+        else:
+            annot_ty = None
+
+        rhs = self.elab_expr(decl.expr, env)
+        if annot_ty is not None:
+            unify(rhs.ty, annot_ty, decl.span)
+            if spec is not None and not spec.is_trivial():
+                rhs = C.CAscribe(ty=rhs.ty, expr=rhs, spec=spec, span=decl.span)
+
+        if isinstance(pat, A.PVar):
+            name = pat.name
+            if toplevel:
+                self.resolve_overloads()
+                scheme = self.generalize(rhs.ty) if _is_value(decl.expr) else Scheme.mono(rhs.ty)
+            else:
+                scheme = Scheme.mono(rhs.ty)
+            env[name] = scheme
+
+            def wrap(body: C.CoreExpr, name=name, scheme=scheme, rhs=rhs) -> C.CoreExpr:
+                return C.CLet(
+                    ty=body.ty, name=name, scheme=scheme, rhs=rhs, body=body,
+                    span=decl.span,
+                )
+
+            return wrap
+
+        # Destructuring val: bind a scratch variable and match.
+        cpat, bindings = self.elab_pat(pat, rhs.ty, env)
+        if toplevel:
+            self.resolve_overloads()
+        for bname, bty in bindings.items():
+            env[bname] = Scheme.mono(bty)
+        scratch = self.fresh_name("val")
+
+        def wrap_destruct(body: C.CoreExpr) -> C.CoreExpr:
+            case = C.CCase(
+                ty=body.ty,
+                scrut=C.CVar(ty=rhs.ty, name=scratch),
+                clauses=[(cpat, body)],
+                span=decl.span,
+            )
+            return C.CLet(
+                ty=body.ty, name=scratch, scheme=Scheme.mono(rhs.ty),
+                rhs=rhs, body=case, span=decl.span,
+            )
+
+        return wrap_destruct
+
+    def elab_fun(self, decl: A.DFun, env: Dict[str, Scheme], toplevel: bool):
+        # Give each function a fresh monomorphic type for recursive uses.
+        fn_tys = {clause.name: TVar() for clause in decl.clauses}
+        if len(fn_tys) != len(decl.clauses):
+            raise LmlTypeError("duplicate function name in fun group", decl.span)
+        inner_env = dict(env)
+        for name, ty in fn_tys.items():
+            inner_env[name] = Scheme.mono(ty)
+
+        lams: List[Tuple[str, C.CoreExpr]] = []
+        for clause in decl.clauses:
+            lam = self.elab_clause(clause, inner_env)
+            unify(fn_tys[clause.name], lam.ty, clause.span)
+            lams.append((clause.name, lam))
+
+        if toplevel:
+            self.resolve_overloads()
+        bindings = []
+        if toplevel:
+            # Group members share one quantifier list, so monomorphization
+            # can specialize the whole mutually recursive group per key.
+            zonked = [(name, zonk(lam.ty), lam) for name, lam in lams]
+            qvars: List[TVar] = []
+            for _name, zty, _lam in zonked:
+                free_type_vars(zty, qvars)
+            for name, zty, lam in zonked:
+                scheme = Scheme(qvars, zty)
+                env[name] = scheme
+                bindings.append((name, scheme, lam))
+        else:
+            for name, lam in lams:
+                scheme = Scheme.mono(lam.ty)
+                env[name] = scheme
+                bindings.append((name, scheme, lam))
+
+        def wrap(body: C.CoreExpr) -> C.CoreExpr:
+            return C.CLetRec(ty=body.ty, bindings=bindings, body=body, span=decl.span)
+
+        return wrap
+
+    def elab_clause(self, clause: A.FunClause, env: Dict[str, Scheme]) -> C.CoreExpr:
+        """Elaborate one ``fun`` clause into nested lambdas."""
+        return self._elab_params(clause.params, clause, env)
+
+    def _elab_params(
+        self, params: List[A.Pat], clause: A.FunClause, env: Dict[str, Scheme]
+    ) -> C.CoreExpr:
+        if not params:
+            body = self.elab_expr(clause.body, env)
+            if clause.result_ty is not None:
+                annot_ty, spec = self.elab_ty(clause.result_ty, {}, rigid=False)
+                unify(body.ty, annot_ty, clause.span)
+                if not spec.is_trivial():
+                    body = C.CAscribe(ty=body.ty, expr=body, spec=spec, span=clause.span)
+            return body
+        pat, rest = params[0], params[1:]
+        param_spec: Optional[LSpec] = None
+        if isinstance(pat, A.PAnnot):
+            annot_ty, param_spec = self.elab_ty(pat.ty, {}, rigid=False)
+            inner = pat.pat
+        else:
+            annot_ty = None
+            inner = pat
+        param_ty: Type = TVar()
+        if annot_ty is not None:
+            unify(param_ty, annot_ty, pat.span)
+        if isinstance(inner, A.PVar):
+            inner_env = dict(env)
+            inner_env[inner.name] = Scheme.mono(param_ty)
+            body = self._elab_params(rest, clause, inner_env)
+            lam = C.CLam(
+                ty=TArrow(param_ty, body.ty),
+                param=inner.name,
+                param_ty=param_ty,
+                body=body,
+                span=pat.span,
+            )
+        else:
+            cpat, bindings = self.elab_pat(inner, param_ty, env)
+            inner_env = dict(env)
+            for bname, bty in bindings.items():
+                inner_env[bname] = Scheme.mono(bty)
+            body = self._elab_params(rest, clause, inner_env)
+            scratch = self.fresh_name("p")
+            case = C.CCase(
+                ty=body.ty,
+                scrut=C.CVar(ty=param_ty, name=scratch),
+                clauses=[(cpat, body)],
+                span=pat.span,
+            )
+            lam = C.CLam(
+                ty=TArrow(param_ty, body.ty),
+                param=scratch,
+                param_ty=param_ty,
+                body=case,
+                span=pat.span,
+            )
+        if param_spec is not None and not param_spec.is_trivial():
+            lam.param_spec = param_spec  # type: ignore[attr-defined]
+        return lam
+
+    def generalize(self, ty: Type) -> Scheme:
+        """Generalize all residual unification variables (top level only)."""
+        ty = zonk(ty)
+        return Scheme(free_type_vars(ty), ty)
+
+    # ------------------------------------------------------------------
+    # Patterns
+
+    def elab_pat(
+        self, pat: A.Pat, expected: Type, env: Dict[str, Scheme]
+    ) -> Tuple[C.CPat, Dict[str, Type]]:
+        bindings: Dict[str, Type] = {}
+        cpat = self._elab_pat(pat, expected, bindings)
+        return cpat, bindings
+
+    def _elab_pat(self, pat: A.Pat, expected: Type, bindings: Dict[str, Type]) -> C.CPat:
+        if isinstance(pat, A.PAnnot):
+            annot_ty, _spec = self.elab_ty(pat.ty, {}, rigid=False)
+            unify(expected, annot_ty, pat.span)
+            return self._elab_pat(pat.pat, expected, bindings)
+        if isinstance(pat, A.PWild):
+            return C.CPWild(ty=expected, span=pat.span)
+        if isinstance(pat, A.PVar):
+            if pat.name in self.constructors:
+                con = self.constructors[pat.name]
+                if con.arg_ty is not None:
+                    raise LmlTypeError(
+                        f"constructor {pat.name} expects an argument", pat.span
+                    )
+                self._unify_con_result(con, expected, pat.span)
+                return C.CPCon(ty=expected, dt=con.dt, tag=con.tag, args=[], span=pat.span)
+            if pat.name in bindings:
+                raise LmlTypeError(f"duplicate pattern variable {pat.name}", pat.span)
+            bindings[pat.name] = expected
+            return C.CPVar(ty=expected, name=pat.name, span=pat.span)
+        if isinstance(pat, A.PConst):
+            unify(expected, _CONST_TYPES[pat.kind], pat.span)
+            return C.CPConst(ty=expected, value=pat.value, kind=pat.kind, span=pat.span)
+        if isinstance(pat, A.PTuple):
+            item_tys: List[Type] = [TVar() for _ in pat.items]
+            unify(expected, TTuple(item_tys), pat.span)
+            items = [
+                self._elab_pat(p, t, bindings) for p, t in zip(pat.items, item_tys)
+            ]
+            return C.CPTuple(ty=expected, items=items, span=pat.span)
+        if isinstance(pat, A.PCon):
+            if pat.name not in self.constructors:
+                raise LmlTypeError(f"unknown constructor {pat.name}", pat.span)
+            con = self.constructors[pat.name]
+            if con.arg_ty is None:
+                raise LmlTypeError(
+                    f"constructor {pat.name} takes no argument", pat.span
+                )
+            field_ty = self._unify_con_result(con, expected, pat.span)
+            arg = self._elab_pat(pat.arg, field_ty, bindings)
+            return C.CPCon(
+                ty=expected, dt=con.dt, tag=con.tag, args=[arg], span=pat.span
+            )
+        raise AssertionError(f"unknown pattern {pat!r}")
+
+    def _unify_con_result(
+        self, con: C.ConInfo, expected: Type, span: SourceSpan
+    ) -> Optional[Type]:
+        """Unify ``expected`` with the constructor's datatype; return the
+        instantiated field type (None for nullary constructors)."""
+        info = self.datatypes[con.dt]
+        mapping = {id(tv): TVar() for tv in info.tyvars}
+        from repro.lang.types import subst_vars
+
+        result = TCon(con.dt, [mapping[id(tv)] for tv in info.tyvars])
+        unify(expected, result, span)
+        if con.arg_ty is None:
+            return None
+        return subst_vars(con.arg_ty, mapping)
+
+    # ------------------------------------------------------------------
+    # Expressions
+
+    def elab_expr(self, expr: A.Expr, env: Dict[str, Scheme]) -> C.CoreExpr:
+        if isinstance(expr, A.EConst):
+            return C.CConst(
+                ty=_CONST_TYPES[expr.kind], value=expr.value, kind=expr.kind,
+                span=expr.span,
+            )
+        if isinstance(expr, A.EVar):
+            return self.elab_var(expr, env)
+        if isinstance(expr, A.EPrim):
+            return self.elab_prim(expr.op, expr.args, env, expr.span)
+        if isinstance(expr, A.EApp):
+            return self.elab_app(expr, env)
+        if isinstance(expr, A.ETuple):
+            items = [self.elab_expr(e, env) for e in expr.items]
+            return C.CTuple(
+                ty=TTuple([e.ty for e in items]), items=items, span=expr.span
+            )
+        if isinstance(expr, A.EProj):
+            arg = self.elab_expr(expr.arg, env)
+            arg_ty = force(arg.ty)
+            if not isinstance(arg_ty, TTuple):
+                raise LmlTypeError(
+                    "cannot determine tuple shape for #%d projection; "
+                    "add a type annotation" % expr.index,
+                    expr.span,
+                )
+            if not 1 <= expr.index <= len(arg_ty.items):
+                raise LmlTypeError("projection index out of range", expr.span)
+            return C.CProj(
+                ty=arg_ty.items[expr.index - 1], index=expr.index, arg=arg,
+                span=expr.span,
+            )
+        if isinstance(expr, A.EIf):
+            cond = self.elab_expr(expr.cond, env)
+            unify(cond.ty, BOOL, expr.span)
+            then = self.elab_expr(expr.then, env)
+            els = self.elab_expr(expr.els, env)
+            unify(then.ty, els.ty, expr.span)
+            return C.CIf(ty=then.ty, cond=cond, then=then, els=els, span=expr.span)
+        if isinstance(expr, A.ECase):
+            scrut = self.elab_expr(expr.scrut, env)
+            result_ty: Type = TVar()
+            clauses = []
+            for pat, body_expr in expr.clauses:
+                cpat, bindings = self.elab_pat(pat, scrut.ty, env)
+                inner_env = dict(env)
+                for bname, bty in bindings.items():
+                    inner_env[bname] = Scheme.mono(bty)
+                body = self.elab_expr(body_expr, inner_env)
+                unify(body.ty, result_ty, expr.span)
+                clauses.append((cpat, body))
+            return C.CCase(ty=result_ty, scrut=scrut, clauses=clauses, span=expr.span)
+        if isinstance(expr, A.EFn):
+            clause = A.FunClause(
+                name="<fn>", params=[expr.param], result_ty=None, body=expr.body,
+                span=expr.span,
+            )
+            return self._elab_params([expr.param], clause, env)
+        if isinstance(expr, A.ELet):
+            inner_env = dict(env)
+            wrappers = [
+                self.elab_decl(d, inner_env, toplevel=False) for d in expr.decls
+            ]
+            body = self.elab_expr(expr.body, inner_env)
+            for wrap in reversed(wrappers):
+                body = wrap(body)
+            return body
+        if isinstance(expr, A.EAnnot):
+            inner = self.elab_expr(expr.expr, env)
+            annot_ty, spec = self.elab_ty(expr.ty, {}, rigid=False)
+            unify(inner.ty, annot_ty, expr.span)
+            if spec.is_trivial():
+                return inner
+            return C.CAscribe(ty=inner.ty, expr=inner, spec=spec, span=expr.span)
+        if isinstance(expr, A.ERef):
+            arg = self.elab_expr(expr.arg, env)
+            return C.CRef(ty=ref_of(arg.ty), arg=arg, span=expr.span)
+        if isinstance(expr, A.EDeref):
+            arg = self.elab_expr(expr.arg, env)
+            inner_ty: Type = TVar()
+            unify(arg.ty, ref_of(inner_ty), expr.span)
+            return C.CDeref(ty=inner_ty, arg=arg, span=expr.span)
+        if isinstance(expr, A.EAssign):
+            ref = self.elab_expr(expr.ref, env)
+            value = self.elab_expr(expr.value, env)
+            unify(ref.ty, ref_of(value.ty), expr.span)
+            return C.CAssign(ty=UNIT, ref=ref, value=value, span=expr.span)
+        if isinstance(expr, A.ESeq):
+            first = self.elab_expr(expr.first, env)
+            second = self.elab_expr(expr.second, env)
+            return C.CLet(
+                ty=second.ty,
+                name=self.fresh_name("seq"),
+                scheme=Scheme.mono(first.ty),
+                rhs=first,
+                body=second,
+                span=expr.span,
+            )
+        raise AssertionError(f"unknown expression {expr!r}")
+
+    def elab_var(self, expr: A.EVar, env: Dict[str, Scheme]) -> C.CoreExpr:
+        name = expr.name
+        if name in env:
+            scheme = env[name]
+            ty, inst = scheme.instantiate()
+            return C.CVar(
+                ty=ty, name=name, inst=inst if scheme.qvars else None, span=expr.span
+            )
+        if name in self.constructors:
+            con = self.constructors[name]
+            if con.arg_ty is None:
+                result: Type = TVar()
+                self._unify_con_result(con, result, expr.span)
+                return C.CCon(ty=result, dt=con.dt, tag=con.tag, args=[], span=expr.span)
+            # Eta-expand a bare non-nullary constructor.
+            result = TVar()
+            field_ty = self._unify_con_result(con, result, expr.span)
+            assert field_ty is not None
+            param = self.fresh_name("x")
+            body = C.CCon(
+                ty=result, dt=con.dt, tag=con.tag,
+                args=[C.CVar(ty=field_ty, name=param, span=expr.span)],
+                span=expr.span,
+            )
+            return C.CLam(
+                ty=TArrow(field_ty, result), param=param, param_ty=field_ty,
+                body=body, span=expr.span,
+            )
+        if name in BUILTIN_SCHEMES:
+            scheme = BUILTIN_SCHEMES[name]
+            ty, inst = scheme.instantiate()
+            return C.CVar(
+                ty=ty, name=name, inst=inst, is_builtin=True, span=expr.span
+            )
+        if name in NAMED_PRIMS:
+            return self._eta_prim(name, expr.span)
+        raise LmlTypeError(f"unbound variable {name}", expr.span)
+
+    def _eta_prim(self, op: str, span: SourceSpan) -> C.CoreExpr:
+        """Eta-expand a named primitive used in value position."""
+        sig = PRIMS[op]
+        arg_tys, result_ty, over = prim_instance(sig)
+        if over is not None:
+            self.add_overload(over, sig.overload, sig.default, span)
+        if len(arg_tys) == 1:
+            param = self.fresh_name("x")
+            body = C.CPrim(
+                ty=result_ty, op=op, args=[C.CVar(ty=arg_tys[0], name=param, span=span)],
+                span=span,
+            )
+            return C.CLam(
+                ty=TArrow(arg_tys[0], result_ty), param=param, param_ty=arg_tys[0],
+                body=body, span=span,
+            )
+        tup_ty = TTuple(arg_tys)
+        param = self.fresh_name("p")
+        args = [
+            C.CProj(
+                ty=t, index=i + 1, arg=C.CVar(ty=tup_ty, name=param, span=span),
+                span=span,
+            )
+            for i, t in enumerate(arg_tys)
+        ]
+        body = C.CPrim(ty=result_ty, op=op, args=args, span=span)
+        return C.CLam(
+            ty=TArrow(tup_ty, result_ty), param=param, param_ty=tup_ty, body=body,
+            span=span,
+        )
+
+    def elab_prim(
+        self, op: str, args: List[A.Expr], env: Dict[str, Scheme], span: SourceSpan
+    ) -> C.CoreExpr:
+        sig = PRIMS[op]
+        arg_tys, result_ty, over = prim_instance(sig)
+        if over is not None:
+            self.add_overload(over, sig.overload, sig.default, span)
+        if len(args) != len(arg_tys):
+            raise LmlTypeError(f"operator {op} expects {len(arg_tys)} arguments", span)
+        cargs = []
+        for a, expected in zip(args, arg_tys):
+            ca = self.elab_expr(a, env)
+            unify(ca.ty, expected, span)
+            cargs.append(ca)
+        return C.CPrim(ty=result_ty, op=op, args=cargs, span=span)
+
+    def elab_app(self, expr: A.EApp, env: Dict[str, Scheme]) -> C.CoreExpr:
+        fn = expr.fn
+        # Named primitive applied to arguments
+        if isinstance(fn, A.EVar) and fn.name not in env and fn.name in NAMED_PRIMS:
+            sig = PRIMS[fn.name]
+            if len(sig.arg_kinds) == 1:
+                return self.elab_prim(fn.name, [expr.arg], env, expr.span)
+            if isinstance(expr.arg, A.ETuple) and len(expr.arg.items) == len(sig.arg_kinds):
+                return self.elab_prim(fn.name, expr.arg.items, env, expr.span)
+            raise LmlTypeError(
+                f"primitive {fn.name} must be applied to a "
+                f"{len(sig.arg_kinds)}-tuple",
+                expr.span,
+            )
+        # Constructor application
+        if isinstance(fn, A.EVar) and fn.name not in env and fn.name in self.constructors:
+            con = self.constructors[fn.name]
+            if con.arg_ty is None:
+                raise LmlTypeError(
+                    f"constructor {fn.name} takes no argument", expr.span
+                )
+            result: Type = TVar()
+            field_ty = self._unify_con_result(con, result, expr.span)
+            assert field_ty is not None
+            arg = self.elab_expr(expr.arg, env)
+            unify(arg.ty, field_ty, expr.span)
+            return C.CCon(
+                ty=result, dt=con.dt, tag=con.tag, args=[arg], span=expr.span
+            )
+        cfn = self.elab_expr(fn, env)
+        carg = self.elab_expr(expr.arg, env)
+        result_ty: Type = TVar()
+        unify(cfn.ty, TArrow(carg.ty, result_ty), expr.span)
+        return C.CApp(ty=result_ty, fn=cfn, arg=carg, span=expr.span)
+
+
+def _subst_tysyn(ts: A.TySyn, mapping: Dict[str, A.TySyn]) -> A.TySyn:
+    """Substitute type syntax for type variables (abbreviation expansion)."""
+    if isinstance(ts, A.TSVar):
+        return mapping.get(ts.name, ts)
+    if isinstance(ts, A.TSCon):
+        return A.TSCon(
+            name=ts.name, args=[_subst_tysyn(a, mapping) for a in ts.args],
+            span=ts.span,
+        )
+    if isinstance(ts, A.TSTuple):
+        return A.TSTuple(
+            items=[_subst_tysyn(t, mapping) for t in ts.items], span=ts.span
+        )
+    if isinstance(ts, A.TSArrow):
+        return A.TSArrow(
+            dom=_subst_tysyn(ts.dom, mapping), cod=_subst_tysyn(ts.cod, mapping),
+            span=ts.span,
+        )
+    if isinstance(ts, A.TSLevel):
+        return A.TSLevel(
+            body=_subst_tysyn(ts.body, mapping), level=ts.level, span=ts.span
+        )
+    raise AssertionError(f"unknown type syntax {ts!r}")
+
+
+def _is_value(expr: A.Expr) -> bool:
+    """SML value restriction: may this expression be generalized?"""
+    if isinstance(expr, (A.EFn, A.EConst, A.EVar)):
+        return True
+    if isinstance(expr, A.ETuple):
+        return all(_is_value(e) for e in expr.items)
+    if isinstance(expr, A.EAnnot):
+        return _is_value(expr.expr)
+    return False
+
+
+def elaborate(program: A.Program, main: str = "main") -> C.CoreProgram:
+    """Elaborate a parsed program into typed Core IR."""
+    return Elaborator().elab_program(program, main)

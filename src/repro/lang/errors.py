@@ -1,0 +1,55 @@
+"""Source-located diagnostics for the LML frontend and compiler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A half-open region of the source text, for error messages."""
+
+    line: int = 0
+    col: int = 0
+    end_line: int = 0
+    end_col: int = 0
+
+    def __str__(self) -> str:
+        if self.line == 0:
+            return "<unknown>"
+        return f"{self.line}:{self.col}"
+
+
+NO_SPAN = SourceSpan()
+
+
+class LmlError(Exception):
+    """Base class for all LML language errors."""
+
+    def __init__(self, message: str, span: Optional[SourceSpan] = None) -> None:
+        self.span = span or NO_SPAN
+        self.message = message
+        super().__init__(f"{self.span}: {message}" if span else message)
+
+
+class LmlSyntaxError(LmlError):
+    """Lexing or parsing failure."""
+
+
+class LmlTypeError(LmlError):
+    """ML type error (unification failure, arity mismatch, unbound name)."""
+
+
+class LmlLevelError(LmlError):
+    """Level inference failure.
+
+    Raised when changeable data flows into a position whose level is rigidly
+    stable (an unannotated datatype field), telling the programmer where a
+    ``$C`` annotation is needed -- the analogue of the paper's level type
+    checking.
+    """
+
+
+class LmlCompileError(LmlError):
+    """Internal consistency failure in a compiler pass."""

@@ -1,0 +1,63 @@
+"""Level specifications: the shape of ``$C`` annotations.
+
+A :class:`LSpec` mirrors the structure of a type and records, per position,
+what the programmer said about its level:
+
+* ``level='C'`` -- annotated changeable (``$C``);
+* ``level='S'`` -- explicitly stable (``$S``, or an unannotated concrete
+  position in a *datatype declaration*, which is rigid);
+* ``level=None`` -- unconstrained: level inference decides.
+
+``rigid`` distinguishes datatype-field positions (where an unannotated
+position *must* stay stable -- inferring C there is a level error asking the
+programmer for an annotation) from ordinary expression annotations (where
+unannotated positions are flexible).
+
+Positions occupied by type variables are ``FLEX`` leaves: their levels come
+entirely from the instantiation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class LSpec:
+    kind: str  # 'base' | 'tuple' | 'arrow' | 'con' | 'flex'
+    level: Optional[str] = None  # 'C' | 'S' | None
+    rigid: bool = False
+    children: List["LSpec"] = field(default_factory=list)
+    name: str = ""  # for kind == 'con': the type constructor name
+
+    def with_level(self, level: str, rigid: bool) -> "LSpec":
+        """A copy of this spec with the top level (re)set."""
+        return LSpec(self.kind, level, rigid, self.children, self.name)
+
+    def is_trivial(self) -> bool:
+        """True if the spec constrains nothing (no level anywhere)."""
+        if self.level is not None:
+            return False
+        return all(c.is_trivial() for c in self.children)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        mark = {"C": "$C", "S": "$S", None: ""}[self.level]
+        if self.kind == "flex":
+            return "_" + mark
+        if self.kind == "base":
+            return self.name + mark
+        if self.kind == "tuple":
+            return "(" + " * ".join(map(str, self.children)) + ")" + mark
+        if self.kind == "arrow":
+            return f"({self.children[0]} -> {self.children[1]}){mark}"
+        inner = ", ".join(map(str, self.children))
+        return f"({inner}) {self.name}{mark}"
+
+
+def flex() -> LSpec:
+    return LSpec("flex")
+
+
+def base(name: str, level: Optional[str] = None, rigid: bool = False) -> LSpec:
+    return LSpec("base", level, rigid, [], name)

@@ -1,0 +1,226 @@
+"""Lexer for LML.
+
+LML's concrete syntax is a subset of Standard ML plus the ``$C`` level
+qualifier (paper Section 3.2: "we extended the MLton lexer and parser to
+handle types with $C annotations").  Comments are SML's ``(* ... *)`` and
+nest.  Real literals require a digit on both sides of the dot.  ``~`` is
+accepted as the unary minus on literals, as in SML.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List
+
+from repro.lang.errors import LmlSyntaxError, SourceSpan
+
+KEYWORDS = {
+    "datatype",
+    "type",
+    "fun",
+    "val",
+    "and",
+    "fn",
+    "case",
+    "of",
+    "let",
+    "in",
+    "end",
+    "if",
+    "then",
+    "else",
+    "andalso",
+    "orelse",
+    "ref",
+    "true",
+    "false",
+    "div",
+    "mod",
+    "not",
+    "rec",
+}
+
+# Multi-character symbols must come before their prefixes.
+SYMBOLS = [
+    "=>",
+    "->",
+    ":=",
+    "<=",
+    ">=",
+    "<>",
+    "$C",
+    "$S",
+    "(",
+    ")",
+    ",",
+    "|",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    ";",
+    ":",
+    "_",
+    "!",
+    "^",
+    "~",
+    "#",
+    "'",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'tyvar' | 'int' | 'real' | 'string' | keyword | symbol | 'eof'
+    value: Any
+    span: SourceSpan
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind!r}, {self.value!r})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``, raising :class:`LmlSyntaxError` on bad input."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def span(length: int = 1) -> SourceSpan:
+        return SourceSpan(line, col, line, col + length)
+
+    while i < n:
+        ch = source[i]
+        # Whitespace
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        # Nested comments
+        if source.startswith("(*", i):
+            depth = 1
+            start_span = span(2)
+            i += 2
+            col += 2
+            while i < n and depth > 0:
+                if source.startswith("(*", i):
+                    depth += 1
+                    i += 2
+                    col += 2
+                elif source.startswith("*)", i):
+                    depth -= 1
+                    i += 2
+                    col += 2
+                elif source[i] == "\n":
+                    i += 1
+                    line += 1
+                    col = 1
+                else:
+                    i += 1
+                    col += 1
+            if depth > 0:
+                raise LmlSyntaxError("unterminated comment", start_span)
+            continue
+        # String literals
+        if ch == '"':
+            j = i + 1
+            buf = []
+            while j < n and source[j] != '"':
+                if source[j] == "\\" and j + 1 < n:
+                    esc = source[j + 1]
+                    buf.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(esc, esc))
+                    j += 2
+                elif source[j] == "\n":
+                    raise LmlSyntaxError("newline in string literal", span())
+                else:
+                    buf.append(source[j])
+                    j += 1
+            if j >= n:
+                raise LmlSyntaxError("unterminated string literal", span())
+            text = "".join(buf)
+            yield Token("string", text, span(j + 1 - i))
+            col += j + 1 - i
+            i = j + 1
+            continue
+        # Numbers (with optional SML-style ~ negation)
+        if ch.isdigit() or (ch == "~" and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            neg = False
+            if source[j] == "~":
+                neg = True
+                j += 1
+            k = j
+            while k < n and source[k].isdigit():
+                k += 1
+            is_real = False
+            if k < n and source[k] == "." and k + 1 < n and source[k + 1].isdigit():
+                is_real = True
+                k += 1
+                while k < n and source[k].isdigit():
+                    k += 1
+            if k < n and source[k] in "eE":
+                m = k + 1
+                if m < n and source[m] in "+-~":
+                    m += 1
+                if m < n and source[m].isdigit():
+                    is_real = True
+                    k = m
+                    while k < n and source[k].isdigit():
+                        k += 1
+            text = source[j:k].replace("~", "-")
+            if is_real:
+                value: Any = float(text)
+            else:
+                value = int(text)
+            if neg:
+                value = -value
+            yield Token("real" if is_real else "int", value, span(k - i))
+            col += k - i
+            i = k
+            continue
+        # Type variables 'a
+        if ch == "'" and i + 1 < n and (source[i + 1].isalpha() or source[i + 1] == "_"):
+            j = i + 1
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            yield Token("tyvar", source[i:j], span(j - i))
+            col += j - i
+            i = j
+            continue
+        # Identifiers and keywords
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] in "_'"):
+                j += 1
+            word = source[i:j]
+            if word == "_" and j - i == 1:
+                yield Token("_", "_", span(1))
+            elif word in KEYWORDS:
+                yield Token(word, word, span(j - i))
+            else:
+                yield Token("ident", word, span(j - i))
+            col += j - i
+            i = j
+            continue
+        # Symbols
+        for sym in SYMBOLS:
+            if source.startswith(sym, i):
+                yield Token(sym, sym, span(len(sym)))
+                col += len(sym)
+                i += len(sym)
+                break
+        else:
+            raise LmlSyntaxError(f"unexpected character {ch!r}", span())
+    yield Token("eof", None, SourceSpan(line, col, line, col))

@@ -1,0 +1,460 @@
+"""Recursive-descent parser for LML.
+
+Produces the surface AST of :mod:`repro.lang.ast`.  The grammar is the SML
+subset described in DESIGN.md, with the ``$C`` qualifier as a postfix type
+operator (binding tighter than ``*`` and ``->``), so ``(int $C) vector`` and
+``int $C vector`` both denote a stable vector of changeable integers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.lang import ast as A
+from repro.lang.errors import LmlSyntaxError
+from repro.lang.lexer import Token, tokenize
+
+# Tokens that may start an atomic expression (used to detect application).
+_ATOM_START = {"ident", "int", "real", "string", "true", "false", "(", "let", "#", "ref"}
+
+# Tokens that may start an atomic pattern.
+_PATOM_START = {"ident", "int", "real", "string", "true", "false", "(", "_"}
+
+_CMP_OPS = {"=", "<>", "<", "<=", ">", ">="}
+_ADD_OPS = {"+", "-", "^"}
+_MUL_OPS = {"*", "/", "div", "mod"}
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token utilities ------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def at(self, kind: str) -> bool:
+        return self.peek().kind == kind
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def expect(self, kind: str) -> Token:
+        tok = self.peek()
+        if tok.kind != kind:
+            raise LmlSyntaxError(f"expected {kind!r}, found {tok.kind!r}", tok.span)
+        return self.advance()
+
+    # -- program and declarations ----------------------------------------
+
+    def parse_program(self) -> A.Program:
+        decls: List[A.Decl] = []
+        while not self.at("eof"):
+            decls.append(self.parse_decl())
+            while self.at(";"):
+                self.advance()
+        return A.Program(decls)
+
+    def parse_decl(self) -> A.Decl:
+        tok = self.peek()
+        if tok.kind == "datatype":
+            return self.parse_datatype()
+        if tok.kind == "type":
+            return self.parse_type_abbrev()
+        if tok.kind == "fun":
+            return self.parse_fun()
+        if tok.kind == "val":
+            return self.parse_val()
+        raise LmlSyntaxError(f"expected a declaration, found {tok.kind!r}", tok.span)
+
+    def parse_tyvar_prefix(self) -> List[str]:
+        """Parse the optional type parameter prefix: ``'a`` or ``('a, 'b)``."""
+        if self.at("tyvar"):
+            return [self.advance().value]
+        if self.at("(") and self.peek(1).kind == "tyvar":
+            self.advance()
+            names = [self.expect("tyvar").value]
+            while self.at(","):
+                self.advance()
+                names.append(self.expect("tyvar").value)
+            self.expect(")")
+            return names
+        return []
+
+    def parse_datatype(self) -> A.DDatatype:
+        span = self.expect("datatype").span
+        tyvars = self.parse_tyvar_prefix()
+        name = self.expect("ident").value
+        self.expect("=")
+        constructors: List[Tuple[str, Optional[A.TySyn]]] = []
+        while True:
+            con = self.expect("ident").value
+            arg_ty = None
+            if self.at("of"):
+                self.advance()
+                arg_ty = self.parse_type()
+            constructors.append((con, arg_ty))
+            if self.at("|"):
+                self.advance()
+                continue
+            break
+        return A.DDatatype(name=name, tyvars=tyvars, constructors=constructors, span=span)
+
+    def parse_type_abbrev(self) -> A.DTypeAbbrev:
+        span = self.expect("type").span
+        tyvars = self.parse_tyvar_prefix()
+        name = self.expect("ident").value
+        self.expect("=")
+        body = self.parse_type()
+        return A.DTypeAbbrev(name=name, tyvars=tyvars, body=body, span=span)
+
+    def parse_fun(self) -> A.DFun:
+        span = self.expect("fun").span
+        clauses = [self.parse_fun_clause()]
+        while self.at("and"):
+            self.advance()
+            clauses.append(self.parse_fun_clause())
+        return A.DFun(clauses=clauses, span=span)
+
+    def parse_fun_clause(self) -> A.FunClause:
+        name_tok = self.expect("ident")
+        params: List[A.Pat] = []
+        while self.peek().kind in _PATOM_START:
+            params.append(self.parse_pat_atom())
+        if not params:
+            raise LmlSyntaxError("function binding needs parameters", name_tok.span)
+        result_ty = None
+        if self.at(":"):
+            self.advance()
+            result_ty = self.parse_type()
+        self.expect("=")
+        body = self.parse_expr()
+        return A.FunClause(
+            name=name_tok.value,
+            params=params,
+            result_ty=result_ty,
+            body=body,
+            span=name_tok.span,
+        )
+
+    def parse_val(self) -> A.DVal:
+        span = self.expect("val").span
+        pat = self.parse_pattern()
+        self.expect("=")
+        expr = self.parse_expr()
+        return A.DVal(pat=pat, expr=expr, span=span)
+
+    # -- patterns ---------------------------------------------------------
+
+    def parse_pattern(self) -> A.Pat:
+        pat = self.parse_pat_app()
+        if self.at(":"):
+            self.advance()
+            ty = self.parse_type()
+            return A.PAnnot(pat=pat, ty=ty, span=pat.span)
+        return pat
+
+    def parse_pat_app(self) -> A.Pat:
+        if self.at("ident") and self.peek(1).kind in _PATOM_START:
+            name_tok = self.advance()
+            arg = self.parse_pat_atom()
+            return A.PCon(name=name_tok.value, arg=arg, span=name_tok.span)
+        return self.parse_pat_atom()
+
+    def parse_pat_atom(self) -> A.Pat:
+        tok = self.peek()
+        if tok.kind == "_":
+            self.advance()
+            return A.PWild(span=tok.span)
+        if tok.kind == "ident":
+            self.advance()
+            return A.PVar(name=tok.value, span=tok.span)
+        if tok.kind == "int":
+            self.advance()
+            return A.PConst(value=tok.value, kind="int", span=tok.span)
+        if tok.kind == "real":
+            self.advance()
+            return A.PConst(value=tok.value, kind="real", span=tok.span)
+        if tok.kind == "string":
+            self.advance()
+            return A.PConst(value=tok.value, kind="string", span=tok.span)
+        if tok.kind in ("true", "false"):
+            self.advance()
+            return A.PConst(value=tok.kind == "true", kind="bool", span=tok.span)
+        if tok.kind == "(":
+            self.advance()
+            if self.at(")"):
+                self.advance()
+                return A.PConst(value=(), kind="unit", span=tok.span)
+            items = [self.parse_pattern()]
+            while self.at(","):
+                self.advance()
+                items.append(self.parse_pattern())
+            self.expect(")")
+            if len(items) == 1:
+                return items[0]
+            return A.PTuple(items=items, span=tok.span)
+        raise LmlSyntaxError(f"expected a pattern, found {tok.kind!r}", tok.span)
+
+    # -- types --------------------------------------------------------------
+
+    def parse_type(self) -> A.TySyn:
+        left = self.parse_type_tuple()
+        if self.at("->"):
+            self.advance()
+            right = self.parse_type()
+            return A.TSArrow(dom=left, cod=right, span=left.span)
+        return left
+
+    def parse_type_tuple(self) -> A.TySyn:
+        items = [self.parse_type_post()]
+        while self.at("*"):
+            self.advance()
+            items.append(self.parse_type_post())
+        if len(items) == 1:
+            return items[0]
+        return A.TSTuple(items=items, span=items[0].span)
+
+    def parse_type_post(self) -> A.TySyn:
+        ty = self.parse_type_atom()
+        while True:
+            tok = self.peek()
+            if tok.kind == "ident":
+                self.advance()
+                ty = A.TSCon(name=tok.value, args=[ty], span=tok.span)
+            elif tok.kind == "ref":
+                self.advance()
+                ty = A.TSCon(name="ref", args=[ty], span=tok.span)
+            elif tok.kind == "$C":
+                self.advance()
+                ty = A.TSLevel(body=ty, level="C", span=tok.span)
+            elif tok.kind == "$S":
+                self.advance()
+                ty = A.TSLevel(body=ty, level="S", span=tok.span)
+            else:
+                break
+        return ty
+
+    def parse_type_atom(self) -> A.TySyn:
+        tok = self.peek()
+        if tok.kind == "tyvar":
+            self.advance()
+            return A.TSVar(name=tok.value, span=tok.span)
+        if tok.kind == "ident":
+            self.advance()
+            return A.TSCon(name=tok.value, args=[], span=tok.span)
+        if tok.kind == "(":
+            self.advance()
+            first = self.parse_type()
+            if self.at(","):
+                args = [first]
+                while self.at(","):
+                    self.advance()
+                    args.append(self.parse_type())
+                self.expect(")")
+                name_tok = self.expect("ident")
+                return A.TSCon(name=name_tok.value, args=args, span=tok.span)
+            self.expect(")")
+            return first
+        raise LmlSyntaxError(f"expected a type, found {tok.kind!r}", tok.span)
+
+    # -- expressions -----------------------------------------------------
+
+    def parse_expr(self) -> A.Expr:
+        tok = self.peek()
+        if tok.kind == "fn":
+            self.advance()
+            param = self.parse_pat_app()
+            self.expect("=>")
+            body = self.parse_expr()
+            return A.EFn(param=param, body=body, span=tok.span)
+        if tok.kind == "if":
+            self.advance()
+            cond = self.parse_expr()
+            self.expect("then")
+            then = self.parse_expr()
+            self.expect("else")
+            els = self.parse_expr()
+            return A.EIf(cond=cond, then=then, els=els, span=tok.span)
+        if tok.kind == "case":
+            self.advance()
+            scrut = self.parse_expr()
+            self.expect("of")
+            clauses = [self.parse_case_clause()]
+            while self.at("|"):
+                self.advance()
+                clauses.append(self.parse_case_clause())
+            return A.ECase(scrut=scrut, clauses=clauses, span=tok.span)
+        return self.parse_assign()
+
+    def parse_case_clause(self) -> Tuple[A.Pat, A.Expr]:
+        pat = self.parse_pattern()
+        self.expect("=>")
+        body = self.parse_expr()
+        return (pat, body)
+
+    def parse_assign(self) -> A.Expr:
+        left = self.parse_orelse()
+        if self.at(":="):
+            tok = self.advance()
+            right = self.parse_expr()
+            return A.EAssign(ref=left, value=right, span=tok.span)
+        return left
+
+    def parse_orelse(self) -> A.Expr:
+        left = self.parse_andalso()
+        while self.at("orelse"):
+            tok = self.advance()
+            right = self.parse_andalso()
+            # e1 orelse e2  ==  if e1 then true else e2
+            left = A.EIf(
+                cond=left,
+                then=A.EConst(value=True, kind="bool", span=tok.span),
+                els=right,
+                span=tok.span,
+            )
+        return left
+
+    def parse_andalso(self) -> A.Expr:
+        left = self.parse_cmp()
+        while self.at("andalso"):
+            tok = self.advance()
+            right = self.parse_cmp()
+            # e1 andalso e2  ==  if e1 then e2 else false
+            left = A.EIf(
+                cond=left,
+                then=right,
+                els=A.EConst(value=False, kind="bool", span=tok.span),
+                span=tok.span,
+            )
+        return left
+
+    def parse_cmp(self) -> A.Expr:
+        left = self.parse_additive()
+        if self.peek().kind in _CMP_OPS:
+            tok = self.advance()
+            right = self.parse_additive()
+            return A.EPrim(op=tok.kind, args=[left, right], span=tok.span)
+        return left
+
+    def parse_additive(self) -> A.Expr:
+        left = self.parse_mult()
+        while self.peek().kind in _ADD_OPS:
+            tok = self.advance()
+            right = self.parse_mult()
+            left = A.EPrim(op=tok.kind, args=[left, right], span=tok.span)
+        return left
+
+    def parse_mult(self) -> A.Expr:
+        left = self.parse_unary()
+        while self.peek().kind in _MUL_OPS:
+            tok = self.advance()
+            right = self.parse_unary()
+            left = A.EPrim(op=tok.kind, args=[left, right], span=tok.span)
+        return left
+
+    def parse_unary(self) -> A.Expr:
+        tok = self.peek()
+        if tok.kind == "~":
+            self.advance()
+            return A.EPrim(op="~", args=[self.parse_unary()], span=tok.span)
+        if tok.kind == "not":
+            self.advance()
+            return A.EPrim(op="not", args=[self.parse_unary()], span=tok.span)
+        if tok.kind == "!":
+            self.advance()
+            return A.EDeref(arg=self.parse_unary(), span=tok.span)
+        return self.parse_app()
+
+    def parse_app(self) -> A.Expr:
+        expr = self.parse_atom()
+        while self.peek().kind in _ATOM_START:
+            arg = self.parse_atom()
+            expr = A.EApp(fn=expr, arg=arg, span=expr.span)
+        return expr
+
+    def parse_atom(self) -> A.Expr:
+        tok = self.peek()
+        if tok.kind == "ident":
+            self.advance()
+            return A.EVar(name=tok.value, span=tok.span)
+        if tok.kind == "int":
+            self.advance()
+            return A.EConst(value=tok.value, kind="int", span=tok.span)
+        if tok.kind == "real":
+            self.advance()
+            return A.EConst(value=tok.value, kind="real", span=tok.span)
+        if tok.kind == "string":
+            self.advance()
+            return A.EConst(value=tok.value, kind="string", span=tok.span)
+        if tok.kind in ("true", "false"):
+            self.advance()
+            return A.EConst(value=tok.kind == "true", kind="bool", span=tok.span)
+        if tok.kind == "ref":
+            self.advance()
+            return A.ERef(arg=self.parse_atom(), span=tok.span)
+        if tok.kind == "#":
+            self.advance()
+            index_tok = self.expect("int")
+            arg = self.parse_atom()
+            return A.EProj(index=index_tok.value, arg=arg, span=tok.span)
+        if tok.kind == "let":
+            self.advance()
+            decls = []
+            while not self.at("in"):
+                decls.append(self.parse_decl())
+                while self.at(";"):
+                    self.advance()
+            self.expect("in")
+            body = self.parse_expr()
+            self.expect("end")
+            return A.ELet(decls=decls, body=body, span=tok.span)
+        if tok.kind == "(":
+            self.advance()
+            if self.at(")"):
+                self.advance()
+                return A.EConst(value=(), kind="unit", span=tok.span)
+            first = self.parse_expr()
+            if self.at(":"):
+                self.advance()
+                ty = self.parse_type()
+                self.expect(")")
+                return A.EAnnot(expr=first, ty=ty, span=tok.span)
+            if self.at(";"):
+                exprs = [first]
+                while self.at(";"):
+                    self.advance()
+                    exprs.append(self.parse_expr())
+                self.expect(")")
+                result = exprs[-1]
+                for e in reversed(exprs[:-1]):
+                    result = A.ESeq(first=e, second=result, span=e.span)
+                return result
+            if self.at(","):
+                items = [first]
+                while self.at(","):
+                    self.advance()
+                    items.append(self.parse_expr())
+                self.expect(")")
+                return A.ETuple(items=items, span=tok.span)
+            self.expect(")")
+            return first
+        raise LmlSyntaxError(f"expected an expression, found {tok.kind!r}", tok.span)
+
+
+def parse_program(source: str) -> A.Program:
+    """Parse an LML compilation unit (a sequence of declarations)."""
+    return Parser(tokenize(source)).parse_program()
+
+
+def parse_expr(source: str) -> A.Expr:
+    """Parse a single LML expression (useful in tests)."""
+    parser = Parser(tokenize(source))
+    expr = parser.parse_expr()
+    parser.expect("eof")
+    return expr

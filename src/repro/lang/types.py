@@ -1,0 +1,287 @@
+"""ML types, schemes, and unification for LML.
+
+Levels are *not* represented here: following the paper's pipeline, level
+inference runs later on the monomorphic program (:mod:`repro.core.levels`).
+Level annotations are carried separately as :class:`LevelSpec` trees built
+from the same type syntax (see :mod:`repro.lang.elaborate`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang.errors import LmlTypeError, SourceSpan
+
+_fresh_counter = itertools.count()
+
+
+class Type:
+    """Base class of semantic types."""
+
+    __slots__ = ()
+
+
+class TVar(Type):
+    """A unification variable (mutable link)."""
+
+    __slots__ = ("id", "link")
+
+    def __init__(self) -> None:
+        self.id = next(_fresh_counter)
+        self.link: Optional[Type] = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"'t{self.id}" if self.link is None else repr(self.link)
+
+
+class TCon(Type):
+    """A named type constructor application: base types, ``vector``, ``ref``,
+    and (possibly monomorphized) datatypes."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Optional[List[Type]] = None) -> None:
+        self.name = name
+        self.args = args or []
+
+    def __repr__(self) -> str:  # pragma: no cover
+        if not self.args:
+            return self.name
+        return f"({', '.join(map(repr, self.args))}) {self.name}"
+
+
+class TTuple(Type):
+    __slots__ = ("items",)
+
+    def __init__(self, items: List[Type]) -> None:
+        self.items = items
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "(" + " * ".join(map(repr, self.items)) + ")"
+
+
+class TArrow(Type):
+    __slots__ = ("dom", "cod")
+
+    def __init__(self, dom: Type, cod: Type) -> None:
+        self.dom = dom
+        self.cod = cod
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"({self.dom!r} -> {self.cod!r})"
+
+
+# Base type singletons are functions (fresh nodes are unnecessary: TCon with
+# no args is immutable, so sharing is safe).
+INT = TCon("int")
+REAL = TCon("real")
+BOOL = TCon("bool")
+STRING = TCon("string")
+UNIT = TCon("unit")
+
+BASE_NAMES = {"int", "real", "bool", "string", "unit"}
+
+
+def vector_of(elem: Type) -> Type:
+    return TCon("vector", [elem])
+
+
+def ref_of(inner: Type) -> Type:
+    return TCon("ref", [inner])
+
+
+def force(ty: Type) -> Type:
+    """Resolve unification links (with path compression)."""
+    while isinstance(ty, TVar) and ty.link is not None:
+        if isinstance(ty.link, TVar) and ty.link.link is not None:
+            ty.link = ty.link.link  # path compression
+        ty = ty.link
+    return ty
+
+
+def occurs(var: TVar, ty: Type) -> bool:
+    ty = force(ty)
+    if ty is var:
+        return True
+    if isinstance(ty, TCon):
+        return any(occurs(var, a) for a in ty.args)
+    if isinstance(ty, TTuple):
+        return any(occurs(var, t) for t in ty.items)
+    if isinstance(ty, TArrow):
+        return occurs(var, ty.dom) or occurs(var, ty.cod)
+    return False
+
+
+def unify(a: Type, b: Type, span: Optional[SourceSpan] = None) -> None:
+    """Unify two types in place, raising :class:`LmlTypeError` on mismatch."""
+    a = force(a)
+    b = force(b)
+    if a is b:
+        return
+    if isinstance(a, TVar):
+        if occurs(a, b):
+            raise LmlTypeError(f"occurs check: circular type {a!r} in {b!r}", span)
+        a.link = b
+        return
+    if isinstance(b, TVar):
+        unify(b, a, span)
+        return
+    if isinstance(a, TCon) and isinstance(b, TCon):
+        if a.name != b.name or len(a.args) != len(b.args):
+            raise LmlTypeError(f"type mismatch: {a!r} vs {b!r}", span)
+        for x, y in zip(a.args, b.args):
+            unify(x, y, span)
+        return
+    if isinstance(a, TTuple) and isinstance(b, TTuple):
+        if len(a.items) != len(b.items):
+            raise LmlTypeError(
+                f"tuple arity mismatch: {len(a.items)} vs {len(b.items)}", span
+            )
+        for x, y in zip(a.items, b.items):
+            unify(x, y, span)
+        return
+    if isinstance(a, TArrow) and isinstance(b, TArrow):
+        unify(a.dom, b.dom, span)
+        unify(a.cod, b.cod, span)
+        return
+    raise LmlTypeError(f"type mismatch: {a!r} vs {b!r}", span)
+
+
+def zonk(ty: Type) -> Type:
+    """Fully resolve a type, rebuilding nodes so no live TVar links remain.
+
+    Unresolved variables are left in place (they become scheme parameters or
+    get defaulted).
+    """
+    ty = force(ty)
+    if isinstance(ty, TVar):
+        return ty
+    if isinstance(ty, TCon):
+        if not ty.args:
+            return ty
+        return TCon(ty.name, [zonk(a) for a in ty.args])
+    if isinstance(ty, TTuple):
+        return TTuple([zonk(t) for t in ty.items])
+    if isinstance(ty, TArrow):
+        return TArrow(zonk(ty.dom), zonk(ty.cod))
+    raise AssertionError(f"unknown type node {ty!r}")
+
+
+def free_type_vars(ty: Type, acc: Optional[List[TVar]] = None) -> List[TVar]:
+    """Free unification variables of ``ty`` in first-occurrence order."""
+    if acc is None:
+        acc = []
+    ty = force(ty)
+    if isinstance(ty, TVar):
+        if ty not in acc:
+            acc.append(ty)
+    elif isinstance(ty, TCon):
+        for a in ty.args:
+            free_type_vars(a, acc)
+    elif isinstance(ty, TTuple):
+        for t in ty.items:
+            free_type_vars(t, acc)
+    elif isinstance(ty, TArrow):
+        free_type_vars(ty.dom, acc)
+        free_type_vars(ty.cod, acc)
+    return acc
+
+
+@dataclass
+class Scheme:
+    """A type scheme: forall qvars. body."""
+
+    qvars: List[TVar]
+    body: Type
+
+    def instantiate(self) -> Tuple[Type, List[Type]]:
+        """Return (fresh instance, instantiation types for each qvar)."""
+        mapping: Dict[int, Type] = {}
+        inst: List[Type] = []
+        for qv in self.qvars:
+            fresh = TVar()
+            mapping[id(qv)] = fresh
+            inst.append(fresh)
+        return _subst_qvars(self.body, mapping), inst
+
+    @staticmethod
+    def mono(ty: Type) -> "Scheme":
+        return Scheme([], ty)
+
+
+def _subst_qvars(ty: Type, mapping: Dict[int, Type]) -> Type:
+    ty = force(ty)
+    if isinstance(ty, TVar):
+        return mapping.get(id(ty), ty)
+    if isinstance(ty, TCon):
+        if not ty.args:
+            return ty
+        return TCon(ty.name, [_subst_qvars(a, mapping) for a in ty.args])
+    if isinstance(ty, TTuple):
+        return TTuple([_subst_qvars(t, mapping) for t in ty.items])
+    if isinstance(ty, TArrow):
+        return TArrow(_subst_qvars(ty.dom, mapping), _subst_qvars(ty.cod, mapping))
+    raise AssertionError(f"unknown type node {ty!r}")
+
+
+def subst_vars(ty: Type, mapping: Dict[int, Type]) -> Type:
+    """Substitute for free TVars by id (used by monomorphization)."""
+    return _subst_qvars(ty, mapping)
+
+
+def type_equal(a: Type, b: Type) -> bool:
+    """Structural equality of (zonked) types; TVars compare by identity."""
+    a = force(a)
+    b = force(b)
+    if a is b:
+        return True
+    if isinstance(a, TCon) and isinstance(b, TCon):
+        return (
+            a.name == b.name
+            and len(a.args) == len(b.args)
+            and all(type_equal(x, y) for x, y in zip(a.args, b.args))
+        )
+    if isinstance(a, TTuple) and isinstance(b, TTuple):
+        return len(a.items) == len(b.items) and all(
+            type_equal(x, y) for x, y in zip(a.items, b.items)
+        )
+    if isinstance(a, TArrow) and isinstance(b, TArrow):
+        return type_equal(a.dom, b.dom) and type_equal(a.cod, b.cod)
+    return False
+
+
+def mangle(ty: Type) -> str:
+    """A canonical string for a ground type (monomorphization keys)."""
+    ty = force(ty)
+    if isinstance(ty, TVar):
+        # Residual polymorphism defaults to unit during monomorphization.
+        return "unit"
+    if isinstance(ty, TCon):
+        if not ty.args:
+            return ty.name
+        return ty.name + "<" + ",".join(mangle(a) for a in ty.args) + ">"
+    if isinstance(ty, TTuple):
+        return "(" + "*".join(mangle(t) for t in ty.items) + ")"
+    if isinstance(ty, TArrow):
+        return "(" + mangle(ty.dom) + "->" + mangle(ty.cod) + ")"
+    raise AssertionError(f"unknown type node {ty!r}")
+
+
+def pretty(ty: Type) -> str:
+    """Human-readable rendering for diagnostics."""
+    ty = force(ty)
+    if isinstance(ty, TVar):
+        return f"'t{ty.id}"
+    if isinstance(ty, TCon):
+        if not ty.args:
+            return ty.name
+        if len(ty.args) == 1:
+            return f"{pretty(ty.args[0])} {ty.name}"
+        return "(" + ", ".join(pretty(a) for a in ty.args) + f") {ty.name}"
+    if isinstance(ty, TTuple):
+        return "(" + " * ".join(pretty(t) for t in ty.items) + ")"
+    if isinstance(ty, TArrow):
+        return f"({pretty(ty.dom)} -> {pretty(ty.cod)})"
+    raise AssertionError

@@ -1,0 +1,41 @@
+"""Self-adjusting computation runtime.
+
+This package is the run-time substrate of the LML reproduction (paper
+Sections 3.5-3.6): modifiables, a totally ordered execution trace built from
+order-maintenance timestamps, memoization with trace reuse, and the change
+propagation engine.  It can also be used directly from Python as an AFL-style
+combinator library (the paper's hand-written baseline, Section 4.9).
+
+Typical direct use::
+
+    from repro.sac import Engine
+
+    engine = Engine()
+    m = engine.make_input(2)
+    out = engine.mod(lambda dest: engine.read(m, lambda v: engine.write(dest, v * v)))
+    assert out.peek() == 4
+    engine.change(m, 3)
+    engine.propagate()
+    assert out.peek() == 9
+"""
+
+from repro.sac.engine import Engine
+from repro.sac.exceptions import (
+    PropagationError,
+    SacError,
+    WriteOutsideModError,
+)
+from repro.sac.meter import Meter
+from repro.sac.modifiable import Modifiable
+from repro.sac.order import Order, Stamp
+
+__all__ = [
+    "Engine",
+    "Meter",
+    "Modifiable",
+    "Order",
+    "PropagationError",
+    "SacError",
+    "Stamp",
+    "WriteOutsideModError",
+]

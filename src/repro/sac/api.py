@@ -1,0 +1,147 @@
+"""Library-level helpers: memo keys and modifiable lists.
+
+This module provides the pieces that hand-written self-adjusting programs
+(the paper's AFL baseline, Section 4.9) and the marshalling layer share:
+
+* :func:`memo_key` -- turn a runtime value into a hashable memoization key,
+  comparing modifiables (and other unhashable objects) by identity;
+* :class:`ModList` -- a Python-side handle to a modifiable list (the list
+  representation of paper Section 4.1, where the *tail* of each cell is
+  changeable), supporting positional insert/delete/set.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from repro.sac.engine import Engine
+from repro.sac.modifiable import Modifiable
+
+
+class IdKey:
+    """Identity-based hashable wrapper.
+
+    Holds a strong reference to the object so its ``id`` cannot be recycled
+    while a memo entry mentioning it is alive.
+    """
+
+    __slots__ = ("obj",)
+
+    def __init__(self, obj: Any) -> None:
+        self.obj = obj
+
+    def __hash__(self) -> int:
+        return id(self.obj)
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, IdKey) and self.obj is other.obj
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IdKey({self.obj!r})"
+
+
+_SCALARS = (int, float, bool, str, bytes, type(None))
+
+
+def memo_key(value: Any) -> Any:
+    """Build a hashable memo key from a runtime value.
+
+    Scalars key by value; tuples key structurally; modifiables and anything
+    else (closures, constructor values, ...) key by identity unless they
+    define a ``memo_key()`` method.  Identity keys are sound because a reused
+    trace is only spliced when the keys match *and* the trace lies in the
+    current reuse zone.
+    """
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, tuple):
+        return tuple(memo_key(v) for v in value)
+    hook = getattr(value, "memo_key", None)
+    if hook is not None:
+        return hook()
+    return IdKey(value)
+
+
+# ----------------------------------------------------------------------
+# Modifiable lists (Python-value flavour, used by the AFL baselines)
+
+NIL: Optional[Tuple] = None
+
+
+class ModList:
+    """A modifiable list and its position-indexed handle.
+
+    The runtime representation matches the paper's list benchmarks: each
+    cell is ``(head, tail_mod)`` and the empty list is ``None``; only the
+    *tails* are modifiable, so the supported changes are insertion and
+    deletion of elements (and in-place head replacement via :meth:`set`).
+
+    Internally ``self.mods[i]`` is the modifiable containing the cell that
+    starts at position ``i``; ``self.mods[len]`` contains ``None``.
+    """
+
+    def __init__(self, engine: Engine, items: Iterable[Any]) -> None:
+        self.engine = engine
+        self.mods: List[Modifiable] = [engine.make_input(NIL)]
+        for item in reversed(list(items)):
+            head_mod = engine.make_input((item, self.mods[0]))
+            self.mods.insert(0, head_mod)
+
+    # -- structure ----------------------------------------------------
+
+    @property
+    def head(self) -> Modifiable:
+        """The modifiable holding the first cell (the program's input)."""
+        return self.mods[0]
+
+    def __len__(self) -> int:
+        return len(self.mods) - 1
+
+    def to_python(self) -> List[Any]:
+        """Read the current contents back (untracked)."""
+        out = []
+        cell = self.mods[0].peek()
+        while cell is not None:
+            head, tail = cell
+            out.append(head)
+            cell = tail.peek()
+        return out
+
+    # -- changes (call engine.propagate() afterwards) ------------------
+
+    def insert(self, index: int, value: Any) -> None:
+        """Insert ``value`` so that it becomes element ``index``."""
+        if not 0 <= index <= len(self):
+            raise IndexError(index)
+        target = self.mods[index]
+        carrier = self.engine.make_input(target.peek())
+        self.engine.change(target, (value, carrier))
+        self.mods.insert(index + 1, carrier)
+
+    def delete(self, index: int) -> Any:
+        """Delete element ``index`` and return its value."""
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        cell = self.mods[index].peek()
+        assert cell is not None
+        value = cell[0]
+        self.engine.change(self.mods[index], self.mods[index + 1].peek())
+        del self.mods[index + 1]
+        return value
+
+    def set(self, index: int, value: Any) -> None:
+        """Replace the head value of element ``index``."""
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        cell = self.mods[index].peek()
+        assert cell is not None
+        self.engine.change(self.mods[index], (value, cell[1]))
+
+
+def modlist_foreach(engine: Engine, head: Modifiable, visit: Callable[[Any], None]) -> None:
+    """Untracked traversal of a modifiable list (for debugging/verification)."""
+    cell = head.peek()
+    while cell is not None:
+        value, tail = cell
+        visit(value)
+        cell = tail.peek()

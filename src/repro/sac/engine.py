@@ -1,0 +1,378 @@
+"""The change-propagation engine.
+
+This module implements the core of self-adjusting computation (paper
+Sections 3.5-3.6, following Acar et al., TOPLAS 2006/2009):
+
+* ``mod`` / ``read`` / ``write`` build the dynamic dependence graph (trace)
+  during the initial run;
+* ``change`` modifies input modifiables between runs;
+* ``propagate`` re-executes exactly the reads that observed changed values,
+  in timestamp order, discarding stale trace and splicing in *memoized*
+  sub-traces where possible.
+
+The memoization discipline is AFL's (Acar et al. 2009): during re-execution
+of a read edge with interval ``[s, e]``, the not-yet-discarded old trace
+between the current time cursor and ``e`` is the *reuse zone*.  A memo hit
+whose interval lies inside the zone is spliced in: the trace between the
+cursor and the hit is discarded, the cursor jumps past the hit, and any
+dirty reads inside the reused interval remain queued and are propagated
+later, in timestamp order.
+
+Imperative references (paper Figure 4's ``impwrite``) are supported for the
+common initialize-then-read pattern: an imperative write makes *later* reads
+dirty, but earlier reads keep the value they legitimately observed.  General
+read-before-write aliasing would need the versioned store of Acar et al.
+2008 and is out of scope (see DESIGN.md Section 6).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Hashable, List, Optional, Sequence
+
+from repro.sac.exceptions import (
+    PropagationError,
+    ReadOutsideModError,
+    UnwrittenModError,
+)
+from repro.sac.meter import Meter
+from repro.sac.modifiable import UNWRITTEN, Modifiable
+from repro.sac.order import Order, Stamp
+from repro.sac.trace import MemoEntry, ReadEdge
+
+
+def _values_equal(a: Any, b: Any) -> bool:
+    """Conservative value equality used to suppress no-op writes.
+
+    Modifiables compare by identity (the default ``==`` for objects), scalars
+    and small tuples/constructors compare structurally.  Returning False for
+    incomparable values is always sound (it only causes extra propagation).
+    """
+    try:
+        return bool(a == b)
+    except Exception:
+        return False
+
+
+class Engine:
+    """One self-adjusting computation: a trace plus a change queue.
+
+    An Engine owns a timestamp order, a priority queue of dirty read edges,
+    memo tables, and instrumentation counters.  All primitives are methods,
+    so independent computations (e.g. a benchmark and its verifier) never
+    interfere.
+    """
+
+    #: Self-adjusting programs nest reader closures deeply (one level per
+    #: list cell); CPython 3.11+ keeps pure-Python frames on the heap, so a
+    #: high recursion limit is safe.
+    RECURSION_LIMIT = 600_000
+
+    def __init__(self) -> None:
+        import sys
+
+        if sys.getrecursionlimit() < self.RECURSION_LIMIT:
+            sys.setrecursionlimit(self.RECURSION_LIMIT)
+        self.alloc_table: dict = {}
+        self.order = Order()
+        self.now: Stamp = self.order.base
+        self.queue: List[ReadEdge] = []
+        self.memo_table: dict = {}
+        self.reuse_limit: Optional[Stamp] = None
+        self.meter = Meter()
+        self._mod_depth = 0
+        self._reexec_depth = 0
+        self.propagating = False
+
+    # ------------------------------------------------------------------
+    # Trace construction primitives
+
+    def _advance(self) -> Stamp:
+        stamp = self.order.insert_after(self.now)
+        self.now = stamp
+        return stamp
+
+    def make_input(self, value: Any) -> Modifiable:
+        """Create an input modifiable holding ``value``.
+
+        Inputs are created outside the traced computation; change them with
+        :meth:`change` and then call :meth:`propagate`.
+        """
+        self.meter.mods_created += 1
+        return Modifiable(value)
+
+    def mod(self, comp: Callable[[Modifiable], None]) -> Modifiable:
+        """Run changeable computation ``comp`` into a fresh modifiable.
+
+        ``comp`` receives the destination and must finish with a
+        :meth:`write` to it (possibly inside nested reads).
+        """
+        dest = Modifiable()
+        self.meter.mods_created += 1
+        self._mod_depth += 1
+        try:
+            comp(dest)
+        finally:
+            self._mod_depth -= 1
+        if dest.value is UNWRITTEN:
+            raise UnwrittenModError("mod body finished without writing")
+        return dest
+
+    def read(self, mod: Modifiable, reader: Callable[[Any], None]) -> None:
+        """Record a dependency on ``mod`` and run ``reader`` on its value.
+
+        ``reader`` is changeable code: it will be re-executed (with the new
+        value) whenever ``mod`` changes.
+        """
+        if self._mod_depth == 0 and self._reexec_depth == 0:
+            raise ReadOutsideModError("read outside the scope of any mod")
+        if mod.value is UNWRITTEN:
+            raise UnwrittenModError("read of an unwritten modifiable")
+        start = self._advance()
+        edge = ReadEdge(mod, reader, start)
+        start.owner = edge
+        mod.readers.add(edge)
+        self.meter.reads_executed += 1
+        self.meter.live_edges += 1
+        reader(mod.value)
+        edge.end = self._advance()
+
+    def write(self, dest: Modifiable, value: Any) -> None:
+        """Write ``value`` into destination ``dest``.
+
+        During re-execution, a write of an equal value is a no-op, which is
+        what stops change propagation from cascading further than needed.
+        """
+        self.meter.writes += 1
+        if dest.value is not UNWRITTEN and _values_equal(dest.value, value):
+            return
+        dest.value = value
+        self.meter.changed_writes += 1
+        if dest.readers:
+            self._dirty_readers(dest)
+
+    def impwrite(self, dest: Modifiable, value: Any) -> None:
+        """Imperative update (translation of ``:=``, paper Figure 4).
+
+        Inside a run, later reads (start stamp after the current time)
+        become dirty while earlier reads keep the value they legitimately
+        observed.  Outside any run it is an input change: all readers
+        become dirty.
+        """
+        self.meter.writes += 1
+        if dest.value is not UNWRITTEN and _values_equal(dest.value, value):
+            return
+        dest.value = value
+        self.meter.changed_writes += 1
+        inside_run = self._mod_depth > 0 or self._reexec_depth > 0
+        now_label = self.now.label
+        for edge in list(dest.readers):
+            if edge.dead or edge.dirty:
+                continue
+            if not inside_run or edge.start.label > now_label:
+                edge.dirty = True
+                heapq.heappush(self.queue, edge)
+
+    def _dirty_readers(self, mod: Modifiable) -> None:
+        for edge in list(mod.readers):
+            if not edge.dead and not edge.dirty:
+                edge.dirty = True
+                heapq.heappush(self.queue, edge)
+
+    def keyed_mod(self, key: Hashable, comp: Callable[[Modifiable], None]) -> Modifiable:
+        """``mod`` with *keyed destination allocation* (AFL's "unsafe"
+        low-level interface, paper Section 4.9).
+
+        When a computation is re-executed, a plain ``mod`` allocates a fresh
+        modifiable, so consumers holding the old one see an identity change
+        even if the contents are equal.  ``keyed_mod`` recycles the
+        modifiable previously allocated under ``key`` -- provided its old
+        allocation site is dead or lies in the current reuse zone (i.e. is
+        about to be discarded) -- so an equal re-write is a no-op and
+        propagation cuts off.  This is what makes merge-based algorithms'
+        output spines identity-stable (see ``repro.bench.handwritten``'s
+        keyed msort).
+
+        Unlike ``memo``, the computation always re-runs; only the
+        *identity* is reused.  The caller must ensure keys are unique among
+        simultaneously live allocations (e.g. include the element value and
+        an instance identifier); when a live allocation outside the reuse
+        zone already holds the key, a fresh modifiable is allocated instead,
+        which is always sound.
+        """
+        dest: Optional[Modifiable] = None
+        entry = self.alloc_table.get(key)
+        if entry is not None:
+            old_mod, old_stamp = entry
+            doomed = (
+                self.reuse_limit is not None
+                and old_stamp.live
+                and self.now.label < old_stamp.label <= self.reuse_limit.label
+            )
+            if not old_stamp.live or doomed:
+                dest = old_mod
+        if dest is None:
+            dest = Modifiable()
+            self.meter.mods_created += 1
+        stamp = self._advance()
+        self.alloc_table[key] = (dest, stamp)
+        self._mod_depth += 1
+        try:
+            comp(dest)
+        finally:
+            self._mod_depth -= 1
+        if dest.value is UNWRITTEN:
+            raise UnwrittenModError("keyed_mod body finished without writing")
+        return dest
+
+    # ------------------------------------------------------------------
+    # Memoization
+
+    def memo(self, key: Hashable, thunk: Callable[[], Any]) -> Any:
+        """Memoized evaluation of ``thunk`` under ``key``.
+
+        On a *hit* (a live entry for ``key`` whose interval lies inside the
+        current reuse zone) the old sub-trace is spliced in and the stored
+        result returned without recomputation.  Otherwise ``thunk`` runs and
+        its interval and result are recorded.
+        """
+        entries = self.memo_table.get(key)
+        if entries is not None:
+            live: List[MemoEntry] = []
+            hit: Optional[MemoEntry] = None
+            limit = self.reuse_limit
+            for entry in entries:
+                if entry.dead:
+                    continue
+                live.append(entry)
+                if (
+                    hit is None
+                    and limit is not None
+                    and self.now.label < entry.start.label
+                    and entry.end is not None
+                    and entry.end.label <= limit.label
+                ):
+                    hit = entry
+            if live:
+                self.memo_table[key] = live
+            else:
+                del self.memo_table[key]
+            if hit is not None:
+                # Splice: discard the skipped old trace, jump past the hit.
+                self._delete_range(self.now, hit.start)
+                self.now = hit.end
+                self.meter.memo_hits += 1
+                return hit.result
+        self.meter.memo_misses += 1
+        start = self._advance()
+        entry = MemoEntry(key, start)
+        start.owner = entry
+        self.meter.live_memo_entries += 1
+        result = thunk()
+        entry.end = self._advance()
+        entry.result = result
+        self.memo_table.setdefault(key, []).append(entry)
+        return result
+
+    # ------------------------------------------------------------------
+    # Changes and propagation
+
+    def change(self, mod: Modifiable, value: Any) -> None:
+        """Change an input modifiable (between propagations)."""
+        if _values_equal(mod.value, value):
+            return
+        mod.value = value
+        self._dirty_readers(mod)
+
+    def propagate(self) -> int:
+        """Run change propagation to completion.
+
+        Returns the number of read edges re-executed.  After propagation the
+        outputs of the computation are up to date with all changes made via
+        :meth:`change` / :meth:`impwrite`.
+        """
+        if self.propagating:
+            raise PropagationError("propagate is not reentrant")
+        self.propagating = True
+        reexecuted = 0
+        try:
+            while self.queue:
+                edge = heapq.heappop(self.queue)
+                if edge.dead or not edge.dirty:
+                    continue
+                edge.dirty = False
+                assert edge.end is not None
+                saved_now, saved_limit = self.now, self.reuse_limit
+                self.now = edge.start
+                self.reuse_limit = edge.end
+                self._reexec_depth += 1
+                try:
+                    edge.reader(edge.mod.value)
+                finally:
+                    self._reexec_depth -= 1
+                # Discard whatever old trace was neither re-created nor
+                # spliced, then restore the cursor.
+                self._delete_range(self.now, edge.end)
+                self.now, self.reuse_limit = saved_now, saved_limit
+                reexecuted += 1
+                self.meter.edges_reexecuted += 1
+        finally:
+            self.propagating = False
+        return reexecuted
+
+    # ------------------------------------------------------------------
+    # Trace deletion
+
+    def _delete_range(self, a: Stamp, b: Optional[Stamp]) -> None:
+        """Delete stamps strictly between ``a`` and ``b``, retracting owners."""
+        node = a.next
+        while node is not None and node is not b:
+            nxt = node.next
+            owner = node.owner
+            if owner is not None:
+                owner.discard(self)
+                node.owner = None
+            self.order.delete(node)
+            node = nxt
+
+    # ------------------------------------------------------------------
+    # Convenience combinators (AFL-style library surface)
+
+    def read2(
+        self,
+        m1: Modifiable,
+        m2: Modifiable,
+        reader: Callable[[Any, Any], None],
+    ) -> None:
+        """Read two modifiables and run ``reader`` on both values."""
+        self.read(m1, lambda v1: self.read(m2, lambda v2: reader(v1, v2)))
+
+    def read_list(
+        self, mods: Sequence[Modifiable], reader: Callable[[list], None]
+    ) -> None:
+        """Read a sequence of modifiables, then run ``reader`` on the values."""
+
+        def go(index: int, acc: list) -> None:
+            if index == len(mods):
+                reader(acc)
+            else:
+                self.read(mods[index], lambda v: go(index + 1, acc + [v]))
+
+        go(0, [])
+
+    def lift(self, func: Callable, *mods: Modifiable) -> Modifiable:
+        """Apply a pure function to modifiable arguments, yielding a new one.
+
+        ``lift(f, a, b)`` is ``mod(read a as x in read b as y in write f(x,y))``
+        -- the coercion the paper inserts for stable functions applied to
+        changeable arguments (Section 3.3).
+        """
+
+        def comp(dest: Modifiable) -> None:
+            self.read_list(list(mods), lambda vals: self.write(dest, func(*vals)))
+
+        return self.mod(comp)
+
+    def trace_size(self) -> int:
+        """Current live trace size (memory proxy; see :mod:`repro.sac.meter`)."""
+        return self.meter.trace_size(self)

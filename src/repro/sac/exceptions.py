@@ -1,0 +1,26 @@
+"""Exceptions raised by the self-adjusting computation runtime."""
+
+
+class SacError(Exception):
+    """Base class for all runtime errors in :mod:`repro.sac`."""
+
+
+class WriteOutsideModError(SacError):
+    """A ``write`` targeted a destination outside any ``mod`` scope.
+
+    Translated code maintains the invariant (paper Section 2.2) that every
+    ``write`` happens within the dynamic scope of a ``mod``.  The engine
+    checks this invariant to catch compiler bugs early.
+    """
+
+
+class ReadOutsideModError(SacError):
+    """A ``read`` was issued outside the dynamic scope of any ``mod``."""
+
+
+class UnwrittenModError(SacError):
+    """A ``mod`` body finished without writing to its destination."""
+
+
+class PropagationError(SacError):
+    """Change propagation encountered an inconsistent trace."""

@@ -1,0 +1,50 @@
+"""Instrumentation counters for the self-adjusting runtime.
+
+The paper's space plots (Figure 7, Figure 9) report memory consumption.  We
+run on a garbage-collected interpreter where ``maxrss`` is noisy, so the
+benchmarks report *trace size* instead: live timestamps, read edges, memo
+entries, and modifiables created.  Trace size is the quantity that the
+paper's theoretical bounds speak about (space is proportional to the trace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Meter:
+    """Counters maintained by :class:`repro.sac.engine.Engine`."""
+
+    mods_created: int = 0
+    reads_executed: int = 0
+    writes: int = 0
+    changed_writes: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    edges_reexecuted: int = 0
+    live_edges: int = 0
+    live_memo_entries: int = 0
+
+    def snapshot(self) -> dict:
+        """Return a plain-dict copy of all counters."""
+        return dict(self.__dict__)
+
+    def reset(self) -> None:
+        for key in list(self.__dict__):
+            setattr(self, key, 0)
+
+    def trace_size(self, engine) -> int:
+        """A memory proxy: live stamps + edges + memo entries."""
+        return engine.order.n_live + self.live_edges + self.live_memo_entries
+
+
+@dataclass
+class MeterDiff:
+    """Difference between two meter snapshots (work done by one phase)."""
+
+    before: dict = field(default_factory=dict)
+    after: dict = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> int:
+        return self.after.get(key, 0) - self.before.get(key, 0)

@@ -1,0 +1,200 @@
+"""Order-maintenance timestamps.
+
+The dynamic dependence graph of self-adjusting computation (Acar et al. 2006)
+needs a *total order* on trace events that supports:
+
+* ``insert_after(s)`` -- allocate a new timestamp immediately after ``s``;
+* ``compare`` -- decide which of two timestamps comes first, in O(1);
+* ``delete`` -- remove a timestamp (when its trace segment is discarded).
+
+We implement the classic *list-labeling* solution: timestamps live in a
+doubly-linked list and carry integer labels that respect the list order.
+Insertion bisects the gap between neighbours; when a gap is exhausted, a
+local window is relabeled.  The window grows until its label range exceeds
+the square of its length, which yields amortized O(log n) insertions
+(Bender et al.-style analysis).  Comparison is a single integer comparison.
+
+Relabeling preserves the *relative* order of all stamps, so any heap ordered
+by live stamp labels (as used by :class:`repro.sac.engine.Engine`) remains
+valid across relabelings, provided comparisons always consult the current
+label (our :class:`Stamp` defines ``__lt__`` that way).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+
+#: Initial gap between consecutive labels.  Appending to the end of the order
+#: always advances by this much, so end-of-list insertion never relabels.
+SPACING = 1 << 20
+
+
+class Stamp:
+    """A timestamp in the total order.
+
+    Attributes:
+        label: integer label consistent with list order (mutated by
+            relabeling, order-preservingly).
+        live: False once deleted.  Dead stamps keep their last label so that
+            stale references compare harmlessly.
+        owner: optional trace object anchored at this stamp (a read edge or
+            memo entry); the engine discards the owner when the stamp's
+            trace segment is deleted.
+    """
+
+    __slots__ = ("label", "prev", "next", "live", "owner")
+
+    def __init__(self, label: int) -> None:
+        self.label = label
+        self.prev: Optional[Stamp] = None
+        self.next: Optional[Stamp] = None
+        self.live = True
+        self.owner = None
+
+    def __lt__(self, other: "Stamp") -> bool:
+        return self.label < other.label
+
+    def __le__(self, other: "Stamp") -> bool:
+        return self.label <= other.label
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "" if self.live else " dead"
+        return f"<Stamp {self.label}{status}>"
+
+
+class Order:
+    """A list of :class:`Stamp` values supporting O(1) ordered insertion.
+
+    The order always contains a *base* stamp that precedes everything and is
+    never deleted; fresh computation starts at the base.
+    """
+
+    def __init__(self) -> None:
+        self.base = Stamp(0)
+        self._last = self.base
+        self.n_live = 1
+        self.n_relabels = 0
+
+    # ------------------------------------------------------------------
+    # Insertion
+
+    def insert_after(self, s: Stamp) -> Stamp:
+        """Allocate and return a fresh stamp immediately after ``s``."""
+        if not s.live:
+            raise ValueError("cannot insert after a dead stamp")
+        nxt = s.next
+        if nxt is None:
+            label = s.label + SPACING
+        else:
+            gap = nxt.label - s.label
+            if gap >= 2:
+                label = s.label + gap // 2
+            else:
+                self._relabel_from(s)
+                return self.insert_after(s)
+        new = Stamp(label)
+        new.prev = s
+        new.next = nxt
+        s.next = new
+        if nxt is None:
+            self._last = new
+        else:
+            nxt.prev = new
+        self.n_live += 1
+        return new
+
+    def _relabel_from(self, s: Stamp) -> None:
+        """Renumber a window after ``s`` to open up label space.
+
+        Walks forward from ``s`` until the window of ``j`` stamps spans a
+        label range greater than ``j**2`` (or the list ends), then spreads
+        the window's labels evenly across that range.
+        """
+        self.n_relabels += 1
+        window = []
+        node = s.next
+        j = 1
+        while node is not None and node.label - s.label <= j * j:
+            window.append(node)
+            node = node.next
+            j += 1
+        if node is None:
+            # Ran off the end: renumber the tail with full spacing.
+            label = s.label
+            for w in window:
+                label += SPACING
+                w.label = label
+            return
+        # ``node`` is the first stamp outside the window; spread the window
+        # evenly in the open interval (s.label, node.label).
+        span = node.label - s.label
+        count = len(window)
+        step = span // (count + 1)
+        if step < 1:  # pragma: no cover - density condition prevents this
+            raise AssertionError("relabel window too dense")
+        label = s.label
+        for w in window:
+            label += step
+            w.label = label
+
+    # ------------------------------------------------------------------
+    # Deletion
+
+    def delete(self, s: Stamp) -> None:
+        """Remove ``s`` from the order.  ``s`` keeps its label but is dead."""
+        if s is self.base:
+            raise ValueError("cannot delete the base stamp")
+        if not s.live:
+            return
+        s.live = False
+        prev, nxt = s.prev, s.next
+        assert prev is not None
+        prev.next = nxt
+        if nxt is None:
+            self._last = prev
+        else:
+            nxt.prev = prev
+        s.prev = None
+        s.next = None
+        self.n_live -= 1
+
+    # ------------------------------------------------------------------
+    # Inspection helpers (used by the engine and by tests)
+
+    def iter_between(self, a: Stamp, b: Optional[Stamp]) -> Iterator[Stamp]:
+        """Yield live stamps strictly between ``a`` and ``b`` in order.
+
+        ``b`` may be None to mean "end of the order".  The iterator is safe
+        against deletion of the *yielded* stamp between steps.
+        """
+        node = a.next
+        while node is not None and node is not b:
+            nxt = node.next
+            yield node
+            node = nxt
+
+    def __iter__(self) -> Iterator[Stamp]:
+        node: Optional[Stamp] = self.base
+        while node is not None:
+            yield node
+            node = node.next
+
+    def check(self) -> None:
+        """Verify internal invariants (test hook): labels strictly increase."""
+        node = self.base
+        count = 1
+        while node.next is not None:
+            nxt = node.next
+            if not (node.label < nxt.label):
+                raise AssertionError(
+                    f"labels out of order: {node.label} !< {nxt.label}"
+                )
+            if nxt.prev is not node:
+                raise AssertionError("broken back link")
+            node = nxt
+            count += 1
+        if node is not self._last:
+            raise AssertionError("stale last pointer")
+        if count != self.n_live:
+            raise AssertionError(f"live count {self.n_live} != walked {count}")

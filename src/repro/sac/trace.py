@@ -1,0 +1,80 @@
+"""Trace records: read edges and memo entries.
+
+The *trace* of a self-adjusting run is the set of read edges ordered by their
+start timestamps, together with the memo entries recorded during the run.
+Both kinds of record are *anchored* at their start stamp (``stamp.owner``),
+so that deleting a time range retracts exactly the records created in it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sac.order import Stamp
+
+
+class ReadEdge:
+    """A recorded ``read`` of a modifiable.
+
+    The edge remembers the reader closure and the timestamp interval
+    ``[start, end]`` spanned by the reader's execution.  When the modifiable
+    changes, the edge becomes *dirty* and is queued; change propagation
+    re-executes the closure within its interval, discarding whatever part of
+    the old sub-trace is not reused through memoization.
+    """
+
+    __slots__ = ("mod", "reader", "start", "end", "dirty", "dead")
+
+    def __init__(self, mod: Any, reader: Callable[[Any], None], start: Stamp) -> None:
+        self.mod = mod
+        self.reader = reader
+        self.start = start
+        self.end: Optional[Stamp] = None
+        self.dirty = False
+        self.dead = False
+
+    def __lt__(self, other: "ReadEdge") -> bool:
+        """Heap ordering: earlier start timestamp first.
+
+        Relabeling preserves relative stamp order, so heaps built on this
+        comparison stay valid across relabelings.
+        """
+        return self.start.label < other.start.label
+
+    def discard(self, engine: Any) -> None:
+        """Retract this edge: called when its start stamp is deleted."""
+        self.dead = True
+        self.mod.readers.discard(self)
+        engine.meter.live_edges -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = ("dirty" if self.dirty else "") + (" dead" if self.dead else "")
+        return f"<ReadEdge @{self.start.label} {flags}>"
+
+
+class MemoEntry:
+    """A memo-table record of one memoized computation.
+
+    Stores the result and the timestamp interval of the computation.  During
+    re-execution, a live entry whose interval lies inside the current reuse
+    zone can be *spliced*: the engine skips over the entry's interval instead
+    of recomputing, keeping the entire sub-trace (and its pending dirty
+    reads, which are then propagated in timestamp order).
+    """
+
+    __slots__ = ("key", "result", "start", "end", "dead")
+
+    def __init__(self, key: Any, start: Stamp) -> None:
+        self.key = key
+        self.result: Any = None
+        self.start = start
+        self.end: Optional[Stamp] = None
+        self.dead = False
+
+    def discard(self, engine: Any) -> None:
+        """Retract this entry: called when its start stamp is deleted."""
+        self.dead = True
+        engine.meter.live_memo_entries -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MemoEntry {self.key!r} @{self.start.label}>"

@@ -1,0 +1,222 @@
+"""A-normalization invariants (repro.core.anf) and uniquify/monomorphize."""
+
+from repro.core import sxml as S
+from repro.core.anf import normalize
+from repro.core.freshen import uniquify
+from repro.core.ir import CoreProgram
+from repro.core.matchcomp import compile_matches
+from repro.core.monomorphize import monomorphize
+from repro.core.sxmlutil import free_vars
+from repro.lang.elaborate import elaborate
+from repro.lang.parser import parse_program
+
+
+def to_sxml(source):
+    core = elaborate(parse_program(source))
+    core = CoreProgram(
+        body=uniquify(core.body), datatypes=core.datatypes, main_type=core.main_type
+    )
+    core = monomorphize(core)
+    core = compile_matches(core)
+    return normalize(core), core
+
+
+def collect_binders(e, acc=None):
+    if acc is None:
+        acc = []
+    if isinstance(e, S.ELet):
+        acc.append(e.name)
+        collect_binders(e.bind, acc)
+        collect_binders(e.body, acc)
+    elif isinstance(e, S.ELetRec):
+        for name, lam in e.bindings:
+            acc.append(name)
+            collect_binders(lam, acc)
+        collect_binders(e.body, acc)
+    elif isinstance(e, S.BLam):
+        acc.append(e.param)
+        collect_binders(e.body, acc)
+    elif isinstance(e, S.BIf):
+        collect_binders(e.then, acc)
+        collect_binders(e.els, acc)
+    elif isinstance(e, S.BCase):
+        for c in e.clauses:
+            if c.binder:
+                acc.append(c.binder)
+            collect_binders(c.body, acc)
+        if e.default is not None:
+            collect_binders(e.default, acc)
+    elif isinstance(e, (S.ERet, S.Bind)):
+        pass
+    return acc
+
+
+def check_anf_invariants(e):
+    """All operands must be atoms; every Expr ends in ERet."""
+    if isinstance(e, S.ELet):
+        assert isinstance(e.bind, S.Bind)
+        check_bind(e.bind)
+        check_anf_invariants(e.body)
+    elif isinstance(e, S.ELetRec):
+        for _n, lam in e.bindings:
+            assert isinstance(lam, S.BLam)
+            check_anf_invariants(lam.body)
+        check_anf_invariants(e.body)
+    elif isinstance(e, S.ERet):
+        assert isinstance(e.atom, (S.AVar, S.AConst))
+    else:
+        raise AssertionError(f"unexpected node {e!r}")
+
+
+def check_bind(b):
+    atoms = []
+    if isinstance(b, S.BPrim):
+        atoms = b.args
+    elif isinstance(b, S.BApp):
+        atoms = [b.fn, b.arg]
+    elif isinstance(b, S.BTuple):
+        atoms = b.items
+    elif isinstance(b, S.BCon):
+        atoms = b.args
+    elif isinstance(b, S.BProj):
+        atoms = [b.arg]
+    elif isinstance(b, S.BLam):
+        check_anf_invariants(b.body)
+    elif isinstance(b, S.BIf):
+        atoms = [b.cond]
+        check_anf_invariants(b.then)
+        check_anf_invariants(b.els)
+    elif isinstance(b, S.BCase):
+        atoms = [b.scrut]
+        for c in b.clauses:
+            check_anf_invariants(c.body)
+        if b.default is not None:
+            check_anf_invariants(b.default)
+    elif isinstance(b, (S.BRef, S.BDeref)):
+        atoms = [b.arg]
+    elif isinstance(b, S.BAssign):
+        atoms = [b.ref, b.value]
+    elif isinstance(b, S.BAtom):
+        atoms = [b.atom]
+    elif isinstance(b, S.BAscribe):
+        atoms = [b.atom]
+    for a in atoms:
+        assert isinstance(a, (S.AVar, S.AConst)), f"non-atomic operand {a!r}"
+
+
+SAMPLE = """
+datatype cell = Nil | Cons of int * cell $C
+
+fun mapf l =
+  case l of
+    Nil => Nil
+  | Cons (h, t) => Cons (h * 2 + 1, mapf t)
+
+fun apply (f, x) = f x
+
+val main : cell $C -> cell $C = fn l => apply (mapf, l)
+"""
+
+
+def test_anf_operands_are_atomic():
+    expr, _ = to_sxml(SAMPLE)
+    check_anf_invariants(expr)
+
+
+def test_binders_are_unique():
+    expr, _ = to_sxml(SAMPLE)
+    binders = collect_binders(expr)
+    assert len(binders) == len(set(binders))
+
+
+def test_closed_program():
+    expr, _ = to_sxml(SAMPLE)
+    assert free_vars(expr) == set()
+
+
+def test_copy_propagation_removes_trivial_lets():
+    expr, _ = to_sxml("val x = 5 val y = x val main = fn u => y + u")
+
+    def find_trivial(e):
+        if isinstance(e, S.ELet):
+            if isinstance(e.bind, S.BAtom) and isinstance(e.bind.atom, S.AVar):
+                return True
+            return find_trivial(e.body) or find_trivial(e.bind)
+        if isinstance(e, S.BLam):
+            return find_trivial(e.body)
+        return False
+
+    assert not find_trivial(expr)
+
+
+def test_monomorphize_specializes_per_type():
+    source = """
+    fun id x = x
+    val a = id 1
+    val b = id 1.5
+    val main = fn u => (id a, id b)
+    """
+    expr, _ = to_sxml(source)
+    binders = collect_binders(expr)
+    specialized = [b for b in binders if b.startswith("id")]
+    # Two instantiations -> two copies (each with a unique suffix).
+    assert len({b.split("@")[1].split("#")[0] for b in specialized if "@" in b}) == 2
+
+
+def test_monomorphize_drops_unused_polymorphic_bindings():
+    source = """
+    fun unused x = x
+    val main = fn u => u + 1
+    """
+    expr, _ = to_sxml(source)
+    assert not any(b.startswith("unused") for b in collect_binders(expr))
+
+
+def test_monomorphized_program_has_ground_types():
+    from repro.lang.types import TVar, force
+
+    def check_ty(ty):
+        ty = force(ty)
+        assert not isinstance(ty, TVar)
+
+    def walk(e):
+        if isinstance(e, S.ELet):
+            walk_bind(e.bind)
+            walk(e.body)
+        elif isinstance(e, S.ELetRec):
+            for _n, lam in e.bindings:
+                walk_bind(lam)
+            walk(e.body)
+        elif isinstance(e, S.ERet):
+            check_ty(e.atom.ty)
+
+    def walk_bind(b):
+        check_ty(b.ty)
+        if isinstance(b, S.BLam):
+            walk(b.body)
+        elif isinstance(b, S.BIf):
+            walk(b.then)
+            walk(b.els)
+        elif isinstance(b, S.BCase):
+            for c in b.clauses:
+                walk(c.body)
+            if b.default is not None:
+                walk(b.default)
+
+    expr, _ = to_sxml(SAMPLE)
+    walk(expr)
+
+
+def test_mutually_recursive_group_specializes_together():
+    source = """
+    fun pingf x = pongf x
+    and pongf x = pingf x
+    val a = fn u => pingf 1
+    val b = fn u => pingf true
+    val main = fn u => (a, b)
+    """
+    expr, _ = to_sxml(source)
+    binders = collect_binders(expr)
+    pings = [b for b in binders if b.startswith("ping")]
+    pongs = [b for b in binders if b.startswith("pong")]
+    assert len(pings) == 2 and len(pongs) == 2

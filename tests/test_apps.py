@@ -1,0 +1,130 @@
+"""Benchmark-application correctness (the paper's Section 4.3 protocol).
+
+Each app: conventional output == reference, initial self-adjusting output
+== reference, and output stays equal to the reference after every one of a
+series of random incremental changes.
+"""
+
+import pytest
+
+from repro.apps import REGISTRY, get_app
+from repro.testing import verify_app
+
+LIST_APPS = ["map", "filter", "split", "qsort", "msort"]
+VECTOR_APPS = ["vec-reduce", "vec-mult"]
+
+
+@pytest.mark.parametrize("name", LIST_APPS)
+def test_list_apps_verify(name):
+    result = verify_app(REGISTRY[name], n=40, changes=14, seed=11)
+    assert result.changes == 14
+
+
+@pytest.mark.parametrize("name", VECTOR_APPS)
+def test_vector_apps_verify(name):
+    verify_app(REGISTRY[name], n=40, changes=14, seed=12)
+
+
+def test_mat_vec_mult_verifies():
+    verify_app(REGISTRY["mat-vec-mult"], n=8, changes=10, seed=13)
+
+
+def test_mat_add_verifies():
+    verify_app(REGISTRY["mat-add"], n=8, changes=10, seed=14)
+
+
+def test_transpose_verifies_and_is_free():
+    result = verify_app(REGISTRY["transpose"], n=8, changes=10, seed=15)
+    # Transpose only shuffles modifiable pointers: no reads ever re-execute.
+    assert result.reexecuted_total == 0
+
+
+def test_mat_mult_verifies():
+    verify_app(REGISTRY["mat-mult"], n=6, changes=8, seed=16)
+
+
+def test_block_mat_mult_verifies():
+    verify_app(REGISTRY["block-mat-mult"], n=16, changes=6, seed=17)
+
+
+def test_block_mat_mult_other_block_size():
+    app = get_app("block-mat-mult", block=4)
+    verify_app(app, n=8, changes=6, seed=18)
+
+
+def test_raytracer_verifies():
+    verify_app(REGISTRY["raytracer"], n=6, changes=3, seed=19)
+
+
+@pytest.mark.parametrize("name", ["map", "qsort"])
+def test_unoptimized_variant_verifies(name):
+    verify_app(REGISTRY[name], n=24, changes=8, seed=20, optimize_flag=False)
+
+
+@pytest.mark.parametrize("name", ["map", "filter"])
+def test_coarse_variant_verifies(name):
+    verify_app(
+        REGISTRY[name], n=24, changes=8, seed=21,
+        optimize_flag=False, coarse=True,
+    )
+
+
+def test_unmemoized_variant_verifies():
+    verify_app(REGISTRY["map"], n=20, changes=6, seed=22, memoize=False)
+
+
+def test_map_propagation_is_constant_work():
+    from repro.sac.engine import Engine
+    import random
+
+    app = REGISTRY["map"]
+    program = app.compiled()
+    rng = random.Random(0)
+    data = app.make_data(400, rng)
+    engine = Engine()
+    instance = program.self_adjusting_instance(engine)
+    value, handle = app.make_sa_input(engine, data)
+    instance.apply(value)
+    before = engine.meter.reads_executed
+    for step in range(10):
+        app.apply_change(handle, rng, step)
+        engine.propagate()
+    # ~1 read per insert/delete, independent of n.
+    assert engine.meter.reads_executed - before <= 20
+
+
+def test_msort_speedup_grows_with_input_size():
+    """Change propagation beats recomputation by a factor that grows with
+    n (the paper's Figure 6 trend).
+
+    Note the known deviation recorded in EXPERIMENTS.md: our merge's memo
+    keys pair both input suffixes, so identity disturbances at exhaustion
+    boundaries re-key output suffixes and propagation work grows ~linearly
+    (with a small constant) rather than polylogarithmically; the paper's
+    AFL substrate stabilizes this with keyed destination allocation.  The
+    speedup (run work / propagation work) still grows with n.
+    """
+    from repro.sac.engine import Engine
+    import random
+
+    app = REGISTRY["msort"]
+    program = app.compiled()
+
+    def run_vs_prop(n):
+        rng = random.Random(5)
+        data = app.make_data(n, rng)
+        engine = Engine()
+        instance = program.self_adjusting_instance(engine)
+        value, handle = app.make_sa_input(engine, data)
+        instance.apply(value)
+        run_reads = engine.meter.reads_executed
+        before = engine.meter.reads_executed
+        for step in range(8):
+            app.apply_change(handle, rng, step)
+            engine.propagate()
+        prop_reads = (engine.meter.reads_executed - before) / 8
+        return run_reads / prop_reads
+
+    small, large = run_vs_prop(64), run_vs_prop(512)
+    assert large > 1.5 * small
+    assert large > 4  # propagation is much cheaper than re-running

@@ -1,0 +1,64 @@
+"""CLI tests (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+SOURCE = """
+datatype cell = Nil | Cons of int * cell $C
+fun mapf l = case l of Nil => Nil | Cons (h, t) => Cons (h + 1, mapf t)
+val main : cell $C -> cell $C = mapf
+"""
+
+
+@pytest.fixture()
+def lml_file(tmp_path):
+    path = tmp_path / "demo.lml"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def test_compile_ok(lml_file, capsys):
+    assert main(["compile", lml_file]) == 0
+    out = capsys.readouterr().out
+    assert "compiled OK" in out
+    assert "mod=1" in out
+
+
+def test_compile_dump(lml_file, capsys):
+    assert main(["compile", lml_file, "--dump"]) == 0
+    out = capsys.readouterr().out
+    assert "read" in out and "write" in out and "memo" in out
+
+
+def test_compile_unoptimized_has_more_primitives(lml_file, capsys):
+    assert main(["compile", lml_file, "--no-optimize", "--counts"]) == 0
+    out = capsys.readouterr().out
+    assert "mod=3" in out
+
+
+def test_compile_missing_file(capsys):
+    assert main(["compile", "/does/not/exist.lml"]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_compile_type_error(tmp_path, capsys):
+    path = tmp_path / "bad.lml"
+    path.write_text("val main = 1 + true")
+    assert main(["compile", str(path)]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_verify_app(capsys):
+    assert main(["verify", "map", "-n", "16", "--changes", "4"]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_verify_unknown_app(capsys):
+    assert main(["verify", "nosuchapp"]) == 1
+
+
+def test_apps_listing(capsys):
+    assert main(["apps"]) == 0
+    out = capsys.readouterr().out
+    assert "raytracer" in out and "block-mat-mult" in out

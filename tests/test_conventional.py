@@ -1,0 +1,220 @@
+"""Conventional-executable semantics tests.
+
+Compiles small LML programs and runs the pre-translation SXML through the
+conventional interpreter, exercising the whole front/middle end (parser,
+inference, monomorphization, match compilation, A-normalization) plus the
+baseline interpreter -- without self-adjustment.
+"""
+
+import pytest
+
+from repro.core.pipeline import compile_program
+from repro.interp.values import ConValue, MatchFailure, deep_read
+
+
+def run(source, *args):
+    program = compile_program(source)
+    instance = program.conventional_instance()
+    result = instance.main
+    for arg in args:
+        result = instance.interp.apply(result, arg)
+    return result
+
+
+def test_arithmetic():
+    assert run("val main = fn x => (x + 2) * 3 - 1", 4) == 17
+    assert run("val main = fn x => x div 4 + x mod 4", 10) == 4
+    assert abs(run("val main = fn x => x / 4.0", 10.0) - 2.5) < 1e-12
+
+
+def test_unary_and_bool():
+    assert run("val main = fn x => ~x", 5) == -5
+    assert run("val main = fn b => not b", True) is False
+    assert run("val main = fn x => x > 2 andalso x < 5", 3) is True
+    assert run("val main = fn x => x > 2 andalso x < 5", 7) is False
+    assert run("val main = fn x => x < 0 orelse x > 10", -1) is True
+
+
+def test_math_prims():
+    assert run("val main = fn x => sqrt x", 9.0) == 3.0
+    assert run("val main = fn x => floor x", 3.7) == 3
+    assert run("val main = fn x => toReal x + 0.5", 2) == 2.5
+    assert run("val main = fn x => rpow (x, 3.0)", 2.0) == 8.0
+
+
+def test_string_concat():
+    assert run('val main = fn s => s ^ "!"', "hi") == "hi!"
+
+
+def test_closures_capture():
+    src = """
+    fun add x y = x + y
+    val add3 = add 3
+    val main = fn z => add3 z
+    """
+    assert run(src, 4) == 7
+
+
+def test_recursion_factorial():
+    src = """
+    fun fact n = if n = 0 then 1 else n * fact (n - 1)
+    val main = fact
+    """
+    assert run(src, 10) == 3628800
+
+
+def test_mutual_recursion():
+    src = """
+    fun even n = if n = 0 then true else odd (n - 1)
+    and odd n = if n = 0 then false else even (n - 1)
+    val main = even
+    """
+    assert run(src, 41) is False
+
+
+def test_tail_style_loop():
+    src = """
+    fun loop (i, acc) = if i = 0 then acc else loop (i - 1, acc + i)
+    val main = fn n => loop (n, 0)
+    """
+    assert run(src, 100) == 5050
+
+
+def test_case_on_datatype():
+    src = """
+    datatype shape = Circle of real | Square of real | Point
+    val main = fn s =>
+      case s of
+        Circle r => r * r * 3.0
+      | Square w => w * w
+      | Point => 0.0
+    """
+    assert run(src, ConValue("Square", 4.0)) == 16.0
+    assert run(src, ConValue("Point")) == 0.0
+
+
+def test_nested_patterns():
+    src = """
+    datatype cell = Nil | Cons of int * cell
+    val main = fn l =>
+      case l of
+        Cons (a, Cons (b, rest)) => a * 100 + b
+      | Cons (a, Nil) => a
+      | Nil => 0
+    """
+    two = ConValue("Cons", (3, ConValue("Cons", (7, ConValue("Nil")))))
+    assert run(src, two) == 307
+    one = ConValue("Cons", (9, ConValue("Nil")))
+    assert run(src, one) == 9
+
+
+def test_constant_patterns():
+    src = """
+    val main = fn n =>
+      case n of
+        0 => 100
+      | 1 => 200
+      | k => k
+    """
+    assert run(src, 0) == 100
+    assert run(src, 1) == 200
+    assert run(src, 42) == 42
+
+
+def test_wildcard_and_default():
+    src = """
+    datatype t = A | B | C
+    val main = fn x => case x of A => 1 | _ => 9
+    """
+    assert run(src, ConValue("A")) == 1
+    assert run(src, ConValue("C")) == 9
+
+
+def test_inexhaustive_match_fails_at_runtime():
+    src = """
+    datatype t = A | B
+    val main = fn x => case x of A => 1
+    """
+    with pytest.raises(MatchFailure):
+        run(src, ConValue("B"))
+
+
+def test_tuple_construction_and_projection():
+    src = "val main = fn (p : int * string) => (#2 p, #1 p)"
+    assert run(src, (1, "x")) == ("x", 1)
+
+
+def test_references_sequencing():
+    src = """
+    val main = fn n =>
+      let
+        val r = ref 0
+      in
+        (r := n + 1; r := !r * 2; !r)
+      end
+    """
+    assert run(src, 10) == 22
+
+
+def test_vectors():
+    src = """
+    val main = fn n =>
+      let
+        val v = vtabulate (n, fn i => i * i)
+      in
+        (vlength v, vsub (v, 3), vreduce (v, 0, fn (a, b) => a + b))
+      end
+    """
+    assert run(src, 5) == (5, 9, 30)
+
+
+def test_vmap_vmap2():
+    src = """
+    val main = fn n =>
+      let
+        val v = vtabulate (n, fn i => i)
+        val w = vmap (v, fn x => x * 10)
+      in
+        vmap2 (v, w, fn (a, b) => a + b)
+      end
+    """
+    assert run(src, 4) == (0, 11, 22, 33)
+
+
+def test_vreduce_empty_returns_identity():
+    src = """
+    val main = fn u => vreduce (vtabulate (0, fn i => i), 42, fn (a, b) => a + b)
+    """
+    assert run(src, ()) == 42
+
+
+def test_shadowing():
+    src = """
+    val x = 1
+    val main = fn y => let val x = 10 in x + y end
+    """
+    assert run(src, 5) == 15
+
+
+def test_higher_order_functions():
+    src = """
+    fun compose (f, g) = fn x => f (g x)
+    val main = compose (fn x => x + 1, fn x => x * 2)
+    """
+    assert run(src, 5) == 11
+
+
+def test_polymorphic_function_at_two_types():
+    src = """
+    fun pair x = (x, x)
+    val main = fn u => (pair 1, pair true)
+    """
+    assert run(src, ()) == ((1, 1), (True, True))
+
+
+def test_deep_recursion_ok():
+    src = """
+    fun build n = if n = 0 then 0 else 1 + build (n - 1)
+    val main = build
+    """
+    assert run(src, 20000) == 20000

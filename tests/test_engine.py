@@ -1,0 +1,309 @@
+"""Change-propagation engine tests (repro.sac.engine)."""
+
+import pytest
+
+from repro.sac import Engine
+from repro.sac.exceptions import (
+    PropagationError,
+    ReadOutsideModError,
+    UnwrittenModError,
+)
+from repro.sac.modifiable import Modifiable
+
+
+def square_chain(engine, m):
+    """out = (m*m) built with one mod and one read."""
+    return engine.mod(lambda dest: engine.read(m, lambda v: engine.write(dest, v * v)))
+
+
+def test_initial_run_and_peek():
+    engine = Engine()
+    m = engine.make_input(3)
+    out = square_chain(engine, m)
+    assert out.peek() == 9
+
+
+def test_change_propagate_updates_output():
+    engine = Engine()
+    m = engine.make_input(3)
+    out = square_chain(engine, m)
+    engine.change(m, 5)
+    n = engine.propagate()
+    assert n == 1
+    assert out.peek() == 25
+
+
+def test_change_to_equal_value_is_noop():
+    engine = Engine()
+    m = engine.make_input(3)
+    square_chain(engine, m)
+    engine.change(m, 3)
+    assert engine.propagate() == 0
+
+
+def test_write_cutoff_stops_propagation():
+    """A re-executed write of an equal value must not dirty downstream."""
+    engine = Engine()
+    m = engine.make_input(3)
+    absval = engine.mod(
+        lambda dest: engine.read(m, lambda v: engine.write(dest, abs(v)))
+    )
+    downstream = engine.mod(
+        lambda dest: engine.read(absval, lambda v: engine.write(dest, v + 1))
+    )
+    engine.change(m, -3)  # |.| unchanged
+    n = engine.propagate()
+    assert n == 1  # only the abs read re-executes
+    assert downstream.peek() == 4
+
+
+def test_chain_propagates_through_dependencies():
+    engine = Engine()
+    m = engine.make_input(1)
+    mods = [m]
+    for _ in range(10):
+        prev = mods[-1]
+        mods.append(
+            engine.mod(
+                lambda dest, prev=prev: engine.read(
+                    prev, lambda v: engine.write(dest, v + 1)
+                )
+            )
+        )
+    assert mods[-1].peek() == 11
+    engine.change(m, 100)
+    assert engine.propagate() == 10
+    assert mods[-1].peek() == 110
+
+
+def test_two_readers_both_update():
+    engine = Engine()
+    m = engine.make_input(2)
+    doubled = square_chain(engine, m)
+    tripled = engine.mod(
+        lambda dest: engine.read(m, lambda v: engine.write(dest, 3 * v))
+    )
+    engine.change(m, 10)
+    assert engine.propagate() == 2
+    assert doubled.peek() == 100
+    assert tripled.peek() == 30
+
+
+def test_diamond_dependency_single_reexecution_per_edge():
+    engine = Engine()
+    m = engine.make_input(1)
+    left = engine.mod(lambda d: engine.read(m, lambda v: engine.write(d, v + 1)))
+    right = engine.mod(lambda d: engine.read(m, lambda v: engine.write(d, v * 2)))
+    join = engine.mod(
+        lambda d: engine.read(
+            left, lambda a: engine.read(right, lambda b: engine.write(d, a + b))
+        )
+    )
+    assert join.peek() == 4
+    engine.change(m, 10)
+    engine.propagate()
+    assert join.peek() == 31
+
+
+def test_read_outside_mod_raises():
+    engine = Engine()
+    m = engine.make_input(1)
+    with pytest.raises(ReadOutsideModError):
+        engine.read(m, lambda v: None)
+
+
+def test_unwritten_mod_raises():
+    engine = Engine()
+    with pytest.raises(UnwrittenModError):
+        engine.mod(lambda dest: None)
+
+
+def test_read_of_unwritten_raises():
+    engine = Engine()
+    empty = Modifiable()
+    with pytest.raises(UnwrittenModError):
+        engine.mod(lambda dest: engine.read(empty, lambda v: engine.write(dest, v)))
+
+
+def test_propagate_not_reentrant():
+    engine = Engine()
+    m = engine.make_input(1)
+    saw_reentrancy_error = []
+
+    def reader_factory(dest):
+        def reader(v):
+            if engine.propagating:
+                try:
+                    engine.propagate()
+                except PropagationError:
+                    saw_reentrancy_error.append(True)
+            engine.write(dest, v)
+
+        return reader
+
+    engine.mod(lambda dest: engine.read(m, reader_factory(dest)))
+    engine.change(m, 2)
+    engine.propagate()
+    assert saw_reentrancy_error == [True]
+
+
+def test_nested_reads_inner_change_only_reruns_inner():
+    engine = Engine()
+    a = engine.make_input(1)
+    b = engine.make_input(2)
+    calls = {"outer": 0, "inner": 0}
+
+    def comp(dest):
+        def on_a(av):
+            calls["outer"] += 1
+
+            def on_b(bv):
+                calls["inner"] += 1
+                engine.write(dest, av + bv)
+
+            engine.read(b, on_b)
+
+        engine.read(a, on_a)
+
+    out = engine.mod(comp)
+    assert out.peek() == 3
+    engine.change(b, 10)
+    engine.propagate()
+    assert out.peek() == 11
+    assert calls == {"outer": 1, "inner": 2}
+
+
+def test_outer_change_discards_inner_edge():
+    engine = Engine()
+    a = engine.make_input(1)
+    b = engine.make_input(2)
+
+    def comp(dest):
+        engine.read(a, lambda av: engine.read(b, lambda bv: engine.write(dest, av + bv)))
+
+    out = engine.mod(comp)
+    engine.change(a, 5)
+    engine.propagate()
+    assert out.peek() == 7
+    # After the outer re-run, exactly one live edge reads b.
+    live_b_edges = [e for e in b.readers if not e.dead]
+    assert len(live_b_edges) == 1
+
+
+def test_impwrite_initial_run_then_change():
+    engine = Engine()
+    cell = engine.make_input(0)
+    engine.impwrite(cell, 41)
+    out = engine.mod(
+        lambda dest: engine.read(cell, lambda v: engine.write(dest, v + 1))
+    )
+    assert out.peek() == 42
+    engine.impwrite(cell, 99)
+    engine.propagate()
+    assert out.peek() == 100
+
+
+def test_lift_coercion():
+    engine = Engine()
+    a = engine.make_input(3)
+    b = engine.make_input(4)
+    out = engine.lift(lambda x, y: x * y, a, b)
+    assert out.peek() == 12
+    engine.change(a, 5)
+    engine.propagate()
+    assert out.peek() == 20
+
+
+def test_read2_and_read_list():
+    engine = Engine()
+    a = engine.make_input(1)
+    b = engine.make_input(2)
+    c = engine.make_input(3)
+    out = engine.mod(
+        lambda dest: engine.read_list([a, b, c], lambda vs: engine.write(dest, sum(vs)))
+    )
+    pair = engine.mod(
+        lambda dest: engine.read2(a, b, lambda x, y: engine.write(dest, (x, y)))
+    )
+    assert out.peek() == 6
+    assert pair.peek() == (1, 2)
+    engine.change(b, 20)
+    engine.propagate()
+    assert out.peek() == 24
+    assert pair.peek() == (1, 20)
+
+
+def test_meter_counts():
+    engine = Engine()
+    m = engine.make_input(1)
+    square_chain(engine, m)
+    assert engine.meter.mods_created == 2
+    assert engine.meter.reads_executed == 1
+    assert engine.meter.writes == 1
+    engine.change(m, 2)
+    engine.propagate()
+    assert engine.meter.edges_reexecuted == 1
+
+
+def test_trace_size_shrinks_after_cutoff():
+    """Discarded trace segments release their stamps."""
+    engine = Engine()
+    m = engine.make_input(1)
+    downstream = engine.mod(
+        lambda d: engine.read(
+            m,
+            lambda v: (
+                engine.read(engine.make_input(v), lambda w: engine.write(d, w))
+            ),
+        )
+    )
+    size_before = engine.trace_size()
+    engine.change(m, 2)
+    engine.propagate()
+    # Old inner trace replaced by a same-shape new one: size stable.
+    assert abs(engine.trace_size() - size_before) <= 2
+    assert downstream.peek() == 2
+
+
+def test_keyed_mod_recycles_identity_across_reexecution():
+    """keyed_mod reuses the modifiable allocated under the same key when
+    the old allocation site is being discarded, so equal re-writes cut
+    propagation off (the AFL 'unsafe interface', paper Section 4.9)."""
+    engine = Engine()
+    x = engine.make_input(1)
+    allocated = []
+
+    def computation(dest):
+        def on_x(v):
+            inner = engine.keyed_mod(
+                "stable-cell", lambda d: engine.write(d, v > 0)
+            )
+            allocated.append(inner)
+            engine.write(dest, inner)
+
+        engine.read(x, on_x)
+
+    out = engine.mod(computation)
+    first = out.peek()
+    assert first.peek() is True
+    engine.change(x, 5)  # sign unchanged: inner contents equal
+    engine.propagate()
+    assert out.peek() is first  # same identity recycled
+    downstream_dirty = [e for e in first.readers if e.dirty]
+    assert not downstream_dirty
+
+
+def test_keyed_mod_fresh_when_key_live_elsewhere():
+    engine = Engine()
+    a = engine.keyed_mod("k", lambda d: engine.write(d, 1))
+    b = engine.keyed_mod("k", lambda d: engine.write(d, 2))
+    # The first allocation is still live and outside any reuse zone, so a
+    # fresh modifiable must be used.
+    assert a is not b
+    assert a.peek() == 1 and b.peek() == 2
+
+
+def test_keyed_mod_requires_write():
+    engine = Engine()
+    with pytest.raises(UnwrittenModError):
+        engine.keyed_mod("k2", lambda d: None)

@@ -1,0 +1,113 @@
+"""Hand-written (AFL-style) baseline correctness tests."""
+
+import random
+
+import pytest
+
+from repro.apps import REGISTRY
+from repro.bench.handwritten import HANDWRITTEN
+from repro.interp.marshal import ModListInput
+from repro.interp.values import list_value_to_python
+from repro.sac.engine import Engine
+
+
+def readback(output):
+    if isinstance(output, tuple):
+        return tuple(list_value_to_python(o) for o in output)
+    return list_value_to_python(output)
+
+
+def normalize(expected):
+    if isinstance(expected, tuple):
+        return tuple(list(x) for x in expected)
+    return list(expected)
+
+
+@pytest.mark.parametrize("name", sorted(HANDWRITTEN))
+def test_handwritten_matches_reference_under_changes(name):
+    app = REGISTRY[name]
+    run = HANDWRITTEN[name]
+    rng = random.Random(3)
+    data = app.make_data(40, rng)
+    engine = Engine()
+    handle = ModListInput(engine, data)
+    out = run(engine, handle.head)
+    assert readback(out) == normalize(app.reference(data))
+    for step in range(12):
+        app.apply_change(handle, rng, step)
+        engine.propagate()
+        assert readback(out) == normalize(app.reference(handle.to_python()))
+
+
+def test_hand_map_is_constant_work_per_change():
+    app = REGISTRY["map"]
+    rng = random.Random(4)
+    engine = Engine()
+    handle = ModListInput(engine, app.make_data(500, rng))
+    HANDWRITTEN["map"](engine, handle.head)
+    before = engine.meter.reads_executed
+    for step in range(10):
+        app.apply_change(handle, rng, step)
+        engine.propagate()
+    assert engine.meter.reads_executed - before <= 20
+
+
+def test_hand_uses_fewer_or_equal_mods_than_compiled():
+    """Hand code is at least as economical with modifiables (the paper's
+    AFL advantage, Section 4.9)."""
+    app = REGISTRY["qsort"]
+    rng = random.Random(5)
+    data = app.make_data(60, rng)
+
+    hand_engine = Engine()
+    handle = ModListInput(hand_engine, data)
+    HANDWRITTEN["qsort"](hand_engine, handle.head)
+
+    compiled_engine = Engine()
+    program = app.compiled()
+    instance = program.self_adjusting_instance(compiled_engine)
+    value, _handle2 = app.make_sa_input(compiled_engine, data)
+    instance.apply(value)
+
+    assert hand_engine.meter.mods_created <= compiled_engine.meter.mods_created
+
+
+def test_keyed_msort_correct_under_changes():
+    from repro.bench.handwritten import hand_msort_keyed
+
+    app = REGISTRY["msort"]
+    rng = random.Random(7)
+    data = app.make_data(50, rng)
+    engine = Engine()
+    handle = ModListInput(engine, data)
+    out = hand_msort_keyed(engine, handle.head)
+    assert list_value_to_python(out) == sorted(data)
+    for step in range(20):
+        app.apply_change(handle, rng, step)
+        engine.propagate()
+        assert list_value_to_python(out) == sorted(handle.to_python())
+
+
+def test_keyed_msort_propagation_is_polylog():
+    """The unsafe keyed-allocation interface makes msort's propagation
+    near-constant per change (paper Section 4.9's point about AFL's
+    low-level interfaces; DESIGN.md Section 6)."""
+    from repro.bench.handwritten import hand_msort_keyed
+
+    app = REGISTRY["msort"]
+
+    def work_per_change(n):
+        rng = random.Random(5)
+        data = app.make_data(n, rng)
+        engine = Engine()
+        handle = ModListInput(engine, data)
+        hand_msort_keyed(engine, handle.head)
+        before = engine.meter.reads_executed + engine.meter.edges_reexecuted
+        for step in range(8):
+            app.apply_change(handle, rng, step)
+            engine.propagate()
+        return (engine.meter.reads_executed + engine.meter.edges_reexecuted - before) / 8
+
+    small, large = work_per_change(64), work_per_change(1024)
+    # 16x the input must cost well under 3x the propagation work.
+    assert large < 3 * small

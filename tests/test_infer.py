@@ -1,0 +1,228 @@
+"""Type-inference tests (repro.lang.elaborate)."""
+
+import pytest
+
+from repro.lang.elaborate import elaborate
+from repro.lang.errors import LmlTypeError
+from repro.lang.parser import parse_program
+from repro.lang.types import TArrow, TCon, TTuple, TVar, force, pretty
+
+
+def infer(source, main="main"):
+    return elaborate(parse_program(source), main=main)
+
+
+def main_type(source):
+    return pretty(infer(source).main_type)
+
+
+def test_simple_arith_defaults_to_int():
+    assert main_type("val main = fn x => x + 1") == "(int -> int)"
+
+
+def test_real_arith():
+    assert main_type("val main = fn x => x + 1.0") == "(real -> real)"
+
+
+def test_division_is_real():
+    assert main_type("val main = fn x => x / 2.0") == "(real -> real)"
+
+
+def test_div_mod_are_int():
+    assert main_type("val main = fn x => x div 2 + x mod 3") == "(int -> int)"
+
+
+def test_comparison_yields_bool():
+    assert main_type("val main = fn x => x < 3") == "(int -> bool)"
+
+
+def test_overload_error_on_bool_arith():
+    with pytest.raises(LmlTypeError):
+        infer("val main = fn x => x + true")
+
+
+def test_unbound_variable():
+    with pytest.raises(LmlTypeError):
+        infer("val main = nosuchvar")
+
+
+def test_occurs_check():
+    with pytest.raises(LmlTypeError):
+        infer("val main = fn x => x x")
+
+
+def test_if_branches_must_agree():
+    with pytest.raises(LmlTypeError):
+        infer("val main = fn b => if b then 1 else 1.0")
+
+
+def test_condition_must_be_bool():
+    with pytest.raises(LmlTypeError):
+        infer("val main = fn x => if x + 1 then 1 else 2")
+
+
+def test_polymorphic_identity_generalizes():
+    src = """
+    fun id x = x
+    val a = id 1
+    val b = id true
+    val main = fn u => a
+    """
+    assert main_type(src).endswith("-> int)")
+
+
+def test_value_restriction_blocks_generalization():
+    src = """
+    fun id x = x
+    val once = id id
+    val a = once 1
+    val b = once true
+    val main = fn u => a
+    """
+    with pytest.raises(LmlTypeError):
+        infer(src)
+
+
+def test_datatype_constructor_types():
+    src = """
+    datatype cell = Nil | Cons of int * cell
+    val main = Cons (1, Cons (2, Nil))
+    """
+    assert main_type(src) == "cell"
+
+
+def test_constructor_arity_errors():
+    src = "datatype t = A of int val main = A"
+    core = infer(src)  # bare non-nullary constructor eta-expands
+    assert pretty(core.main_type) == "(int -> t)"
+    with pytest.raises(LmlTypeError):
+        infer("datatype t = A val main = A 3")
+
+
+def test_polymorphic_datatype():
+    src = """
+    datatype 'a box = Box of 'a
+    val main = (Box 1, Box true)
+    """
+    assert main_type(src) == "(int box * bool box)"
+
+
+def test_case_unifies_clause_types():
+    src = """
+    datatype t = A | B of int
+    val main = fn x => case x of A => 0 | B n => n
+    """
+    assert main_type(src) == "(t -> int)"
+
+
+def test_case_pattern_type_mismatch():
+    src = """
+    datatype t = A | B of int
+    val main = fn x => case x of A => 0 | B n => n + 0.5
+    """
+    with pytest.raises(LmlTypeError):
+        infer(src)
+
+
+def test_tuple_projection_needs_known_shape():
+    with pytest.raises(LmlTypeError):
+        infer("val main = fn p => #1 p")
+    assert (
+        main_type("val main = fn (p : int * bool) => #1 p")
+        == "((int * bool) -> int)"
+    )
+
+
+def test_references():
+    assert main_type("val main = fn x => !(ref (x + 1))") == "(int -> int)"
+    assert main_type("val main = fn x => ref (x * 2.0)") == "(real -> real ref)"
+
+
+def test_ref_assign_deref():
+    src = "val main = fn x => let val r = ref 0 in (r := x; !r) end"
+    assert main_type(src) == "(int -> int)"
+
+
+def test_assign_type_mismatch():
+    with pytest.raises(LmlTypeError):
+        infer("val main = let val r = ref 0 in r := true end")
+
+
+def test_builtin_vector_ops():
+    src = "val main = fn v => vmap (v, fn x => x + 1)"
+    assert main_type(src) == "(int vector -> int vector)"
+
+
+def test_vreduce_type():
+    src = "val main = fn v => vreduce (v, 0.0, fn (x, y) => x + y)"
+    assert main_type(src) == "(real vector -> real)"
+
+
+def test_named_prims_eta_expand():
+    assert main_type("val main = sqrt") == "(real -> real)"
+    assert main_type("val main = fn v => vmap (v, toReal)") == "(int vector -> real vector)"
+
+
+def test_mutual_recursion():
+    src = """
+    fun even n = if n = 0 then true else odd (n - 1)
+    and odd n = if n = 0 then false else even (n - 1)
+    val main = even
+    """
+    assert main_type(src) == "(int -> bool)"
+
+
+def test_fun_param_annotation():
+    src = """
+    datatype cell = Nil | Cons of int * cell $C
+    fun f (l : cell $C) = l
+    val main = f
+    """
+    assert main_type(src) == "(cell -> cell)"
+
+
+def test_type_abbreviation_expansion():
+    src = """
+    type row = (real $C) vector
+    type matrix = row vector
+    val main = fn (m : matrix) => vlength m
+    """
+    assert main_type(src) == "(real vector vector -> int)"
+
+
+def test_abbrev_arity_error():
+    src = """
+    type 'a pairof = 'a * 'a
+    val main = fn (x : (int, bool) pairof) => x
+    """
+    with pytest.raises(LmlTypeError):
+        infer(src)
+
+
+def test_duplicate_constructor_rejected():
+    with pytest.raises(LmlTypeError):
+        infer("datatype a = C datatype b = C val main = fn x => x")
+
+
+def test_duplicate_pattern_variable_rejected():
+    with pytest.raises(LmlTypeError):
+        infer("val main = fn (x, x) => x")
+
+
+def test_missing_main():
+    with pytest.raises(LmlTypeError):
+        infer("val notmain = 3")
+
+
+def test_string_operations():
+    assert main_type('val main = fn s => s ^ "!"') == "(string -> string)"
+    assert main_type('val main = fn s => s < "m"') == "(string -> bool)"
+
+
+def test_seq_type_is_second():
+    assert main_type("val main = fn x => (x + 1; true)") == "(int -> bool)"
+
+
+def test_destructuring_val():
+    src = "val main = fn p => let val (a, b) = (1, true) in if b then a else 0 end"
+    assert main_type(src).endswith("-> int)")

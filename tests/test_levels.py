@@ -1,0 +1,175 @@
+"""Level-inference tests (repro.core.levels).
+
+These check the paper's information-flow discipline: ``$C`` annotations
+seed changeability, elimination forms propagate it, and rigid positions
+(explicit ``$S``, builtin vector spines/indices) reject it.
+"""
+
+import pytest
+
+from repro.core.anf import normalize
+from repro.core.freshen import uniquify
+from repro.core.ir import CoreProgram
+from repro.core.levels import infer_levels
+from repro.core.matchcomp import compile_matches
+from repro.core.monomorphize import monomorphize
+from repro.lang.elaborate import elaborate
+from repro.lang.errors import LmlLevelError
+from repro.lang.parser import parse_program
+
+
+def levels_of(source):
+    core = elaborate(parse_program(source))
+    core = CoreProgram(
+        body=uniquify(core.body), datatypes=core.datatypes, main_type=core.main_type
+    )
+    core = monomorphize(core)
+    core = compile_matches(core)
+    sxml = normalize(core)
+    return infer_levels(sxml, core.datatypes), sxml
+
+
+def main_arrow(source):
+    info, _ = levels_of(source)
+    lty = info.main_lty
+    assert lty.kind == "arrow"
+    return lty
+
+
+def test_unannotated_program_is_all_stable():
+    lty = main_arrow("val main = fn x => x + 1")
+    assert lty.children[0].level == "S"
+    assert lty.children[1].level == "S"
+
+
+def test_annotation_forces_changeable():
+    lty = main_arrow("val main : int $C -> int = fn x => 0")
+    assert lty.children[0].level == "C"
+
+
+def test_prim_flows_changeability():
+    lty = main_arrow("val main : int $C -> int $C = fn x => x + 1")
+    assert lty.children[1].level == "C"
+
+
+def test_prim_result_infected_without_annotation():
+    # Result level is inferred C because a changeable operand flows in.
+    lty = main_arrow("val main : int $C -> int = fn x => x * 2")
+    assert lty.children[1].level == "C"
+
+
+def test_if_scrutinee_infects_result():
+    lty = main_arrow("val main : bool $C -> int = fn b => if b then 1 else 2")
+    assert lty.children[1].level == "C"
+
+
+def test_stable_condition_keeps_result_stable():
+    lty = main_arrow("val main = fn b => if b then 1 else 2")
+    assert lty.children[1].level == "S"
+
+
+def test_case_scrutinee_infects_result():
+    src = """
+    datatype t = A | B of int
+    val main : t $C -> int = fn x => case x of A => 0 | B n => n
+    """
+    lty = main_arrow(src)
+    assert lty.children[1].level == "C"
+
+
+def test_changeable_list_tail_via_datatype():
+    src = """
+    datatype cell = Nil | Cons of int * cell $C
+    fun mapf l = case l of Nil => Nil | Cons (h, t) => Cons (h, mapf t)
+    val main : cell $C -> cell $C = mapf
+    """
+    lty = main_arrow(src)
+    assert lty.children[0].level == "C"
+    assert lty.children[1].level == "C"
+
+
+def test_tuple_components_independent():
+    src = "val main : (int $C * int) -> int = fn (a, b) => b"
+    lty = main_arrow(src)
+    dom = lty.children[0]
+    assert dom.children[0].level == "C"
+    assert dom.children[1].level == "S"
+    # b is stable, so the result stays stable.
+    assert lty.children[1].level == "S"
+
+
+def test_projection_from_changeable_tuple_is_changeable():
+    src = "val main = fn (p : (int * int) $C) => #1 p"
+    lty = main_arrow(src)
+    assert lty.children[0].level == "C"
+    assert lty.children[1].level == "C"
+
+
+def test_deref_is_changeable():
+    src = "val main = fn x => let val r = ref x in !r end"
+    lty = main_arrow(src)
+    assert lty.children[1].level == "C"
+
+
+def test_vector_elements_ride_scheme_variables():
+    src = """
+    val main : (real $C) vector -> real $C =
+      fn v => vreduce (v, 0.0, fn (x, y) => x + y)
+    """
+    lty = main_arrow(src)
+    assert lty.children[0].kind == "vector"
+    assert lty.children[0].children[0].level == "C"
+    assert lty.children[1].level == "C"
+
+
+def test_changeable_vector_spine_rejected():
+    """vlength requires a stable vector: annotating the vector itself $C
+    must be a level error (the builtin's signature position is rigid)."""
+    src = "val main : (real vector) $C -> int = fn v => vlength v"
+    with pytest.raises(LmlLevelError):
+        levels_of(src)
+
+
+def test_changeable_index_rejected():
+    src = """
+    val main : (real vector * int $C) -> real = fn (v, i) => vsub (v, i)
+    """
+    with pytest.raises(LmlLevelError):
+        levels_of(src)
+
+
+def test_explicit_stable_annotation_is_rigid():
+    src = "val main : int $C -> int $S = fn x => x + 1"
+    with pytest.raises(LmlLevelError):
+        levels_of(src)
+
+
+def test_infection_through_user_function():
+    src = """
+    fun helper x = x * 3
+    val main : int $C -> int = fn x => helper x
+    """
+    lty = main_arrow(src)
+    assert lty.children[1].level == "C"
+
+
+def test_unrelated_data_stays_stable():
+    src = """
+    datatype cell = Nil | Cons of int * cell $C
+    val main : cell $C -> int = fn l => 5 + 6
+    """
+    lty = main_arrow(src)
+    assert lty.children[1].level == "S"
+
+
+def test_datatype_field_promotion():
+    """Unannotated datatype fields are flexible: feeding changeable data
+    into a field promotes it (rather than erroring), per DESIGN.md."""
+    src = """
+    datatype box = Box of int
+    val main : int $C -> box = fn x => Box x
+    """
+    info, _ = levels_of(src)
+    # The program compiles; the box payload is promoted to changeable.
+    lty = info.main_lty
+    assert lty.children[1].level in ("S", "C")  # box top itself may stay S

@@ -1,0 +1,92 @@
+"""Lexer tests (repro.lang.lexer)."""
+
+import pytest
+
+from repro.lang.errors import LmlSyntaxError
+from repro.lang.lexer import tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop eof
+
+
+def values(source):
+    return [t.value for t in tokenize(source)][:-1]
+
+
+def test_keywords_and_idents():
+    assert kinds("fun map x") == ["fun", "ident", "ident"]
+    assert kinds("datatype val let in end") == ["datatype", "val", "let", "in", "end"]
+
+
+def test_integers():
+    assert values("0 42 1000000") == [0, 42, 1000000]
+    toks = tokenize("~5")
+    assert toks[0].kind == "int" and toks[0].value == -5
+
+
+def test_reals():
+    assert values("1.5 0.25") == [1.5, 0.25]
+    toks = tokenize("~2.5")
+    assert toks[0].value == -2.5
+    assert tokenize("1e3")[0].value == 1000.0
+    assert tokenize("2.5e~1")[0].value == 0.25
+
+
+def test_int_vs_real_kinds():
+    assert kinds("1 1.0") == ["int", "real"]
+
+
+def test_strings_with_escapes():
+    toks = tokenize(r'"hello\nworld" "a\"b"')
+    assert toks[0].value == "hello\nworld"
+    assert toks[1].value == 'a"b'
+
+
+def test_unterminated_string():
+    with pytest.raises(LmlSyntaxError):
+        tokenize('"abc')
+
+
+def test_symbols_longest_match():
+    assert kinds("=> -> := <= >= <>") == ["=>", "->", ":=", "<=", ">=", "<>"]
+    assert kinds("< = >") == ["<", "=", ">"]
+
+
+def test_level_qualifiers():
+    assert kinds("int $C vector $S") == ["ident", "$C", "ident", "$S"]
+
+
+def test_tyvars():
+    toks = tokenize("'a 'b2")
+    assert toks[0].kind == "tyvar" and toks[0].value == "'a"
+    assert toks[1].value == "'b2"
+
+
+def test_comments_nest():
+    assert kinds("1 (* outer (* inner *) still out *) 2") == ["int", "int"]
+
+
+def test_unterminated_comment():
+    with pytest.raises(LmlSyntaxError):
+        tokenize("(* not closed")
+
+
+def test_unexpected_character():
+    with pytest.raises(LmlSyntaxError):
+        tokenize("a ` b")
+
+
+def test_spans_track_lines():
+    toks = tokenize("a\n  b")
+    assert toks[0].span.line == 1
+    assert toks[1].span.line == 2
+    assert toks[1].span.col == 3
+
+
+def test_wildcard_and_underscore_idents():
+    assert kinds("_ _x x_") == ["_", "ident", "ident"]
+
+
+def test_projection_tokens():
+    assert kinds("#1 x") == ["#", "int", "ident"]

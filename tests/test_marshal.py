@@ -1,0 +1,116 @@
+"""Marshalling and change-handle tests (repro.interp.marshal)."""
+
+import pytest
+
+from repro.core.pipeline import compile_program
+from repro.interp.marshal import (
+    BlockMatrixInput,
+    ModListInput,
+    ModMatrixInput,
+    ModVectorInput,
+    from_python,
+    plain_list,
+)
+from repro.interp.values import ConValue, deep_read, list_value_to_python
+from repro.sac.engine import Engine
+
+
+def test_plain_list_roundtrip():
+    value = plain_list([1, 2, 3])
+    assert list_value_to_python(value) == [1, 2, 3]
+    assert plain_list([]).tag == "Nil"
+
+
+def test_modlist_basic_ops():
+    engine = Engine()
+    xs = ModListInput(engine, [1, 2, 3])
+    assert len(xs) == 3
+    assert xs.to_python() == [1, 2, 3]
+    xs.insert(0, 0)
+    assert xs.to_python() == [0, 1, 2, 3]
+    xs.insert(4, 9)
+    assert xs.to_python() == [0, 1, 2, 3, 9]
+    assert xs.delete(2) == 2
+    assert xs.to_python() == [0, 1, 3, 9]
+    xs.set(1, 100)
+    assert xs.to_python() == [0, 100, 3, 9]
+
+
+def test_modlist_bounds():
+    engine = Engine()
+    xs = ModListInput(engine, [1])
+    with pytest.raises(IndexError):
+        xs.insert(5, 0)
+    with pytest.raises(IndexError):
+        xs.delete(1)
+
+
+def test_modlist_empty():
+    engine = Engine()
+    xs = ModListInput(engine, [])
+    assert len(xs) == 0
+    assert xs.to_python() == []
+    xs.insert(0, 7)
+    assert xs.to_python() == [7]
+
+
+def test_modvector():
+    engine = Engine()
+    v = ModVectorInput(engine, [1.0, 2.0])
+    assert v.to_python() == [1.0, 2.0]
+    v.set(1, 5.0)
+    assert v.get(1) == 5.0
+
+
+def test_modmatrix():
+    engine = Engine()
+    m = ModMatrixInput(engine, [[1.0, 2.0], [3.0, 4.0]])
+    assert m.shape == (2, 2)
+    m.set(0, 1, 9.0)
+    assert m.to_python() == [[1.0, 9.0], [3.0, 4.0]]
+
+
+def test_block_matrix_roundtrip_and_set():
+    engine = Engine()
+    rows = [[float(i * 4 + j) for j in range(4)] for i in range(4)]
+    bm = BlockMatrixInput(engine, rows, block=2)
+    assert bm.to_python() == rows
+    bm.set(3, 3, 99.0)
+    assert bm.to_python()[3][3] == 99.0
+    # Only one block mod changed.
+    assert bm.blocks[1][1].peek().arg[1][1] == 99.0
+
+
+def test_block_matrix_requires_divisible_size():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        BlockMatrixInput(engine, [[1.0, 2.0, 3.0]] * 3, block=2)
+
+
+def test_deep_read_structures():
+    engine = Engine()
+    m = engine.make_input(ConValue("Cons", (1, engine.make_input(ConValue("Nil")))))
+    assert deep_read(m) == ("Cons", (1, ("Nil",)))
+    assert deep_read((1, 2.5, "x")) == (1, 2.5, "x")
+
+
+def test_from_python_wraps_changeable_positions():
+    src = "val main : ((real $C) vector) $C -> int = fn v => 0"
+    program = compile_program(src)
+    engine = Engine()
+    in_lty = program.main_lty.children[0]
+    value = from_python(engine, in_lty, [1.0, 2.0])
+    # Outer wrap plus one mod per element.
+    from repro.sac.modifiable import Modifiable
+
+    assert isinstance(value, Modifiable)
+    inner = value.peek()
+    assert all(isinstance(x, Modifiable) for x in inner)
+
+
+def test_from_python_conventional_mode_is_plain():
+    src = "val main : (real $C) vector -> int = fn v => 0"
+    program = compile_program(src)
+    in_lty = program.main_lty.children[0]
+    value = from_python(None, in_lty, [1.0, 2.0])
+    assert value == (1.0, 2.0)

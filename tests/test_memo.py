@@ -1,0 +1,171 @@
+"""Memoization and trace-reuse tests (repro.sac.memo discipline)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sac import Engine
+from repro.sac.api import IdKey, ModList, memo_key
+
+
+def sa_map(engine, f, head):
+    """The canonical memoized list map over ModList cells."""
+
+    def go(l):
+        def comp(dest):
+            def on_cell(cell):
+                if cell is None:
+                    engine.write(dest, None)
+                else:
+                    h, t = cell
+                    r = engine.memo(("map", IdKey(t)), lambda: go(t))
+                    engine.write(dest, (f(h), r))
+
+            engine.read(l, on_cell)
+
+        return engine.mod(comp)
+
+    return go(head)
+
+
+def read_out(m):
+    out = []
+    cell = m.peek()
+    while cell is not None:
+        out.append(cell[0])
+        cell = cell[1].peek()
+    return out
+
+
+def test_memo_records_and_returns_result():
+    engine = Engine()
+    calls = []
+    result = engine.memo("k", lambda: calls.append(1) or 42)
+    assert result == 42
+    assert engine.meter.memo_misses == 1
+
+
+def test_no_reuse_outside_propagation():
+    """During the initial run there is no reuse zone: same key recomputes."""
+    engine = Engine()
+    count = [0]
+
+    def thunk():
+        count[0] += 1
+        return count[0]
+
+    assert engine.memo("k", thunk) == 1
+    assert engine.memo("k", thunk) == 2
+    assert engine.meter.memo_hits == 0
+
+
+def test_insert_hits_memo_and_is_constant_work():
+    engine = Engine()
+    xs = ModList(engine, list(range(100)))
+    out = sa_map(engine, lambda x: x + 1, xs.head)
+    before = engine.meter.reads_executed
+    xs.insert(50, 999)
+    engine.propagate()
+    # Exactly one read re-executes; the suffix trace is spliced via memo.
+    assert engine.meter.reads_executed - before == 1
+    assert engine.meter.memo_hits >= 1
+    assert read_out(out) == [x + 1 for x in xs.to_python()]
+
+
+def test_delete_hits_memo():
+    engine = Engine()
+    xs = ModList(engine, list(range(50)))
+    out = sa_map(engine, lambda x: x * 2, xs.head)
+    before = engine.meter.reads_executed
+    xs.delete(25)
+    engine.propagate()
+    assert engine.meter.reads_executed - before <= 2
+    assert read_out(out) == [x * 2 for x in xs.to_python()]
+
+
+def test_front_and_back_changes():
+    engine = Engine()
+    xs = ModList(engine, [1, 2, 3])
+    out = sa_map(engine, lambda x: -x, xs.head)
+    xs.insert(0, 100)
+    engine.propagate()
+    assert read_out(out) == [-100, -1, -2, -3]
+    xs.insert(4, 200)
+    engine.propagate()
+    assert read_out(out) == [-100, -1, -2, -3, -200]
+    xs.delete(0)
+    engine.propagate()
+    assert read_out(out) == [-1, -2, -3, -200]
+
+
+def test_batch_of_changes_single_propagation():
+    engine = Engine()
+    xs = ModList(engine, list(range(20)))
+    out = sa_map(engine, lambda x: x + 1, xs.head)
+    xs.insert(3, 100)
+    xs.insert(10, 200)
+    xs.delete(0)
+    engine.propagate()
+    assert read_out(out) == [x + 1 for x in xs.to_python()]
+
+
+def test_memo_entry_not_reused_when_stale():
+    """After the trace containing an entry is discarded, the entry dies."""
+    engine = Engine()
+    xs = ModList(engine, [1, 2, 3, 4])
+    sa_map(engine, lambda x: x, xs.head)
+    # Delete everything: all suffix traces get discarded.
+    for _ in range(4):
+        xs.delete(0)
+        engine.propagate()
+    live = sum(
+        1
+        for entries in engine.memo_table.values()
+        for entry in entries
+        if not entry.dead
+    )
+    # Only the Nil-map entry area can remain live.
+    assert live <= 1
+
+
+def test_memo_key_scalars_structural():
+    assert memo_key(3) == memo_key(3)
+    assert memo_key((1, "a")) == memo_key((1, "a"))
+    assert memo_key(3) != memo_key(4)
+    assert memo_key(1.5) == memo_key(1.5)
+
+
+def test_memo_key_mods_by_identity():
+    engine = Engine()
+    a = engine.make_input(1)
+    b = engine.make_input(1)
+    assert memo_key(a) == memo_key(a)
+    assert memo_key(a) != memo_key(b)
+    assert hash(memo_key(a)) != hash(memo_key(b)) or memo_key(a) != memo_key(b)
+
+
+def test_idkey_holds_reference():
+    engine = Engine()
+    key = IdKey(engine.make_input(1))
+    assert key.obj.peek() == 1  # the wrapped object stays alive
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.integers(0, 999), min_size=0, max_size=30),
+    st.lists(st.tuples(st.integers(0, 10**6), st.sampled_from(["ins", "del", "set"]))),
+)
+def test_random_list_changes_match_reference(initial, ops):
+    """Property: memoized map stays equal to Python map under random edits."""
+    engine = Engine()
+    xs = ModList(engine, initial)
+    out = sa_map(engine, lambda x: 3 * x - 1, xs.head)
+    for pick, op in ops[:25]:
+        if op == "ins" or len(xs) == 0:
+            xs.insert(pick % (len(xs) + 1), pick)
+        elif op == "del":
+            xs.delete(pick % len(xs))
+        else:
+            xs.set(pick % len(xs), pick)
+        engine.propagate()
+        assert read_out(out) == [3 * x - 1 for x in xs.to_python()]

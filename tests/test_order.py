@@ -1,0 +1,141 @@
+"""Order-maintenance timestamp tests (repro.sac.order)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sac.order import SPACING, Order, Stamp
+
+
+def test_base_exists():
+    order = Order()
+    assert order.base.live
+    assert order.n_live == 1
+
+
+def test_insert_after_base_orders():
+    order = Order()
+    a = order.insert_after(order.base)
+    b = order.insert_after(a)
+    c = order.insert_after(a)  # between a and b
+    assert order.base < a < c < b
+
+
+def test_append_chain_never_relabels():
+    order = Order()
+    node = order.base
+    for _ in range(1000):
+        node = order.insert_after(node)
+    assert order.n_relabels == 0
+    assert order.n_live == 1001
+    order.check()
+
+
+def test_same_point_insertion_triggers_relabel_but_stays_ordered():
+    order = Order()
+    anchor = order.insert_after(order.base)
+    end = order.insert_after(anchor)
+    stamps = [anchor]
+    # Insert always immediately after the anchor: worst case for labeling.
+    for _ in range(500):
+        stamps.insert(1, order.insert_after(anchor))
+    assert order.n_relabels > 0
+    order.check()
+    # anchor < every inserted < end, and inserted are in reverse order of
+    # creation (each new one lands closest to the anchor).
+    labels = [s.label for s in stamps]
+    assert labels == sorted(labels)
+    assert stamps[-1] < end
+
+
+def test_delete_splices_out():
+    order = Order()
+    a = order.insert_after(order.base)
+    b = order.insert_after(a)
+    c = order.insert_after(b)
+    order.delete(b)
+    assert not b.live
+    assert a.next is c and c.prev is a
+    assert order.n_live == 3
+    order.check()
+
+
+def test_delete_is_idempotent():
+    order = Order()
+    a = order.insert_after(order.base)
+    order.delete(a)
+    order.delete(a)
+    assert order.n_live == 1
+
+
+def test_cannot_delete_base():
+    order = Order()
+    with pytest.raises(ValueError):
+        order.delete(order.base)
+
+
+def test_cannot_insert_after_dead_stamp():
+    order = Order()
+    a = order.insert_after(order.base)
+    order.delete(a)
+    with pytest.raises(ValueError):
+        order.insert_after(a)
+
+
+def test_iter_between():
+    order = Order()
+    a = order.insert_after(order.base)
+    b = order.insert_after(a)
+    c = order.insert_after(b)
+    d = order.insert_after(c)
+    between = list(order.iter_between(a, d))
+    assert between == [b, c]
+    assert list(order.iter_between(a, None)) == [b, c, d]
+
+
+def test_iter_between_safe_under_deletion():
+    order = Order()
+    a = order.insert_after(order.base)
+    nodes = [order.insert_after(a)]
+    for _ in range(5):
+        nodes.append(order.insert_after(nodes[-1]))
+    for node in order.iter_between(a, None):
+        order.delete(node)
+    assert order.n_live == 2  # base and a
+    order.check()
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 10**6), st.booleans()), max_size=200))
+def test_random_ops_match_reference(ops):
+    """Random insert/delete sequences keep the order consistent with a
+    reference Python list."""
+    order = Order()
+    reference = [order.base]  # mirrors the live order
+    for pick, is_delete in ops:
+        if is_delete and len(reference) > 1:
+            index = 1 + pick % (len(reference) - 1)
+            order.delete(reference.pop(index))
+        else:
+            index = pick % len(reference)
+            new = order.insert_after(reference[index])
+            reference.insert(index + 1, new)
+    order.check()
+    assert reference == list(order)
+    labels = [s.label for s in reference]
+    assert labels == sorted(labels)
+    assert len(set(labels)) == len(labels)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_adversarial_positions_stay_sorted(seed):
+    rng = random.Random(seed)
+    order = Order()
+    live = [order.base]
+    for _ in range(300):
+        anchor = rng.choice(live)
+        live.append(order.insert_after(anchor))
+    order.check()

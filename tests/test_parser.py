@@ -1,0 +1,191 @@
+"""Parser tests (repro.lang.parser)."""
+
+import pytest
+
+from repro.lang import ast as A
+from repro.lang.errors import LmlSyntaxError
+from repro.lang.parser import parse_expr, parse_program
+
+
+def test_precedence_mul_over_add():
+    e = parse_expr("1 + 2 * 3")
+    assert isinstance(e, A.EPrim) and e.op == "+"
+    assert isinstance(e.args[1], A.EPrim) and e.args[1].op == "*"
+
+
+def test_precedence_cmp_over_bool():
+    e = parse_expr("a < b andalso c")
+    # andalso desugars to if
+    assert isinstance(e, A.EIf)
+    assert isinstance(e.cond, A.EPrim) and e.cond.op == "<"
+
+
+def test_orelse_desugars_to_if():
+    e = parse_expr("a orelse b")
+    assert isinstance(e, A.EIf)
+    assert isinstance(e.then, A.EConst) and e.then.value is True
+
+
+def test_application_left_assoc():
+    e = parse_expr("f x y")
+    assert isinstance(e, A.EApp)
+    assert isinstance(e.fn, A.EApp)
+    assert e.fn.fn.name == "f"
+
+
+def test_application_binds_tighter_than_ops():
+    e = parse_expr("f x + g y")
+    assert isinstance(e, A.EPrim) and e.op == "+"
+    assert isinstance(e.args[0], A.EApp)
+
+
+def test_unary_ops():
+    e = parse_expr("~x")
+    assert isinstance(e, A.EPrim) and e.op == "~"
+    e = parse_expr("not b")
+    assert isinstance(e, A.EPrim) and e.op == "not"
+    e = parse_expr("!r")
+    assert isinstance(e, A.EDeref)
+
+
+def test_tuples_and_unit():
+    e = parse_expr("(1, 2, 3)")
+    assert isinstance(e, A.ETuple) and len(e.items) == 3
+    e = parse_expr("()")
+    assert isinstance(e, A.EConst) and e.kind == "unit"
+
+
+def test_parenthesized_single_expr_is_not_tuple():
+    e = parse_expr("(1 + 2)")
+    assert isinstance(e, A.EPrim)
+
+
+def test_sequence():
+    e = parse_expr("(a; b; c)")
+    assert isinstance(e, A.ESeq)
+    assert isinstance(e.second, A.ESeq)
+
+
+def test_annotation_in_parens():
+    e = parse_expr("(x : int $C)")
+    assert isinstance(e, A.EAnnot)
+    assert isinstance(e.ty, A.TSLevel)
+
+
+def test_if_extends_right():
+    e = parse_expr("if c then a else b + 1")
+    assert isinstance(e, A.EIf)
+    assert isinstance(e.els, A.EPrim)
+
+
+def test_case_with_clauses():
+    e = parse_expr("case l of Nil => 0 | Cons (h, t) => h")
+    assert isinstance(e, A.ECase)
+    assert len(e.clauses) == 2
+    pat0, _ = e.clauses[0]
+    assert isinstance(pat0, A.PVar)  # constructor-ness resolved later
+    pat1, _ = e.clauses[1]
+    assert isinstance(pat1, A.PCon) and pat1.name == "Cons"
+
+
+def test_fn_and_let():
+    e = parse_expr("fn x => let val y = x in y end")
+    assert isinstance(e, A.EFn)
+    assert isinstance(e.body, A.ELet)
+
+
+def test_assign_and_ref():
+    e = parse_expr("r := 1")
+    assert isinstance(e, A.EAssign)
+    e = parse_expr("ref 0")
+    assert isinstance(e, A.ERef)
+
+
+def test_projection():
+    e = parse_expr("#2 p")
+    assert isinstance(e, A.EProj) and e.index == 2
+
+
+def test_datatype_declaration():
+    prog = parse_program("datatype cell = Nil | Cons of int * cell $C")
+    (d,) = prog.decls
+    assert isinstance(d, A.DDatatype)
+    assert [c[0] for c in d.constructors] == ["Nil", "Cons"]
+    assert d.constructors[0][1] is None
+    assert isinstance(d.constructors[1][1], A.TSTuple)
+
+
+def test_polymorphic_datatype():
+    prog = parse_program("datatype 'a option = None | Some of 'a")
+    (d,) = prog.decls
+    assert d.tyvars == ["'a"]
+
+
+def test_two_param_datatype():
+    prog = parse_program("datatype ('a, 'b) pair = Pair of 'a * 'b")
+    (d,) = prog.decls
+    assert d.tyvars == ["'a", "'b"]
+
+
+def test_type_abbreviation():
+    prog = parse_program("type matrix = ((real $C) vector) vector")
+    (d,) = prog.decls
+    assert isinstance(d, A.DTypeAbbrev)
+    assert isinstance(d.body, A.TSCon) and d.body.name == "vector"
+
+
+def test_level_postfix_binds_tight():
+    prog = parse_program("type t = int $C vector")
+    body = prog.decls[0].body
+    # (int $C) vector
+    assert isinstance(body, A.TSCon) and body.name == "vector"
+    assert isinstance(body.args[0], A.TSLevel)
+
+
+def test_arrow_right_assoc():
+    prog = parse_program("type t = int -> int -> int")
+    body = prog.decls[0].body
+    assert isinstance(body, A.TSArrow)
+    assert isinstance(body.cod, A.TSArrow)
+
+
+def test_fun_with_multiple_params_and_and():
+    prog = parse_program("fun f x y = x and g z = z")
+    (d,) = prog.decls
+    assert isinstance(d, A.DFun)
+    assert [c.name for c in d.clauses] == ["f", "g"]
+    assert len(d.clauses[0].params) == 2
+
+
+def test_fun_result_annotation():
+    prog = parse_program("fun f x : int = x")
+    assert prog.decls[0].clauses[0].result_ty is not None
+
+
+def test_val_with_annotation():
+    prog = parse_program("val main : cell $C -> cell $C = mapf")
+    (d,) = prog.decls
+    assert isinstance(d.pat, A.PAnnot)
+
+
+def test_nested_tuple_patterns():
+    prog = parse_program("fun f ((a, b), (c, d)) = a")
+    params = prog.decls[0].clauses[0].params
+    assert isinstance(params[0], A.PTuple)
+    assert isinstance(params[0].items[0], A.PTuple)
+
+
+def test_syntax_errors():
+    with pytest.raises(LmlSyntaxError):
+        parse_program("fun = 3")
+    with pytest.raises(LmlSyntaxError):
+        parse_expr("let val x = 1 in x")  # missing end
+    with pytest.raises(LmlSyntaxError):
+        parse_expr("(1, 2")
+    with pytest.raises(LmlSyntaxError):
+        parse_program("val x 3")
+
+
+def test_fun_requires_params():
+    with pytest.raises(LmlSyntaxError):
+        parse_program("fun f = 3")

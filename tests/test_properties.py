@@ -1,0 +1,195 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These complement the per-module tests: random computation DAGs and random
+change sequences against reference semantics, exercising the runtime and
+the whole compiler pipeline together.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import compile_program
+from repro.core.sxmlutil import alpha_equal
+from repro.interp.marshal import ModListInput, ModVectorInput
+from repro.interp.values import list_value_to_python
+from repro.sac.engine import Engine
+
+
+# ----------------------------------------------------------------------
+# Runtime: random computation DAGs
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(-100, 100), min_size=1, max_size=6),
+    st.lists(
+        st.tuples(st.integers(0, 10**6), st.integers(0, 10**6), st.sampled_from("+-*")),
+        min_size=1,
+        max_size=12,
+    ),
+    st.lists(st.tuples(st.integers(0, 10**6), st.integers(-100, 100)), max_size=8),
+)
+def test_random_dag_matches_direct_evaluation(inputs, gates, changes):
+    """Build a random arithmetic DAG with lift(); after arbitrary input
+    changes, every node equals its direct recomputation."""
+    engine = Engine()
+    input_mods = [engine.make_input(v) for v in inputs]
+    ops = {"+": lambda a, b: a + b, "-": lambda a, b: a - b, "*": lambda a, b: a * b}
+
+    nodes = list(input_mods)
+    spec = []  # (left index, right index, op) for non-input nodes
+    for li, ri, op in gates:
+        left = nodes[li % len(nodes)]
+        right = nodes[ri % len(nodes)]
+        spec.append((li % len(nodes), ri % len(nodes), op))
+        nodes.append(engine.lift(ops[op], left, right))
+
+    def reference():
+        values = list(current_inputs)
+        for li, ri, op in spec:
+            values.append(ops[op](values[li], values[ri]))
+        return values
+
+    current_inputs = list(inputs)
+    assert [n.peek() for n in nodes] == reference()
+
+    for pick, value in changes:
+        index = pick % len(input_mods)
+        current_inputs[index] = value
+        engine.change(input_mods[index], value)
+        engine.propagate()
+        assert [n.peek() for n in nodes] == reference()
+
+
+# ----------------------------------------------------------------------
+# Compiled programs under random change sequences
+
+
+_FILTER = compile_program(
+    """
+    datatype cell = Nil | Cons of int * cell $C
+    fun keep l =
+      case l of
+        Nil => Nil
+      | Cons (h, t) => if h mod 3 = 0 then Cons (h, keep t) else keep t
+    val main : cell $C -> cell $C = keep
+    """
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(0, 500), max_size=20),
+    st.lists(
+        st.tuples(st.integers(0, 10**6), st.sampled_from(["ins", "del", "set"])),
+        max_size=15,
+    ),
+)
+def test_compiled_filter_random_changes(initial, ops):
+    sa = _FILTER.self_adjusting_instance()
+    xs = ModListInput(sa.engine, initial)
+    out = sa.apply(xs.head)
+
+    def check():
+        expected = [x for x in xs.to_python() if x % 3 == 0]
+        assert list_value_to_python(out) == expected
+
+    check()
+    for pick, op in ops:
+        if op == "ins" or len(xs) == 0:
+            xs.insert(pick % (len(xs) + 1), pick % 1000)
+        elif op == "del":
+            xs.delete(pick % len(xs))
+        else:
+            xs.set(pick % len(xs), pick % 1000)
+        sa.engine.propagate()
+        check()
+
+
+_SUM = compile_program(
+    """
+    val main : (real $C) vector -> real $C =
+      fn v => vreduce (v, 0.0, fn (x, y) => x + y)
+    """
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=24
+    ),
+    st.lists(
+        st.tuples(
+            st.integers(0, 10**6),
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        ),
+        max_size=10,
+    ),
+)
+def test_compiled_vector_sum_random_changes(values, changes):
+    from repro.apps.vectors import tree_sum
+
+    sa = _SUM.self_adjusting_instance()
+    v = ModVectorInput(sa.engine, values)
+    out = sa.apply(v.value)
+    assert math.isclose(out.peek(), tree_sum(values), rel_tol=1e-9, abs_tol=1e-9)
+    for pick, new in changes:
+        v.set(pick % len(v), new)
+        sa.engine.propagate()
+        assert math.isclose(
+            out.peek(), tree_sum(v.to_python()), rel_tol=1e-9, abs_tol=1e-9
+        )
+
+
+# ----------------------------------------------------------------------
+# Structural properties of compilation
+
+
+_SOURCES = [
+    "val main = fn x => x + 1",
+    """
+    datatype cell = Nil | Cons of int * cell $C
+    fun mapf l = case l of Nil => Nil | Cons (h, t) => Cons (h * 2, mapf t)
+    val main : cell $C -> cell $C = mapf
+    """,
+    "val main : (real $C * real $C) -> real $C = fn (a, b) => a * b + a",
+]
+
+
+@settings(max_examples=9, deadline=None)
+@given(st.integers(0, len(_SOURCES) - 1))
+def test_compilation_is_deterministic_up_to_alpha(index):
+    """Two independent compilations of the same source agree up to
+    alpha-renaming of binders (fresh-name counters differ)."""
+    a = compile_program(_SOURCES[index])
+    b = compile_program(_SOURCES[index])
+    assert alpha_equal(a.sxml_translated, b.sxml_translated)
+    assert alpha_equal(a.sxml_conventional, b.sxml_conventional)
+
+
+@settings(max_examples=9, deadline=None)
+@given(st.integers(0, len(_SOURCES) - 1))
+def test_alpha_equal_is_reflexive_on_real_programs(index):
+    program = compile_program(_SOURCES[index])
+    assert alpha_equal(program.sxml_translated, program.sxml_translated)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(0, 200), max_size=12), st.integers(0, 2**31))
+def test_conventional_and_self_adjusting_agree(initial, seed):
+    """The two executables of one program always produce the same output."""
+    import random
+
+    from repro.interp.marshal import plain_list
+
+    rng = random.Random(seed)
+    program = _FILTER
+    conv = program.conventional_instance()
+    conv_out = list_value_to_python(conv.apply(plain_list(initial)))
+    sa = program.self_adjusting_instance()
+    xs = ModListInput(sa.engine, initial)
+    sa_out = list_value_to_python(sa.apply(xs.head))
+    assert conv_out == sa_out

@@ -1,0 +1,108 @@
+"""Ray tracer tests (paper Section 4.7)."""
+
+import random
+
+import pytest
+
+from repro.apps import REGISTRY
+from repro.apps.raytracer import (
+    GROUPS,
+    SceneInput,
+    diffuse_surface,
+    glass_surface,
+    image_diff_fraction,
+    mirror_surface,
+    readback_image,
+    reference_render,
+    standard_scene,
+)
+from repro.testing import values_close
+
+
+@pytest.fixture(scope="module")
+def program():
+    return REGISTRY["raytracer"].compiled()
+
+
+def render_lml(program, scene):
+    sa = program.self_adjusting_instance()
+    handle = SceneInput(sa.engine, scene)
+    out = sa.apply(handle.value)
+    return sa, handle, out
+
+
+def test_scene_shape_matches_paper():
+    scene = standard_scene(8)
+    assert len(scene.spheres) == 18  # plus the plane: 19 objects
+    assert len(scene.lights) == 3
+    assert set(s[2] for s in scene.spheres) == set(GROUPS)
+
+
+def test_lml_matches_python_reference(program):
+    scene = standard_scene(6)
+    _sa, _handle, out = render_lml(program, scene)
+    assert values_close(readback_image(out), reference_render(scene))
+
+
+def test_surface_toggle_propagates(program):
+    scene = standard_scene(6)
+    sa, handle, out = render_lml(program, scene)
+    handle.set_group("B", mirror_surface((0.8, 0.2, 0.2)))
+    sa.propagate()
+    assert values_close(readback_image(out), reference_render(handle.data()))
+
+
+def test_color_change_propagates(program):
+    scene = standard_scene(6)
+    sa, handle, out = render_lml(program, scene)
+    handle.set_group("C", diffuse_surface((0.9, 0.9, 0.1)))
+    sa.propagate()
+    assert values_close(readback_image(out), reference_render(handle.data()))
+
+
+def test_transparency_supported(program):
+    scene = standard_scene(6)
+    scene.surfaces["D"] = glass_surface((0.9, 0.9, 0.9))
+    _sa, _handle, out = render_lml(program, scene)
+    assert values_close(readback_image(out), reference_render(scene))
+
+
+def test_repeated_toggles_stay_correct(program):
+    scene = standard_scene(6)
+    sa, handle, out = render_lml(program, scene)
+    rng = random.Random(9)
+    for _ in range(5):
+        handle.toggle(rng.choice(GROUPS))
+        sa.propagate()
+        assert values_close(readback_image(out), reference_render(handle.data()))
+
+
+def test_only_affected_pixels_change(program):
+    """Toggling a group changes some pixels but not all (and the smallest
+    group touches fewer pixels than the biggest, as in Table 2)."""
+    scene = standard_scene(16)
+    sa, handle, out = render_lml(program, scene)
+    base = readback_image(out)
+    handle.toggle("A")
+    sa.propagate()
+    frac_a = image_diff_fraction(base, readback_image(out))
+    handle.toggle("A")
+    sa.propagate()
+    base = readback_image(out)
+    handle.toggle("G")
+    sa.propagate()
+    frac_g = image_diff_fraction(base, readback_image(out))
+    assert 0.0 < frac_g < frac_a < 1.0
+
+
+def test_geometry_not_recomputed_for_surface_change(program):
+    """Primary-ray intersections live outside the surface read: a color
+    change re-runs shading, not the whole render."""
+    scene = standard_scene(10)
+    sa, handle, out = render_lml(program, scene)
+    initial_reads = sa.engine.meter.reads_executed
+    handle.set_group("E", diffuse_surface((0.1, 0.9, 0.5)))
+    sa.propagate()
+    rerun = sa.engine.meter.reads_executed - initial_reads
+    # Far fewer reads than the initial full render.
+    assert rerun < initial_reads / 3

@@ -1,0 +1,70 @@
+"""Pretty-printer and bench-report formatting tests."""
+
+from repro.bench.report import format_normalized, format_series, format_table
+from repro.bench.runner import BenchRow
+from repro.core.pipeline import compile_program
+from repro.core.pretty import pretty_expr
+from repro.testing import values_close
+
+
+def test_pretty_prints_paper_style_primitives():
+    source = """
+    val main : (real $C * real $C) -> real $C = fn (a, b) => a * b
+    """
+    text = compile_program(source).dump_translated()
+    assert "mod (" in text
+    assert "read" in text and " as " in text and " in" in text
+    assert "write" in text
+
+
+def test_pretty_conventional_has_no_primitives():
+    source = "val main = fn x => x + 1"
+    text = compile_program(source).dump_conventional()
+    assert "mod (" not in text and "read " not in text
+
+
+def test_pretty_case_and_letrec():
+    source = """
+    datatype t = A | B of int
+    fun f x = case x of A => 0 | B n => n + f A
+    val main = f
+    """
+    text = compile_program(source).dump_conventional()
+    assert "fun f" in text
+    assert "case" in text and "A =>" in text and "B" in text
+
+
+def test_format_table_columns():
+    row = BenchRow(name="map", n=100, conv_run=0.5, sa_run=1.0, avg_prop=0.001)
+    text = format_table([row], "demo")
+    assert "map(100)" in text
+    assert "2.0" in text  # overhead
+    assert "500.0" in text  # speedup
+
+
+def test_format_table_handles_zero_propagation():
+    row = BenchRow(name="t", n=1, conv_run=0.5, sa_run=1.0, avg_prop=0.0)
+    assert row.speedup == float("inf")
+    format_table([row])  # must not raise
+
+
+def test_format_series_alignment():
+    text = format_series("title", [1, 2], {"a": [0.5, 1.0], "b": [3.0, 4.0]})
+    lines = text.splitlines()
+    assert lines[0] == "title"
+    assert "a" in lines[1] and "b" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_normalized_baseline_is_one():
+    text = format_normalized(
+        "cmp", ["x"], {"base": [2.0], "other": [4.0]}, baseline="base"
+    )
+    assert "1.00" in text and "2.00" in text
+
+
+def test_values_close_structures():
+    assert values_close([1, 2.0], (1, 2.0 + 1e-12))
+    assert not values_close([1, 2.0], [1, 2.1])
+    assert values_close(("a", (1.0,)), ("a", (1.0,)))
+    assert not values_close([1, 2], [1, 2, 3])

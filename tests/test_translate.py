@@ -1,0 +1,169 @@
+"""Type-directed translation tests (repro.core.translate).
+
+Checks the structure of the generated self-adjusting code against the
+paper's examples (Figures 2 and 4) and the behavioral contract: the
+translated program computes the same outputs as the conventional one.
+"""
+
+from repro.core import sxml as S
+from repro.core.optimize import count_primitives
+from repro.core.pipeline import compile_program
+
+
+MAP_SRC = """
+datatype cell = Nil | Cons of int * cell $C
+fun mapf l = case l of Nil => Nil | Cons (h, t) => Cons (h + 1, mapf t)
+val main : cell $C -> cell $C = mapf
+"""
+
+
+def test_map_primitive_counts():
+    """map needs exactly one mod, one read, and a memoized recursive call
+    (plus one write per case arm)."""
+    program = compile_program(MAP_SRC)
+    counts = program.primitive_counts()
+    assert counts["mod"] == 1
+    assert counts["read"] == 1
+    assert counts["write"] == 2
+    assert counts["memo"] == 1
+
+
+def test_unoptimized_map_has_more_primitives():
+    optimized = compile_program(MAP_SRC).primitive_counts()
+    unoptimized = compile_program(MAP_SRC, optimize_flag=False).primitive_counts()
+    assert unoptimized["mod"] >= optimized["mod"]
+    assert unoptimized["read"] >= optimized["read"]
+    total_opt = sum(optimized.values())
+    total_unopt = sum(unoptimized.values())
+    assert total_unopt > total_opt
+
+
+def test_memoize_flag_controls_memo_apps():
+    program = compile_program(MAP_SRC, memoize=False)
+    assert program.primitive_counts()["memo"] == 0
+
+
+def test_coarse_mode_adds_indirections():
+    coarse = compile_program(MAP_SRC, optimize_flag=False, coarse=True)
+    plain = compile_program(MAP_SRC, optimize_flag=False)
+    assert coarse.primitive_counts()["mod"] > plain.primitive_counts()["mod"]
+
+
+def test_figure2_shape_changeable_multiply():
+    """fn (a, b) => a * b over changeable reals must translate to
+    Mod (Read a (Read b (Write (a' * b')))) -- paper Figure 2."""
+    src = """
+    val main : (real $C * real $C) -> real $C = fn (a, b) => a * b
+    """
+    program = compile_program(src)
+    text = program.dump_translated()
+    counts = program.primitive_counts()
+    assert counts["mod"] == 1
+    assert counts["read"] == 2
+    assert counts["write"] == 1
+    assert "read" in text and "write" in text and "mod" in text
+
+
+def test_stable_code_untouched():
+    src = "val main = fn x => x * 2 + 1"
+    program = compile_program(src)
+    counts = program.primitive_counts()
+    assert counts == {"mod": 0, "read": 0, "write": 0, "memo": 0}
+
+
+def test_selection_functions_are_read_free():
+    """Functions that merely select changeable data (transpose-style) get
+    no reads at all."""
+    src = """
+    type matrix = ((real $C) vector) vector
+    fun transpose b =
+      vtabulate (vlength (vsub (b, 0)), fn i =>
+        vtabulate (vlength b, fn j => vsub (vsub (b, j), i)))
+    val main : matrix -> matrix = transpose
+    """
+    counts = compile_program(src).primitive_counts()
+    assert counts["read"] == 0
+    assert counts["mod"] == 0
+
+
+def test_ref_becomes_mod_write():
+    """Paper Figure 4: ref x ~~> mod (write x)."""
+    src = "val main = fn x => ref (x + 1)"
+    program = compile_program(src)
+    counts = program.primitive_counts()
+    assert counts["mod"] == 1
+    assert counts["write"] == 1
+    # No BRef survives translation.
+    assert "ref " not in program.dump_translated()
+
+
+def test_deref_aliases_and_reads_at_use():
+    src = "val main = fn x => let val r = ref x in !r + 1 end"
+    program = compile_program(src)
+    counts = program.primitive_counts()
+    assert counts["read"] == 1  # the use in +, not the deref itself
+
+
+def test_assign_becomes_impwrite():
+    src = """
+    val main = fn x =>
+      let val r = ref 0 in (r := x; !r) end
+    """
+    program = compile_program(src)
+    text = program.dump_translated()
+    assert ":=" in text  # BAssign survives as the imperative write
+
+
+def test_changeable_constant_is_boxed():
+    """A constant flowing into a changeable position becomes Mod (Write c)
+    (visible for the vreduce identity, as in Figure 2's Mod (Write 0))."""
+    src = """
+    val main : (real $C) vector -> real $C =
+      fn v => vreduce (v, 0.0, fn (x, y) => x + y)
+    """
+    text = compile_program(src).dump_translated()
+    assert "mod (write 0.0)" in text
+
+
+def test_changeable_if_reads_condition():
+    src = "val main : bool $C -> int $C = fn b => if b then 1 else 2"
+    program = compile_program(src)
+    counts = program.primitive_counts()
+    assert counts["read"] == 1
+    assert counts["mod"] == 1
+
+
+def test_translated_equals_conventional_semantics():
+    from repro.interp.marshal import ModListInput, plain_list
+    from repro.interp.values import list_value_to_python
+
+    program = compile_program(MAP_SRC)
+    conv = program.conventional_instance()
+    conv_out = conv.apply(plain_list([5, 6, 7]))
+    sa = program.self_adjusting_instance()
+    xs = ModListInput(sa.engine, [5, 6, 7])
+    sa_out = sa.apply(xs.head)
+    assert list_value_to_python(conv_out) == list_value_to_python(sa_out) == [6, 7, 8]
+
+
+def test_memo_only_on_recursive_functions():
+    src = """
+    datatype cell = Nil | Cons of int * cell $C
+    fun helper x = x + 1
+    fun walk l = case l of Nil => 0 | Cons (h, t) => helper h + walk t
+    val main : cell $C -> int $C = walk
+    """
+    program = compile_program(src)
+    text = program.dump_translated()
+    # walk's recursive call is memoized; helper's call is not (it is
+    # letrec-bound though, so both use memo -- check at least walk's).
+    assert "memo walk" in text
+
+
+def test_changeable_function_value_is_read_before_application():
+    src = """
+    val main = fn (f : (int -> int) $C) => f 3
+    """
+    program = compile_program(src)
+    counts = program.primitive_counts()
+    assert counts["read"] >= 1
