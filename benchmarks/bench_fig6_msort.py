@@ -12,14 +12,20 @@ O(log n), due to merge trace stability -- the overhead-constant and
 growing-speedup claims still hold.)
 """
 
+import os
+
 import pytest
 
 from repro.apps import REGISTRY
-from repro.bench import format_series, measure_app
+from repro.bench import format_phases, format_series, measure_app
 
 from _util import emit, once
 
-SIZES = [100, 200, 400, 800]
+# REPRO_MSORT_SIZES overrides the sizes (e.g. "32 64" for a CI smoke run);
+# the paper-shape assertions only hold at the default sizes.
+_SIZES_ENV = os.environ.get("REPRO_MSORT_SIZES")
+SIZES = [int(s) for s in (_SIZES_ENV or "100 200 400 800").split()]
+_SMOKE = _SIZES_ENV is not None
 
 
 def test_fig6_msort_scaling(benchmark, capsys):
@@ -40,13 +46,15 @@ def test_fig6_msort_scaling(benchmark, capsys):
         "overhead": [r.overhead for r in rows],
     }
     text = format_series("Figure 6: msort", SIZES, series)
+    text += "\n\n" + format_phases(rows, "Per-phase engine work")
 
-    overheads = series["overhead"]
-    # Overhead is a constant independent of n (paper Section 4.5).
-    assert max(overheads) < 4 * min(overheads)
-    # Speedup grows with input size.
-    assert series["speedup"][-1] > series["speedup"][0]
-    # Propagation is always much cheaper than a conventional rerun.
-    assert all(r.avg_prop < r.conv_run / 3 for r in rows)
+    if not _SMOKE:
+        overheads = series["overhead"]
+        # Overhead is a constant independent of n (paper Section 4.5).
+        assert max(overheads) < 4 * min(overheads)
+        # Speedup grows with input size.
+        assert series["speedup"][-1] > series["speedup"][0]
+        # Propagation is always much cheaper than a conventional rerun.
+        assert all(r.avg_prop < r.conv_run / 3 for r in rows)
 
     emit(capsys, "Figure 6", text)

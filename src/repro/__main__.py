@@ -8,10 +8,16 @@ Usage::
     python -m repro compile program.lml --no-optimize --dump
     python -m repro compile program.lml --counts   # mod/read/write/memo
     python -m repro verify <app> [-n N] [--changes K]   # Section 4.3 check
+    python -m repro trace <app> [-n N] [--changes K] [--out DIR]
     python -m repro apps                           # list benchmark apps
 
 The ``verify`` subcommand runs the paper's random-change correctness
 protocol against one of the bundled benchmark applications.
+
+The ``trace`` subcommand runs an application under full observability:
+it records the structured engine event stream, validates the trace
+invariants during and after every change propagation, and dumps dynamic-
+dependence-graph snapshots (JSON + Graphviz DOT) plus the event log.
 """
 
 from __future__ import annotations
@@ -76,6 +82,101 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.apps import REGISTRY
+    from repro.obs import (
+        EventLog,
+        FanoutHook,
+        InvariantChecker,
+        InvariantViolation,
+        check_trace,
+    )
+    from repro.sac.engine import Engine
+    from repro.testing import VerificationError, values_close
+
+    if args.app not in REGISTRY:
+        print(f"error: unknown app {args.app!r}; see `python -m repro apps`",
+              file=sys.stderr)
+        return 1
+    app = REGISTRY[args.app]
+    rng = random.Random(args.seed)
+    program = app.compiled()
+    data = app.make_data(args.n, rng)
+
+    engine = Engine()
+    log = EventLog(maxlen=args.max_events, values=args.values)
+    hooks = [log]
+    checker = None
+    if not args.no_check:
+        checker = InvariantChecker()
+        hooks.append(checker)
+    engine.attach_hook(FanoutHook(hooks))
+
+    instance = program.self_adjusting_instance(engine)
+    input_value, handle = app.make_sa_input(engine, data)
+    output = instance.apply(input_value)
+    try:
+        if checker is not None:
+            check_trace(engine)
+        for step in range(args.changes):
+            app.apply_change(handle, rng, step)
+            engine.propagate()
+        got = app.readback(output)
+        expected = app.reference(app.handle_data(handle))
+        if not values_close(got, expected):
+            raise VerificationError(
+                f"output diverges from reference\n"
+                f"  got:      {got!r}\n  expected: {expected!r}"
+            )
+    except (InvariantViolation, VerificationError) as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        # Dump what we have: the broken trace is the debugging artifact.
+        _write_trace_dumps(args, engine, log)
+        return 1
+
+    paths = _write_trace_dumps(args, engine, log)
+    counts = log.counts()
+    print(f"{app.name}: n={args.n}, {args.changes} change(s) propagated")
+    print("events: " + ", ".join(f"{k}={v}" for k, v in sorted(counts.items())))
+    meter = engine.meter.snapshot()
+    print("meter:  " + ", ".join(f"{k}={v}" for k, v in sorted(meter.items())))
+    if checker is not None:
+        print(f"invariants: OK ({checker.total_checks()} checks; "
+              f"{checker.last_report or check_trace(engine)})")
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
+def _write_trace_dumps(args, engine, log) -> list:
+    """Write the DDG JSON/DOT snapshots and the event log; return paths."""
+    import os
+
+    from repro.obs import ddg_dot, ddg_json
+
+    os.makedirs(args.out, exist_ok=True)
+    base = os.path.join(args.out, args.app)
+    paths = []
+    if args.format in ("json", "both"):
+        path = base + ".ddg.json"
+        with open(path, "w") as fh:
+            fh.write(ddg_json(engine, values=args.values) + "\n")
+        paths.append(path)
+    if args.format in ("dot", "both"):
+        path = base + ".ddg.dot"
+        with open(path, "w") as fh:
+            fh.write(ddg_dot(engine, values=args.values, title=args.app) + "\n")
+        paths.append(path)
+    if args.events:
+        path = base + ".events.jsonl"
+        with open(path, "w") as fh:
+            fh.write(log.to_jsonl() + "\n")
+        paths.append(path)
+    return paths
+
+
 def _cmd_apps(_args: argparse.Namespace) -> int:
     from repro.apps import REGISTRY
 
@@ -113,6 +214,30 @@ def main(argv=None) -> int:
     p_verify.add_argument("--changes", type=int, default=10)
     p_verify.add_argument("--seed", type=int, default=0)
     p_verify.set_defaults(fn=_cmd_verify)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run an app under full observability: event log, invariant "
+             "checks, DDG dumps",
+    )
+    p_trace.add_argument("app")
+    p_trace.add_argument("-n", type=int, default=16, help="input size")
+    p_trace.add_argument("--changes", type=int, default=1,
+                         help="random changes to propagate (default 1)")
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--out", default=".",
+                         help="directory for the dump files (default .)")
+    p_trace.add_argument("--format", choices=["json", "dot", "both"],
+                         default="both", help="DDG snapshot format(s)")
+    p_trace.add_argument("--events", action="store_true",
+                         help="also dump the event log as JSONL")
+    p_trace.add_argument("--values", action="store_true",
+                         help="include value reprs in events and DDG nodes")
+    p_trace.add_argument("--max-events", type=int, default=1_000_000,
+                         help="event log capacity (oldest dropped first)")
+    p_trace.add_argument("--no-check", action="store_true",
+                         help="disable the trace invariant checker")
+    p_trace.set_defaults(fn=_cmd_trace)
 
     p_apps = sub.add_parser("apps", help="list the bundled benchmark apps")
     p_apps.set_defaults(fn=_cmd_apps)

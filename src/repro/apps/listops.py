@@ -1,4 +1,8 @@
-"""List benchmarks: map, filter, split, qsort, msort (paper Section 4.1).
+"""List benchmarks: map, filter, reverse, split, qsort, msort (paper
+Section 4.1; ``reverse`` is the classic accumulator-reversal added for the
+observability test suite -- an insertion near the tail of the input
+invalidates the whole accumulator chain, which makes it a good stress for
+the from-scratch-consistency oracle).
 
 The list datatype makes only the *tails* changeable::
 
@@ -61,6 +65,15 @@ fun filt l =
   | Cons (h, t) => if (f h) mod 2 = 0 then Cons (h, filt t) else filt t
 
 val main : cell $C -> cell $C = filt
+"""
+
+REVERSE_SOURCE = _DATATYPE + """
+fun revapp (l, acc) =
+  case l of
+    Nil => acc
+  | Cons (h, t) => revapp (t, Cons (h, acc))
+
+val main : cell $C -> cell $C = fn l => revapp (l, Nil)
 """
 
 SPLIT_SOURCE = _DATATYPE + """
@@ -145,6 +158,10 @@ def ref_filter(xs: List[int]) -> List[int]:
     return [x for x in xs if _mangle(x) % 2 == 0]
 
 
+def ref_reverse(xs: List[int]) -> List[int]:
+    return list(reversed(xs))
+
+
 def ref_split(xs: List[int]) -> Tuple[List[int], List[int]]:
     return ([x for x in xs if x % 2 == 0], [x for x in xs if x % 2 == 1])
 
@@ -224,6 +241,7 @@ def make_apps() -> dict:
     return {
         "map": _list_app("map", MAP_SOURCE, ref_map),
         "filter": _list_app("filter", FILTER_SOURCE, ref_filter),
+        "reverse": _list_app("reverse", REVERSE_SOURCE, ref_reverse),
         "split": _list_app("split", SPLIT_SOURCE, ref_split),
         "qsort": _list_app("qsort", QSORT_SOURCE, ref_sort),
         "msort": _list_app("msort", MSORT_SOURCE, ref_sort),

@@ -8,11 +8,17 @@
 """
 
 from repro.bench.runner import BenchRow, measure_app, measure_handwritten
-from repro.bench.report import format_normalized, format_series, format_table
+from repro.bench.report import (
+    format_normalized,
+    format_phases,
+    format_series,
+    format_table,
+)
 
 __all__ = [
     "BenchRow",
     "format_normalized",
+    "format_phases",
     "format_series",
     "format_table",
     "measure_app",

@@ -45,6 +45,49 @@ def format_table(rows: Iterable[BenchRow], title: str = "") -> str:
     return "\n".join(lines)
 
 
+#: Meter counters shown by :func:`format_phases`, in column order.
+_PHASE_COUNTERS = (
+    ("reads_executed", "reads"),
+    ("edges_reexecuted", "reexec"),
+    ("writes", "writes"),
+    ("changed_writes", "changed"),
+    ("memo_hits", "memo hit"),
+    ("memo_misses", "memo miss"),
+    ("mods_created", "mods"),
+)
+
+
+def format_phases(rows: Iterable[BenchRow], title: str = "") -> str:
+    """Render per-phase timing and engine-counter deltas.
+
+    One line per (row, phase): wall time of the phase plus the meter
+    counters it consumed (reads executed, edges re-executed, writes, memo
+    hits/misses, modifiables created).  Rows without phase data are
+    skipped.
+    """
+    header = (
+        f"{'Application (n)':<22} {'phase':<12} {'time (s)':>10} "
+        + " ".join(f"{label:>10}" for _, label in _PHASE_COUNTERS)
+    )
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        for phase_name, phase in row.phases.items():
+            counters = phase.get("counters", {})
+            cells = " ".join(
+                f"{counters.get(key, 0):>10}" for key, _ in _PHASE_COUNTERS
+            )
+            label = f"{row.name}({row.n})"
+            lines.append(
+                f"{label:<22} {phase_name:<12} "
+                f"{_fmt_time(phase['seconds']):>10} {cells}"
+            )
+    return "\n".join(lines)
+
+
 def format_series(
     title: str,
     xs: Sequence,

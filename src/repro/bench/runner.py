@@ -53,6 +53,21 @@ class BenchRow:
     def speedup(self) -> float:
         return self.conv_run / self.avg_prop if self.avg_prop > 0 else float("inf")
 
+    @property
+    def phases(self) -> dict:
+        """Per-phase timing and meter-counter deltas (may be empty)."""
+        return self.extra.get("phases", {})
+
+
+def _phase(seconds: float, before: dict, after: dict, samples: int = 1) -> dict:
+    """One per-phase record: wall time plus nonzero meter-counter deltas."""
+    counters = {
+        key: after.get(key, 0) - before.get(key, 0)
+        for key in after
+        if after.get(key, 0) != before.get(key, 0)
+    }
+    return {"seconds": seconds, "samples": samples, "counters": counters}
+
 
 def _timed(fn: Callable[[], Any], gc_enabled: bool) -> float:
     """Wall time of one call, optionally with the collector disabled."""
@@ -80,8 +95,14 @@ def measure_app(
     coarse: bool = False,
     gc_enabled: bool = False,
     skip_conventional: bool = False,
+    hook: Optional[Any] = None,
 ) -> BenchRow:
-    """Measure one compiled benchmark at input size ``n``."""
+    """Measure one compiled benchmark at input size ``n``.
+
+    ``hook`` (a ``repro.obs.events.TraceHook``) is attached to the
+    self-adjusting engine before the initial run, so the cost of
+    observability itself can be measured (see ``bench_obs_overhead.py``).
+    """
     rng = random.Random(seed)
     program = app.compiled(
         memoize=memoize, optimize_flag=optimize_flag, coarse=coarse
@@ -100,9 +121,13 @@ def measure_app(
 
     # Self-adjusting complete run.
     engine = Engine()
+    if hook is not None:
+        engine.attach_hook(hook)
     instance = program.self_adjusting_instance(engine)
     input_value, handle = app.make_sa_input(engine, data)
+    before_run = engine.meter.snapshot()
     sa_time = _timed(lambda: instance.apply(input_value), gc_enabled)
+    after_run = engine.meter.snapshot()
     trace_size = engine.trace_size()
     mods = engine.meter.mods_created
 
@@ -112,8 +137,9 @@ def measure_app(
         app.apply_change(handle, rng, step)
         prop_total += _timed(engine.propagate, gc_enabled)
     avg_prop = prop_total / prop_samples if prop_samples else float("nan")
+    after_prop = engine.meter.snapshot()
 
-    return BenchRow(
+    row = BenchRow(
         name=app.name,
         n=n,
         conv_run=conv_time,
@@ -123,6 +149,13 @@ def measure_app(
         mods_created=mods,
         prop_samples=prop_samples,
     )
+    row.extra["phases"] = {
+        "initial-run": _phase(sa_time, before_run, after_run),
+        "propagation": _phase(
+            prop_total, after_run, after_prop, samples=max(prop_samples, 1)
+        ),
+    }
+    return row
 
 
 def measure_handwritten(
@@ -151,15 +184,18 @@ def measure_handwritten(
 
     engine = Engine()
     input_value, handle = app.make_sa_input(engine, data)
+    before_run = engine.meter.snapshot()
     sa_time = _timed(lambda: run(engine, input_value), gc_enabled)
+    after_run = engine.meter.snapshot()
 
     prop_total = 0.0
     for step in range(prop_samples):
         app.apply_change(handle, rng, step)
         prop_total += _timed(engine.propagate, gc_enabled)
     avg_prop = prop_total / prop_samples if prop_samples else float("nan")
+    after_prop = engine.meter.snapshot()
 
-    return BenchRow(
+    row = BenchRow(
         name=name,
         n=n,
         conv_run=conv_time,
@@ -169,3 +205,10 @@ def measure_handwritten(
         mods_created=engine.meter.mods_created,
         prop_samples=prop_samples,
     )
+    row.extra["phases"] = {
+        "initial-run": _phase(sa_time, before_run, after_run),
+        "propagation": _phase(
+            prop_total, after_run, after_prop, samples=max(prop_samples, 1)
+        ),
+    }
+    return row

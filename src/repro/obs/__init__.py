@@ -1,0 +1,58 @@
+"""Engine observability: structured trace events, DDG export, invariants.
+
+The change-propagation engine (:mod:`repro.sac.engine`) is correct only if
+the trace it maintains satisfies the invariants that the consistency proofs
+of self-adjusting computation rely on (Acar et al., "A Consistent Semantics
+of Self-Adjusting Computation", 2011): timestamps strictly increase, read
+and memo intervals nest properly, memo splices land inside the current
+reuse zone, and dirty reads are propagated in timestamp order.  This
+package makes all of that *observable* and *checkable*:
+
+* :mod:`repro.obs.events` -- a structured event stream (mod-create,
+  read-start/end, write, impwrite, memo-hit/miss, splice, discard,
+  propagate-begin/end) emitted by the engine behind a no-op-by-default
+  hook, so the hot path pays only one attribute check when disabled;
+* :mod:`repro.obs.ddg` -- dynamic-dependence-graph snapshots of the live
+  trace, as JSON and Graphviz DOT;
+* :mod:`repro.obs.invariants` -- a trace invariant checker, usable as a
+  one-shot structural check (:func:`check_trace`) or installed as a hook
+  (:class:`InvariantChecker`) that validates every splice and every
+  propagation as it happens.
+
+Typical debugging session::
+
+    from repro.sac import Engine
+    from repro.obs import EventLog, InvariantChecker, FanoutHook, ddg_dot
+
+    engine = Engine()
+    log = EventLog()
+    engine.attach_hook(FanoutHook([log, InvariantChecker()]))
+    ...   # run the computation, change inputs, propagate
+    print(log.counts())
+    open("trace.dot", "w").write(ddg_dot(engine))
+
+or, from the command line, ``python -m repro trace <app>``.
+"""
+
+from repro.obs.ddg import ddg_dot, ddg_json, ddg_snapshot
+from repro.obs.events import EventLog, FanoutHook, TraceEvent, TraceHook
+from repro.obs.invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    TraceCheckReport,
+    check_trace,
+)
+
+__all__ = [
+    "EventLog",
+    "FanoutHook",
+    "InvariantChecker",
+    "InvariantViolation",
+    "TraceCheckReport",
+    "TraceEvent",
+    "TraceHook",
+    "check_trace",
+    "ddg_dot",
+    "ddg_json",
+    "ddg_snapshot",
+]

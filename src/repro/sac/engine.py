@@ -28,6 +28,7 @@ read-before-write aliasing would need the versioned store of Acar et al.
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Any, Callable, Hashable, List, Optional, Sequence
 
 from repro.sac.exceptions import (
@@ -44,10 +45,32 @@ from repro.sac.trace import MemoEntry, ReadEdge
 def _values_equal(a: Any, b: Any) -> bool:
     """Conservative value equality used to suppress no-op writes.
 
-    Modifiables compare by identity (the default ``==`` for objects), scalars
-    and small tuples/constructors compare structurally.  Returning False for
-    incomparable values is always sound (it only causes extra propagation).
+    A write may be suppressed only when the new value is observationally
+    identical to the old one, and Python's ``==`` is too coarse for that:
+    ``True == 1 == 1.0`` and ``0.0 == -0.0`` conflate observably different
+    values.  Equality here is therefore *type-sensitive*.  Two NaNs of the
+    same type count as equal (a reader that observed NaN recomputes the
+    same results from a fresh NaN, so cutting off is consistent).
+    Modifiables compare by identity; tuples and constructor values compare
+    structurally under the same rules.  Returning False for incomparable
+    values is always sound (it only causes extra propagation).
     """
+    if a is b:
+        return True
+    ta = type(a)
+    if ta is not type(b):
+        return False
+    if ta is float:
+        if a == b:
+            return a != 0.0 or math.copysign(1.0, a) == math.copysign(1.0, b)
+        return a != a and b != b  # NaN == NaN for cutoff purposes
+    if ta is tuple:
+        return len(a) == len(b) and all(map(_values_equal, a, b))
+    tag = getattr(a, "tag", None)
+    if tag is not None and hasattr(a, "arg"):
+        # Constructor values, duck-typed so the runtime does not import the
+        # interpreter layer: same tag, argument equal under these rules.
+        return tag == b.tag and _values_equal(a.arg, b.arg)
     try:
         return bool(a == b)
     except Exception:
@@ -83,6 +106,23 @@ class Engine:
         self._mod_depth = 0
         self._reexec_depth = 0
         self.propagating = False
+        #: Optional observability hook (see :mod:`repro.obs.events`).  When
+        #: None -- the default -- every emission site costs one attribute
+        #: check, keeping the hot path fast.
+        self.hook: Optional[Any] = None
+
+    def attach_hook(self, hook: Any) -> None:
+        """Install an observability hook (a ``repro.obs.events.TraceHook``).
+
+        The hook receives structured engine events (mod-create,
+        read-start/end, write, memo-hit/miss, splice, discard,
+        propagate-begin/end, ...).  Pass ``None`` to detach.  To install
+        several hooks at once, wrap them in a
+        :class:`repro.obs.events.FanoutHook`.
+        """
+        self.hook = hook
+        if hook is not None:
+            hook.on_attach(self)
 
     # ------------------------------------------------------------------
     # Trace construction primitives
@@ -99,7 +139,10 @@ class Engine:
         :meth:`change` and then call :meth:`propagate`.
         """
         self.meter.mods_created += 1
-        return Modifiable(value)
+        mod = Modifiable(value)
+        if self.hook is not None:
+            self.hook.on_mod_create(mod, True, False)
+        return mod
 
     def mod(self, comp: Callable[[Modifiable], None]) -> Modifiable:
         """Run changeable computation ``comp`` into a fresh modifiable.
@@ -109,6 +152,8 @@ class Engine:
         """
         dest = Modifiable()
         self.meter.mods_created += 1
+        if self.hook is not None:
+            self.hook.on_mod_create(dest, False, False)
         self._mod_depth += 1
         try:
             comp(dest)
@@ -134,8 +179,13 @@ class Engine:
         mod.readers.add(edge)
         self.meter.reads_executed += 1
         self.meter.live_edges += 1
+        hook = self.hook
+        if hook is not None:
+            hook.on_read_start(edge)
         reader(mod.value)
         edge.end = self._advance()
+        if hook is not None:
+            hook.on_read_end(edge)
 
     def write(self, dest: Modifiable, value: Any) -> None:
         """Write ``value`` into destination ``dest``.
@@ -145,9 +195,13 @@ class Engine:
         """
         self.meter.writes += 1
         if dest.value is not UNWRITTEN and _values_equal(dest.value, value):
+            if self.hook is not None:
+                self.hook.on_write(dest, value, False)
             return
         dest.value = value
         self.meter.changed_writes += 1
+        if self.hook is not None:
+            self.hook.on_write(dest, value, True)
         if dest.readers:
             self._dirty_readers(dest)
 
@@ -161,17 +215,23 @@ class Engine:
         """
         self.meter.writes += 1
         if dest.value is not UNWRITTEN and _values_equal(dest.value, value):
+            if self.hook is not None:
+                self.hook.on_impwrite(dest, value, False, 0)
             return
         dest.value = value
         self.meter.changed_writes += 1
         inside_run = self._mod_depth > 0 or self._reexec_depth > 0
         now_label = self.now.label
+        dirtied = 0
         for edge in list(dest.readers):
             if edge.dead or edge.dirty:
                 continue
             if not inside_run or edge.start.label > now_label:
                 edge.dirty = True
                 heapq.heappush(self.queue, edge)
+                dirtied += 1
+        if self.hook is not None:
+            self.hook.on_impwrite(dest, value, True, dirtied)
 
     def _dirty_readers(self, mod: Modifiable) -> None:
         for edge in list(mod.readers):
@@ -211,9 +271,12 @@ class Engine:
             )
             if not old_stamp.live or doomed:
                 dest = old_mod
+        recycled = dest is not None
         if dest is None:
             dest = Modifiable()
             self.meter.mods_created += 1
+        if self.hook is not None:
+            self.hook.on_mod_create(dest, False, recycled)
         stamp = self._advance()
         self.alloc_table[key] = (dest, stamp)
         self._mod_depth += 1
@@ -259,11 +322,17 @@ class Engine:
                 del self.memo_table[key]
             if hit is not None:
                 # Splice: discard the skipped old trace, jump past the hit.
+                if self.hook is not None:
+                    self.hook.on_memo_hit(hit)
                 self._delete_range(self.now, hit.start)
                 self.now = hit.end
                 self.meter.memo_hits += 1
+                if self.hook is not None:
+                    self.hook.on_splice(hit)
                 return hit.result
         self.meter.memo_misses += 1
+        if self.hook is not None:
+            self.hook.on_memo_miss(key)
         start = self._advance()
         entry = MemoEntry(key, start)
         start.owner = entry
@@ -280,8 +349,12 @@ class Engine:
     def change(self, mod: Modifiable, value: Any) -> None:
         """Change an input modifiable (between propagations)."""
         if _values_equal(mod.value, value):
+            if self.hook is not None:
+                self.hook.on_change(mod, value, False)
             return
         mod.value = value
+        if self.hook is not None:
+            self.hook.on_change(mod, value, True)
         self._dirty_readers(mod)
 
     def propagate(self) -> int:
@@ -294,6 +367,9 @@ class Engine:
         if self.propagating:
             raise PropagationError("propagate is not reentrant")
         self.propagating = True
+        hook = self.hook
+        if hook is not None:
+            hook.on_propagate_begin(len(self.queue))
         reexecuted = 0
         try:
             while self.queue:
@@ -302,6 +378,8 @@ class Engine:
                     continue
                 edge.dirty = False
                 assert edge.end is not None
+                if hook is not None:
+                    hook.on_reexec(edge)
                 saved_now, saved_limit = self.now, self.reuse_limit
                 self.now = edge.start
                 self.reuse_limit = edge.end
@@ -318,6 +396,8 @@ class Engine:
                 self.meter.edges_reexecuted += 1
         finally:
             self.propagating = False
+        if hook is not None:
+            hook.on_propagate_end(reexecuted)
         return reexecuted
 
     # ------------------------------------------------------------------
@@ -325,6 +405,7 @@ class Engine:
 
     def _delete_range(self, a: Stamp, b: Optional[Stamp]) -> None:
         """Delete stamps strictly between ``a`` and ``b``, retracting owners."""
+        hook = self.hook
         node = a.next
         while node is not None and node is not b:
             nxt = node.next
@@ -332,6 +413,8 @@ class Engine:
             if owner is not None:
                 owner.discard(self)
                 node.owner = None
+                if hook is not None:
+                    hook.on_discard(owner)
             self.order.delete(node)
             node = nxt
 

@@ -9,6 +9,15 @@ with that of a verifier (reference implementation)."
 complete self-adjusting run, then ``changes`` random incremental changes,
 re-verifying the output against the pure-Python reference after each
 change propagation.
+
+:func:`oracle_app` is the stronger *from-scratch-consistency oracle* (the
+property the consistency theorems of self-adjusting computation actually
+state): after every propagation, the incrementally updated output must
+equal the output of a **fresh self-adjusting run** of the same compiled
+program on the current input -- not just the reference implementation.
+This catches propagation bugs that happen to produce reference-correct
+values through a stale trace, and it can re-check the engine's trace
+invariants (:mod:`repro.obs.invariants`) after every propagation.
 """
 
 from __future__ import annotations
@@ -102,3 +111,107 @@ def verify_app(
                 f"  got:      {got!r}\n  expected: {expected!r}"
             )
     return VerifyResult(app.name, n, changes, reexecuted)
+
+
+@dataclass
+class OracleResult:
+    """Outcome of one :func:`oracle_app` run."""
+
+    name: str
+    n: int
+    changes: int
+    reexecuted_total: int
+    invariant_checks: int
+
+    def __str__(self) -> str:
+        text = (
+            f"{self.name}: n={self.n}, {self.changes} changes consistent "
+            f"with from-scratch reruns, {self.reexecuted_total} reads re-executed"
+        )
+        if self.invariant_checks:
+            text += f", {self.invariant_checks} invariant checks"
+        return text
+
+
+def oracle_app(
+    app: App,
+    n: int,
+    changes: int,
+    seed: int = 0,
+    *,
+    memoize: bool = True,
+    optimize_flag: bool = True,
+    coarse: bool = False,
+    check_invariants: bool = True,
+    check_reference: bool = True,
+) -> OracleResult:
+    """From-scratch-consistency oracle for one application.
+
+    Runs the compiled program self-adjustingly, applies ``changes`` random
+    input changes, and after each propagation asserts that the propagated
+    output equals the output of a *from-scratch rerun* (a fresh engine and
+    instance applied to the current input data).  With ``check_invariants``
+    (default), an :class:`repro.obs.invariants.InvariantChecker` rides
+    along, validating splice containment and queue ordering during every
+    propagation and the structural trace invariants after it.
+    """
+    rng = random.Random(seed)
+    program = app.compiled(
+        memoize=memoize, optimize_flag=optimize_flag, coarse=coarse
+    )
+    data = app.make_data(n, rng)
+
+    engine = Engine()
+    checker = None
+    if check_invariants:
+        from repro.obs.invariants import InvariantChecker
+
+        checker = InvariantChecker()
+        engine.attach_hook(checker)
+    instance = program.self_adjusting_instance(engine)
+    input_value, handle = app.make_sa_input(engine, data)
+    output = instance.apply(input_value)
+
+    if check_reference:
+        got = app.readback(output)
+        expected = app.reference(data)
+        if not values_close(got, expected):
+            raise VerificationError(
+                f"{app.name}: initial self-adjusting output diverges\n"
+                f"  got:      {got!r}\n  expected: {expected!r}"
+            )
+
+    reexecuted = 0
+    for step in range(changes):
+        app.apply_change(handle, rng, step)
+        reexecuted += engine.propagate()
+        got = app.readback(output)
+
+        # The oracle: a fresh self-adjusting run over the current data.
+        current = app.handle_data(handle)
+        scratch_engine = Engine()
+        scratch = program.self_adjusting_instance(scratch_engine)
+        scratch_input, _ = app.make_sa_input(scratch_engine, current)
+        scratch_out = app.readback(scratch.apply(scratch_input))
+
+        if not values_close(got, scratch_out):
+            raise VerificationError(
+                f"{app.name}: propagated output diverges from a "
+                f"from-scratch rerun after change {step} (seed {seed})\n"
+                f"  propagated:   {got!r}\n  from scratch: {scratch_out!r}"
+            )
+        if check_reference:
+            expected = app.reference(current)
+            if not values_close(got, expected):
+                raise VerificationError(
+                    f"{app.name}: output diverges from reference after "
+                    f"change {step} (seed {seed})\n"
+                    f"  got:      {got!r}\n  expected: {expected!r}"
+                )
+    return OracleResult(
+        app.name,
+        n,
+        changes,
+        reexecuted,
+        checker.total_checks() if checker is not None else 0,
+    )

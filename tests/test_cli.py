@@ -62,3 +62,50 @@ def test_apps_listing(capsys):
     assert main(["apps"]) == 0
     out = capsys.readouterr().out
     assert "raytracer" in out and "block-mat-mult" in out
+
+
+# ----------------------------------------------------------------------
+# trace subcommand
+
+
+def test_trace_writes_ddg_and_events(tmp_path, capsys):
+    out = str(tmp_path)
+    rc = main(
+        ["trace", "map", "-n", "12", "--changes", "2", "--out", out, "--events"]
+    )
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "invariants: OK" in text
+    assert "events:" in text and "meter:" in text
+
+    import json
+
+    ddg = json.loads((tmp_path / "map.ddg.json").read_text())
+    assert ddg["reads"] and ddg["mods"]
+
+    dot = (tmp_path / "map.ddg.dot").read_text()
+    assert dot.startswith('digraph "map"')
+
+    events = (tmp_path / "map.events.jsonl").read_text().splitlines()
+    kinds = {json.loads(line)["kind"] for line in events}
+    assert {"mod-create", "read-start", "write", "propagate-end"} <= kinds
+
+
+def test_trace_format_json_only(tmp_path, capsys):
+    rc = main(["trace", "filter", "-n", "8", "--out", str(tmp_path),
+               "--format", "json"])
+    assert rc == 0
+    assert (tmp_path / "filter.ddg.json").exists()
+    assert not (tmp_path / "filter.ddg.dot").exists()
+    assert not (tmp_path / "filter.events.jsonl").exists()
+
+
+def test_trace_unknown_app(capsys):
+    assert main(["trace", "nosuchapp"]) == 1
+    assert "unknown app" in capsys.readouterr().err
+
+
+def test_trace_no_check_skips_invariants(tmp_path, capsys):
+    rc = main(["trace", "map", "-n", "8", "--out", str(tmp_path), "--no-check"])
+    assert rc == 0
+    assert "invariants" not in capsys.readouterr().out

@@ -307,3 +307,128 @@ def test_keyed_mod_requires_write():
     engine = Engine()
     with pytest.raises(UnwrittenModError):
         engine.keyed_mod("k2", lambda d: None)
+
+
+# ----------------------------------------------------------------------
+# Write-cutoff value equality (_values_equal)
+#
+# The cutoff must be *type-sensitive*: Python's == conflates True == 1 ==
+# 1.0 and 0.0 == -0.0, and a suppressed write of a value that only
+# compares equal would leave the trace recording the wrong value (and the
+# wrong type) for every downstream read.
+
+
+def test_values_equal_distinguishes_bool_int_float():
+    from repro.sac.engine import _values_equal
+
+    assert not _values_equal(True, 1)
+    assert not _values_equal(1, 1.0)
+    assert not _values_equal(False, 0)
+    assert _values_equal(1, 1)
+    assert _values_equal(True, True)
+
+
+def test_values_equal_float_edge_cases():
+    from repro.sac.engine import _values_equal
+
+    nan = float("nan")
+    assert _values_equal(nan, nan)  # equal *for cutoff purposes*
+    assert _values_equal(nan, float("nan"))
+    assert not _values_equal(nan, 1.0)
+    assert not _values_equal(0.0, -0.0)  # distinguishable (copysign, repr)
+    assert _values_equal(0.0, 0.0)
+    assert _values_equal(-0.0, -0.0)
+    assert _values_equal(2.5, 2.5)
+
+
+def test_values_equal_tuples_recurse():
+    from repro.sac.engine import _values_equal
+
+    nan = float("nan")
+    assert _values_equal((1, (2, nan)), (1, (2, nan)))
+    assert not _values_equal((1, 2), (1, 2, 3))
+    assert not _values_equal((1, (2, 0.0)), (1, (2, -0.0)))
+    assert not _values_equal((True,), (1,))
+    assert not _values_equal((1, 2), [1, 2])  # tuple vs list
+
+
+def test_values_equal_tuples_of_modifiables_by_identity():
+    from repro.sac.engine import _values_equal
+
+    engine = Engine()
+    a = engine.make_input(1)
+    b = engine.make_input(1)
+    assert _values_equal((a, a), (a, a))
+    # Distinct modifiables are distinct locations even with equal contents.
+    assert not _values_equal((a,), (b,))
+
+
+def test_values_equal_constructor_values():
+    from repro.interp.values import ConValue
+    from repro.sac.engine import _values_equal
+
+    engine = Engine()
+    tail = engine.make_input(None)
+    assert _values_equal(ConValue("Nil", None), ConValue("Nil", None))
+    assert not _values_equal(ConValue("Nil", None), ConValue("Cons", None))
+    assert _values_equal(ConValue("Cons", (5, tail)), ConValue("Cons", (5, tail)))
+    # Type sensitivity must reach through constructor arguments.
+    assert not _values_equal(ConValue("Cons", (1, tail)), ConValue("Cons", (True, tail)))
+    assert not _values_equal(ConValue("Cons", (0.0, tail)), ConValue("Cons", (-0.0, tail)))
+
+
+def test_values_equal_incomparable_objects():
+    from repro.sac.engine import _values_equal
+
+    class Grumpy:
+        def __eq__(self, other):
+            raise RuntimeError("no comparisons, please")
+
+        __hash__ = None
+
+    g = Grumpy()
+    assert _values_equal(g, g)  # identity short-circuits
+    assert not _values_equal(g, Grumpy())  # comparison failure => not equal
+
+
+def test_write_cutoff_is_type_sensitive():
+    """Overwriting True with 1 must propagate: they print differently and
+    behave differently under string formatting, so suppressing the write
+    would freeze downstream reads at the stale value."""
+    engine = Engine()
+    m = engine.make_input(0)
+    out = engine.mod(
+        lambda dest: engine.read(m, lambda v: engine.write(dest, v == 0))
+    )
+    shown = engine.mod(
+        lambda dest: engine.read(out, lambda v: engine.write(dest, repr(v)))
+    )
+    assert shown.peek() == "True"
+    engine.change(m, 7)
+    assert engine.propagate() >= 1
+    assert shown.peek() == "False"
+
+
+def test_write_cutoff_nan_write_does_not_cascade():
+    """Re-writing NaN over NaN is a cutoff: downstream must not re-execute."""
+    engine = Engine()
+    m = engine.make_input(-1.0)
+    nanned = engine.mod(
+        lambda dest: engine.read(
+            m, lambda v: engine.write(dest, float("nan") if v < 0 else v)
+        )
+    )
+    reexec_count = [0]
+
+    def downstream_reader(v):
+        reexec_count[0] += 1
+
+    engine.mod(
+        lambda dest: engine.read(
+            nanned, lambda v: (downstream_reader(v), engine.write(dest, 0))[-1]
+        )
+    )
+    assert reexec_count[0] == 1
+    engine.change(m, -2.0)  # still negative: nanned stays NaN
+    engine.propagate()
+    assert reexec_count[0] == 1  # cutoff held; downstream untouched

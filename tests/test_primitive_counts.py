@@ -1,0 +1,64 @@
+"""Regression pins for the optimizer's static primitive counts.
+
+Timing-based benchmarks catch optimizer regressions slowly and noisily;
+the *static* mod/read/write/memo counts of the translated code catch them
+structurally.  These tests pin the exact counts for the msort and mat-mult
+examples before and after the Section 3.4 rewrite rules.  If a compiler
+change shifts these numbers, that is not necessarily a bug -- but it must
+be noticed, understood, and the pins updated deliberately.
+"""
+
+from repro.apps import REGISTRY
+
+
+def _counts(name, **kwargs):
+    return REGISTRY[name].compiled(**kwargs).primitive_counts()
+
+
+def test_msort_optimized_counts():
+    assert _counts("msort") == {"mod": 7, "read": 10, "write": 13, "memo": 13}
+
+
+def test_msort_unoptimized_counts():
+    assert _counts("msort", optimize_flag=False) == {
+        "mod": 15,
+        "read": 18,
+        "write": 21,
+        "memo": 13,
+    }
+
+
+def test_msort_rules_remove_same_number_of_each():
+    """Each Section 3.4 rule eliminates one mod, one read, and one write;
+    on msort the rules fire 8 times."""
+    opt = _counts("msort")
+    unopt = _counts("msort", optimize_flag=False)
+    removed = {k: unopt[k] - opt[k] for k in ("mod", "read", "write")}
+    assert removed == {"mod": 8, "read": 8, "write": 8}
+    assert unopt["memo"] == opt["memo"]  # the rules never remove memo points
+
+
+def test_msort_no_memoize_counts():
+    assert _counts("msort", memoize=False) == {
+        "mod": 7,
+        "read": 10,
+        "write": 13,
+        "memo": 0,
+    }
+
+
+def test_matmult_counts_optimized_and_not():
+    """mat-mult is built from vector primitives the rewrite rules do not
+    fire on: optimized and unoptimized counts are identical (and pinned)."""
+    expected = {"mod": 5, "read": 8, "write": 5, "memo": 2}
+    assert _counts("mat-mult") == expected
+    assert _counts("mat-mult", optimize_flag=False) == expected
+
+
+def test_matmult_no_memoize_counts():
+    assert _counts("mat-mult", memoize=False) == {
+        "mod": 5,
+        "read": 8,
+        "write": 5,
+        "memo": 0,
+    }

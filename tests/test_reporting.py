@@ -68,3 +68,125 @@ def test_values_close_structures():
     assert not values_close([1, 2.0], [1, 2.1])
     assert values_close(("a", (1.0,)), ("a", (1.0,)))
     assert not values_close([1, 2], [1, 2, 3])
+
+
+# ----------------------------------------------------------------------
+# Meter counter accuracy (hand-counted engine scenario)
+
+
+def test_meter_counts_chain_scenario():
+    from repro.sac import Engine
+
+    engine = Engine()
+    m = engine.make_input(1)
+    prev = m
+    for _ in range(3):
+        prev = engine.mod(
+            lambda dest, p=prev: engine.read(p, lambda v: engine.write(dest, v + 1))
+        )
+    meter = engine.meter
+    assert meter.mods_created == 4  # the input + three mods
+    assert meter.reads_executed == 3
+    assert meter.writes == 3
+    assert meter.changed_writes == 3  # first writes always change
+    assert meter.edges_reexecuted == 0
+    assert meter.live_edges == 3
+
+    engine.change(m, 10)
+    assert engine.propagate() == 3  # the whole chain re-executes
+    assert meter.edges_reexecuted == 3
+    # Re-execution re-runs the reader *in place*: fresh `read` calls are
+    # counted separately from edge re-executions.
+    assert meter.reads_executed == 3
+    assert meter.writes == 6 and meter.changed_writes == 6
+    assert meter.live_edges == 3  # old edges discarded, new recorded
+    assert meter.mods_created == 4  # no new modifiables
+
+
+def test_meter_counts_respect_write_cutoff():
+    from repro.sac import Engine
+
+    engine = Engine()
+    m = engine.make_input(3)
+    absval = engine.mod(
+        lambda dest: engine.read(m, lambda v: engine.write(dest, abs(v)))
+    )
+    engine.mod(
+        lambda dest: engine.read(absval, lambda v: engine.write(dest, v + 1))
+    )
+    engine.change(m, -3)
+    engine.propagate()
+    meter = engine.meter
+    assert meter.edges_reexecuted == 1  # cutoff: downstream never re-ran
+    assert meter.writes == 3  # two initial + one re-executed
+    assert meter.changed_writes == 2  # the re-written abs value was equal
+
+
+def test_meter_snapshot_and_reset():
+    from repro.sac import Engine
+
+    engine = Engine()
+    engine.make_input(1)
+    snap = engine.meter.snapshot()
+    assert snap["mods_created"] == 1
+    snap["mods_created"] = 99  # a copy, not a view
+    assert engine.meter.mods_created == 1
+    engine.meter.reset()
+    assert engine.meter.snapshot()["mods_created"] == 0
+
+
+# ----------------------------------------------------------------------
+# Per-phase report formatting
+
+
+def _phased_row():
+    row = BenchRow(name="msort", n=64, conv_run=0.5, sa_run=1.0, avg_prop=0.01)
+    row.extra["phases"] = {
+        "initial-run": {
+            "seconds": 1.0,
+            "samples": 1,
+            "counters": {"reads_executed": 120, "writes": 80, "memo_misses": 40},
+        },
+        "propagation": {
+            "seconds": 0.002,
+            "samples": 8,
+            "counters": {"edges_reexecuted": 7, "memo_hits": 5},
+        },
+    }
+    return row
+
+
+def test_format_phases_renders_counters():
+    from repro.bench import format_phases
+
+    text = format_phases([_phased_row()], "Per-phase engine work")
+    lines = text.splitlines()
+    assert lines[0] == "Per-phase engine work"
+    assert "reads" in lines[1] and "reexec" in lines[1] and "memo hit" in lines[1]
+    initial = next(l for l in lines if "initial-run" in l)
+    assert "msort(64)" in initial and "120" in initial and "80" in initial
+    prop = next(l for l in lines if "propagation" in l)
+    assert "7" in prop and "5" in prop
+
+
+def test_format_phases_skips_rows_without_phase_data():
+    from repro.bench import format_phases
+
+    bare = BenchRow(name="map", n=10, conv_run=0.1, sa_run=0.2, avg_prop=0.001)
+    text = format_phases([bare, _phased_row()])
+    assert "map(10)" not in text
+    assert "msort(64)" in text
+
+
+def test_measure_app_records_phases():
+    from repro.apps import REGISTRY
+    from repro.bench import measure_app
+
+    row = measure_app(
+        REGISTRY["map"], 12, prop_samples=2, seed=0, skip_conventional=True
+    )
+    phases = row.phases
+    assert set(phases) == {"initial-run", "propagation"}
+    assert phases["initial-run"]["counters"]["reads_executed"] > 0
+    assert phases["propagation"]["samples"] == 2
+    assert phases["propagation"]["counters"]["edges_reexecuted"] > 0
