@@ -1,0 +1,83 @@
+"""Backend speedup: the closure-compilation backend vs the interpreter.
+
+Both backends drive the *same* engine through the same primitive sequence
+(the differential test suite asserts meter-exact equivalence), so any
+timing difference is pure dispatch cost: AST ``isinstance`` ladders and
+``Env`` dict chains on the interpreter side vs staged closures and
+slot-indexed frames on the compiled side.
+
+Claims checked at the default sizes: the compiled backend's initial msort
+run is at least 2x faster at n=64, and change propagation is never slower.
+``REPRO_BACKEND_SIZES`` overrides the sizes (e.g. "32 64" for a CI smoke
+run); the claims are only asserted at the defaults.
+"""
+
+import os
+
+from repro.apps import REGISTRY
+from repro.bench import format_series, measure_app
+
+from _util import emit, once
+
+_SIZES_ENV = os.environ.get("REPRO_BACKEND_SIZES")
+SIZES = [int(s) for s in (_SIZES_ENV or "32 64 128").split()]
+_SMOKE = _SIZES_ENV is not None
+
+#: Timing attempts per (backend, n); the minimum is reported, which is the
+#: standard defense against scheduler noise on shared machines.
+ATTEMPTS = 5
+
+
+def _measure(backend):
+    app = REGISTRY["msort"]
+    tries = [
+        [
+            measure_app(app, n, prop_samples=8, seed=1, backend=backend)
+            for n in SIZES
+        ]
+        for _ in range(ATTEMPTS)
+    ]
+    rows = tries[0]
+    runs = [min(t[i].sa_run for t in tries) for i in range(len(SIZES))]
+    props = [min(t[i].avg_prop for t in tries) for i in range(len(SIZES))]
+    return rows, runs, props
+
+
+def test_backend_speedup_msort(benchmark, capsys):
+    def run():
+        return _measure("interp"), _measure("compiled")
+
+    (interp_rows, interp_runs, interp_props), (
+        compiled_rows,
+        compiled_runs,
+        compiled_props,
+    ) = once(benchmark, run)
+
+    # Identical engine work: the speedup is dispatch-only, by construction.
+    for i, c in zip(interp_rows, compiled_rows):
+        assert i.mods_created == c.mods_created
+        assert i.trace_size == c.trace_size
+
+    series = {
+        "interp run (s)": interp_runs,
+        "compiled run (s)": compiled_runs,
+        "run speedup": [i / c for i, c in zip(interp_runs, compiled_runs)],
+        "interp prop (s)": interp_props,
+        "compiled prop (s)": compiled_props,
+        "prop speedup": [i / c for i, c in zip(interp_props, compiled_props)],
+    }
+    text = format_series(
+        "Backend speedup: msort, interp vs closure-compiled", SIZES, series
+    )
+
+    if not _SMOKE:
+        at64 = SIZES.index(64)
+        assert series["run speedup"][at64] >= 2.0, (
+            "compiled backend lost its 2x initial-run edge at n=64: "
+            f"{series['run speedup'][at64]:.2f}x"
+        )
+        assert all(s >= 1.0 for s in series["prop speedup"]), (
+            f"compiled propagation slower than interp: {series['prop speedup']}"
+        )
+
+    emit(capsys, "Backend speedup", text)

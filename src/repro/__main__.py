@@ -14,6 +14,11 @@ Usage::
 The ``verify`` subcommand runs the paper's random-change correctness
 protocol against one of the bundled benchmark applications.
 
+``verify`` and ``trace`` accept ``--backend {interp,compiled}`` to select
+the self-adjusting execution backend: the tree-walking interpreter or the
+closure-compilation backend (README "Backends").  The default comes from
+the ``REPRO_BACKEND`` environment variable (``interp`` if unset).
+
 The ``trace`` subcommand runs an application under full observability:
 it records the structured engine event stream, validates the trace
 invariants during and after every change propagation, and dumps dynamic-
@@ -73,7 +78,11 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         return 1
     try:
         result = verify_app(
-            REGISTRY[args.app], n=args.n, changes=args.changes, seed=args.seed
+            REGISTRY[args.app],
+            n=args.n,
+            changes=args.changes,
+            seed=args.seed,
+            backend=args.backend,
         )
     except VerificationError as exc:
         print(f"FAILED: {exc}", file=sys.stderr)
@@ -114,7 +123,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         hooks.append(checker)
     engine.attach_hook(FanoutHook(hooks))
 
-    instance = program.self_adjusting_instance(engine)
+    instance = program.self_adjusting_instance(engine, backend=args.backend)
     input_value, handle = app.make_sa_input(engine, data)
     output = instance.apply(input_value)
     try:
@@ -213,6 +222,12 @@ def main(argv=None) -> int:
     p_verify.add_argument("-n", type=int, default=32, help="input size")
     p_verify.add_argument("--changes", type=int, default=10)
     p_verify.add_argument("--seed", type=int, default=0)
+    p_verify.add_argument(
+        "--backend", choices=["interp", "compiled"], default=None,
+        help="self-adjusting execution backend: the tree-walking "
+             "interpreter or the closure-compilation backend "
+             "(default: $REPRO_BACKEND, else interp)",
+    )
     p_verify.set_defaults(fn=_cmd_verify)
 
     p_trace = sub.add_parser(
@@ -237,6 +252,11 @@ def main(argv=None) -> int:
                          help="event log capacity (oldest dropped first)")
     p_trace.add_argument("--no-check", action="store_true",
                          help="disable the trace invariant checker")
+    p_trace.add_argument(
+        "--backend", choices=["interp", "compiled"], default=None,
+        help="self-adjusting execution backend (default: $REPRO_BACKEND, "
+             "else interp); both emit identical traces and events",
+    )
     p_trace.set_defaults(fn=_cmd_trace)
 
     p_apps = sub.add_parser("apps", help="list the bundled benchmark apps")

@@ -55,6 +55,25 @@ class App:
             )
         return self._cache[key]
 
+    def instance(
+        self,
+        engine: Engine,
+        *,
+        backend: Optional[str] = None,
+        memoize: bool = True,
+        optimize_flag: bool = True,
+        coarse: bool = False,
+    ):
+        """Compile (cached) and create a runnable self-adjusting instance.
+
+        ``backend`` selects the execution backend (``"interp"`` or
+        ``"compiled"``; ``None`` defers to ``REPRO_BACKEND``/default).
+        """
+        program = self.compiled(
+            memoize=memoize, optimize_flag=optimize_flag, coarse=coarse
+        )
+        return program.self_adjusting_instance(engine, backend=backend)
+
 
 def random_permutation(n: int, rng: random.Random) -> list:
     values = list(range(1, n + 1))

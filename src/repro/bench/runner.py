@@ -96,12 +96,19 @@ def measure_app(
     gc_enabled: bool = False,
     skip_conventional: bool = False,
     hook: Optional[Any] = None,
+    backend: Optional[str] = None,
 ) -> BenchRow:
     """Measure one compiled benchmark at input size ``n``.
 
     ``hook`` (a ``repro.obs.events.TraceHook``) is attached to the
     self-adjusting engine before the initial run, so the cost of
     observability itself can be measured (see ``bench_obs_overhead.py``).
+
+    ``backend`` selects the self-adjusting execution backend (``"interp"``
+    or ``"compiled"``; ``None`` defers to ``REPRO_BACKEND``/default).
+    Instance creation -- including the compiled backend's staging pass --
+    is excluded from the timed sections, mirroring how the paper's
+    methodology excludes compilation.
     """
     rng = random.Random(seed)
     program = app.compiled(
@@ -123,7 +130,7 @@ def measure_app(
     engine = Engine()
     if hook is not None:
         engine.attach_hook(hook)
-    instance = program.self_adjusting_instance(engine)
+    instance = program.self_adjusting_instance(engine, backend=backend)
     input_value, handle = app.make_sa_input(engine, data)
     before_run = engine.meter.snapshot()
     sa_time = _timed(lambda: instance.apply(input_value), gc_enabled)

@@ -1,0 +1,11 @@
+"""The closure-compilation backend (``backend="compiled"``).
+
+Stages translated SXML into nested Python closures with slot-indexed
+frames, eliminating per-step AST dispatch and environment-chain lookups
+from runtime execution.  See :mod:`repro.compile.closures` for the staging
+pass and README "Backends" for how to select it.
+"""
+
+from repro.compile.closures import CompClosure, CompiledSelfAdjusting
+
+__all__ = ["CompClosure", "CompiledSelfAdjusting"]

@@ -1,0 +1,103 @@
+"""Pipeline-time case-dispatch indexing.
+
+The interpreters historically resolved ``case`` forms with a linear scan
+over the clause list (and ``CCaseConst`` with a linear, type-sensitive arm
+scan) on *every* execution -- including every reader re-execution during
+change propagation.  :func:`index_cases` walks a finished SXML tree once
+and attaches dispatch dicts to every case node:
+
+* ``BCase.tag_map`` / ``CCase.tag_map`` -- ``tag -> CaseClause``;
+* ``BCaseConst.arm_map`` / ``CCaseConst.arm_map`` --
+  ``(type(const), const) -> arm body``, keyed by type as well as value so
+  ``True``/``1`` and ``0.0``/``-0.0`` stay as distinguishable as the
+  scan's ``value == scrut and type(value) is type(scrut)`` test.
+
+Duplicate tags/consts keep the *first* clause, exactly like the scans.
+The pass runs at the end of :func:`repro.core.pipeline.compile_program`
+(after optimize + DCE, which rebuild nodes and would drop the maps); the
+interpreters fall back to the linear scan for hand-built ASTs that were
+never indexed.
+"""
+
+from __future__ import annotations
+
+from repro.core import sxml as S
+
+__all__ = ["index_cases"]
+
+
+def index_cases(e: object) -> None:
+    """Attach dispatch dicts to every case node reachable from ``e``.
+
+    Accepts any ``Expr``, ``CExpr``, or ``Bind`` and mutates the tree in
+    place (the maps are derived data; the node fields the compiler passes
+    compare and rebuild are untouched).
+    """
+    _walk(e)
+
+
+def _walk(e: object) -> None:
+    if isinstance(e, S.ELet):
+        _walk(e.bind)
+        _walk(e.body)
+    elif isinstance(e, (S.ELetRec, S.CLetRec)):
+        for _name, lam in e.bindings:
+            _walk(lam)
+        _walk(e.body)
+    elif isinstance(e, S.ERet):
+        pass
+    elif isinstance(e, S.CLet):
+        _walk(e.bind)
+        _walk(e.body)
+    elif isinstance(e, S.CRead):
+        _walk(e.body)
+    elif isinstance(e, S.CIf):
+        _walk(e.then)
+        _walk(e.els)
+    elif isinstance(e, S.CCase):
+        tag_map: dict = {}
+        for clause in e.clauses:
+            tag_map.setdefault(clause.tag, clause)
+            _walk(clause.body)
+        e.tag_map = tag_map
+        if e.default is not None:
+            _walk(e.default)
+    elif isinstance(e, S.CCaseConst):
+        arm_map: dict = {}
+        for value, body in e.arms:
+            arm_map.setdefault((type(value), value), body)
+            _walk(body)
+        e.arm_map = arm_map
+        if e.default is not None:
+            _walk(e.default)
+    elif isinstance(e, S.CImpWrite):
+        _walk(e.body)
+    elif isinstance(e, (S.CWrite,)):
+        pass
+    elif isinstance(e, S.BLam):
+        _walk(e.body)
+    elif isinstance(e, S.BIf):
+        _walk(e.then)
+        _walk(e.els)
+    elif isinstance(e, S.BCase):
+        tag_map = {}
+        for clause in e.clauses:
+            tag_map.setdefault(clause.tag, clause)
+            _walk(clause.body)
+        e.tag_map = tag_map
+        if e.default is not None:
+            _walk(e.default)
+    elif isinstance(e, S.BCaseConst):
+        arm_map = {}
+        for value, body in e.arms:
+            arm_map.setdefault((type(value), value), body)
+            _walk(body)
+        e.arm_map = arm_map
+        if e.default is not None:
+            _walk(e.default)
+    elif isinstance(e, S.BMod):
+        _walk(e.body)
+    elif isinstance(e, (S.Bind, S.Expr, S.CExpr)):
+        pass  # leaf forms: atoms only
+    else:  # pragma: no cover - defensive
+        raise AssertionError(f"unknown SXML node {e!r}")

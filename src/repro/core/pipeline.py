@@ -23,12 +23,14 @@ Compiler options mirror the paper's evaluation axes:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.core import ir as C
 from repro.core import sxml as S
 from repro.core.anf import normalize
+from repro.core.caseindex import index_cases
 from repro.core.deadcode import eliminate_dead_code
 from repro.core.freshen import uniquify
 from repro.core.levels import LevelInfo, LTy, infer_levels
@@ -53,6 +55,26 @@ class CompilerOptions:
     main: str = "main"
 
 
+#: The two self-adjusting execution backends (README "Backends"):
+#: ``interp`` walks the translated SXML; ``compiled`` stages it into
+#: Python closures (:mod:`repro.compile`) for zero-dispatch execution.
+BACKENDS = ("interp", "compiled")
+
+
+def default_backend() -> str:
+    """The backend used when none is requested explicitly.
+
+    Controlled by the ``REPRO_BACKEND`` environment variable (CI runs the
+    whole suite under ``REPRO_BACKEND=compiled``); defaults to ``interp``.
+    """
+    backend = os.environ.get("REPRO_BACKEND", "interp")
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"REPRO_BACKEND={backend!r} is not a backend (expected one of {BACKENDS})"
+        )
+    return backend
+
+
 class ConventionalInstance:
     """A runnable conventional executable: the value of ``main``."""
 
@@ -71,12 +93,33 @@ class SelfAdjustingInstance:
     ``apply(input)`` performs the initial (complete) run, building the
     trace; afterwards, change the input through its handles and call
     :meth:`propagate`.
+
+    ``backend`` selects how the translated SXML executes: ``"interp"``
+    (the tree-walking interpreter) or ``"compiled"`` (the closure-
+    compilation backend, staged once at instance creation).  Both produce
+    identical outputs, traces, and meter counts; ``None`` defers to
+    :func:`default_backend`.
     """
 
-    def __init__(self, program: "CompiledProgram", engine: Optional[Engine] = None) -> None:
+    def __init__(
+        self,
+        program: "CompiledProgram",
+        engine: Optional[Engine] = None,
+        backend: Optional[str] = None,
+    ) -> None:
         ensure_recursion_headroom()
         self.engine = engine or Engine()
-        self.interp = SelfAdjustingInterpreter(self.engine)
+        self.backend = backend or default_backend()
+        if self.backend == "interp":
+            self.interp = SelfAdjustingInterpreter(self.engine)
+        elif self.backend == "compiled":
+            from repro.compile import CompiledSelfAdjusting
+
+            self.interp = CompiledSelfAdjusting(self.engine)
+        else:
+            raise ValueError(
+                f"unknown backend {self.backend!r} (expected one of {BACKENDS})"
+            )
         self.main = self.interp.run(program.sxml_translated)
 
     def apply(self, input_value: Any) -> Any:
@@ -107,9 +150,9 @@ class CompiledProgram:
         return ConventionalInstance(self)
 
     def self_adjusting_instance(
-        self, engine: Optional[Engine] = None
+        self, engine: Optional[Engine] = None, backend: Optional[str] = None
     ) -> SelfAdjustingInstance:
-        return SelfAdjustingInstance(self, engine)
+        return SelfAdjustingInstance(self, engine, backend=backend)
 
     # -- inspection --------------------------------------------------------
 
@@ -154,6 +197,10 @@ def compile_program(
     if options.optimize:
         translated = optimize(translated)
     translated = eliminate_dead_code(translated)
+    # Index case dispatch (tag -> clause, const -> arm) on the final ASTs
+    # so both interpreters dispatch through dicts instead of clause scans.
+    index_cases(conventional)
+    index_cases(translated)
     return CompiledProgram(
         source=source,
         options=options,

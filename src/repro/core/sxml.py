@@ -127,6 +127,9 @@ class BCase(Bind):
     scrut: Atom = None  # type: ignore[assignment]
     clauses: List[CaseClause] = field(default_factory=list)
     default: Optional[object] = None  # Expr (no binder: wildcard only)
+    #: ``tag -> CaseClause``, filled by :func:`repro.core.caseindex.index_cases`
+    #: at the end of the pipeline; ``None`` on freshly built/rewritten nodes.
+    tag_map: Optional[dict] = field(default=None, compare=False, repr=False)
 
 
 @dataclass
@@ -134,6 +137,8 @@ class BCaseConst(Bind):
     scrut: Atom = None  # type: ignore[assignment]
     arms: List[Tuple[object, object]] = field(default_factory=list)  # (const, Expr)
     default: Optional[object] = None
+    #: ``(type, const) -> Expr`` (type-sensitive, matching the arm scan).
+    arm_map: Optional[dict] = field(default=None, compare=False, repr=False)
 
 
 @dataclass
@@ -256,6 +261,8 @@ class CCase(CExpr):
     scrut: Atom = None  # type: ignore[assignment]
     clauses: List[CaseClause] = field(default_factory=list)
     default: Optional[CExpr] = None
+    #: ``tag -> CaseClause``; see :func:`repro.core.caseindex.index_cases`.
+    tag_map: Optional[dict] = field(default=None, compare=False, repr=False)
 
 
 @dataclass
@@ -263,6 +270,8 @@ class CCaseConst(CExpr):
     scrut: Atom = None  # type: ignore[assignment]
     arms: List[Tuple[object, CExpr]] = field(default_factory=list)
     default: Optional[CExpr] = None
+    #: ``(type, const) -> CExpr`` (type-sensitive, matching the arm scan).
+    arm_map: Optional[dict] = field(default=None, compare=False, repr=False)
 
 
 @dataclass

@@ -87,12 +87,20 @@ class ConventionalInterpreter:
             scrut = self.atom(b.scrut, env)
             if not isinstance(scrut, ConValue):
                 raise LmlRuntimeError(f"case on non-constructor {scrut!r}")
-            for clause in b.clauses:
-                if clause.tag == scrut.tag:
-                    inner = Env(env)
-                    if clause.binder is not None:
-                        inner.bind(clause.binder, scrut.arg)
-                    return self.eval(clause.body, inner)
+            tag_map = b.tag_map
+            if tag_map is not None:
+                clause = tag_map.get(scrut.tag)
+            else:  # un-indexed (hand-built) AST: linear clause scan
+                clause = None
+                for candidate in b.clauses:
+                    if candidate.tag == scrut.tag:
+                        clause = candidate
+                        break
+            if clause is not None:
+                inner = Env(env)
+                if clause.binder is not None:
+                    inner.bind(clause.binder, scrut.arg)
+                return self.eval(clause.body, inner)
             if b.default is not None:
                 return self.eval(b.default, Env(env))
             raise MatchFailure(f"no clause for {scrut.tag}")

@@ -99,12 +99,20 @@ class SelfAdjustingInterpreter:
             return self.eval(b.then if cond else b.els, Env(env))
         if isinstance(b, S.BCase):
             scrut = self.atom(b.scrut, env)
-            for clause in b.clauses:
-                if clause.tag == scrut.tag:
-                    inner = Env(env)
-                    if clause.binder is not None:
-                        inner.bind(clause.binder, scrut.arg)
-                    return self.eval(clause.body, inner)
+            tag_map = b.tag_map
+            if tag_map is not None:
+                clause = tag_map.get(scrut.tag)
+            else:  # un-indexed (hand-built) AST: linear clause scan
+                clause = None
+                for candidate in b.clauses:
+                    if candidate.tag == scrut.tag:
+                        clause = candidate
+                        break
+            if clause is not None:
+                inner = Env(env)
+                if clause.binder is not None:
+                    inner.bind(clause.binder, scrut.arg)
+                return self.eval(clause.body, inner)
             if b.default is not None:
                 return self.eval(b.default, Env(env))
             raise MatchFailure(f"no clause for {scrut.tag}")
@@ -161,11 +169,15 @@ class SelfAdjustingInterpreter:
                 e = e.then if cond else e.els
             elif isinstance(e, S.CCase):
                 scrut = self.atom(e.scrut, env)
-                chosen = None
-                for clause in e.clauses:
-                    if clause.tag == scrut.tag:
-                        chosen = clause
-                        break
+                tag_map = e.tag_map
+                if tag_map is not None:
+                    chosen = tag_map.get(scrut.tag)
+                else:  # un-indexed (hand-built) AST: linear clause scan
+                    chosen = None
+                    for clause in e.clauses:
+                        if clause.tag == scrut.tag:
+                            chosen = clause
+                            break
                 if chosen is not None:
                     env = Env(env)
                     if chosen.binder is not None:
@@ -178,11 +190,15 @@ class SelfAdjustingInterpreter:
                     raise MatchFailure(f"no clause for {scrut.tag}")
             elif isinstance(e, S.CCaseConst):
                 scrut = self.atom(e.scrut, env)
-                target = None
-                for value, body in e.arms:
-                    if value == scrut and type(value) is type(scrut):
-                        target = body
-                        break
+                arm_map = e.arm_map
+                if arm_map is not None:
+                    target = arm_map.get((type(scrut), scrut))
+                else:  # un-indexed (hand-built) AST: linear arm scan
+                    target = None
+                    for value, body in e.arms:
+                        if value == scrut and type(value) is type(scrut):
+                            target = body
+                            break
                 if target is None:
                     if e.default is None:
                         raise MatchFailure(f"no arm for {scrut!r}")

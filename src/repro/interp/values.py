@@ -41,8 +41,12 @@ class ConValue:
             and self.arg == other.arg
         )
 
-    def __hash__(self) -> int:  # identity-free structural hash for scalars
-        return hash((self.tag, id(self.arg)))
+    def __hash__(self) -> int:
+        # Structural, matching __eq__: equal values must hash equally or
+        # dict/set membership (and any hash-keyed memo path) breaks.
+        # Pieces without structural equality (modifiables, closures) hash
+        # by identity via object.__hash__, consistent with their __eq__.
+        return hash((self.tag, self.arg))
 
     def memo_key(self) -> Any:
         return ("con", self.tag, memo_key(self.arg))

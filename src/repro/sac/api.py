@@ -52,6 +52,18 @@ def memo_key(value: Any) -> Any:
     trace is only spliced when the keys match *and* the trace lies in the
     current reuse zone.
     """
+    t = type(value)
+    if t is int or t is str or t is float or t is bool:
+        return value
+    if t is tuple:
+        # Dominant tuple shapes are pairs and triples (list cells, argument
+        # tuples); building those directly avoids a generator frame.
+        n = len(value)
+        if n == 2:
+            return (memo_key(value[0]), memo_key(value[1]))
+        if n == 3:
+            return (memo_key(value[0]), memo_key(value[1]), memo_key(value[2]))
+        return tuple(map(memo_key, value))
     if isinstance(value, _SCALARS):
         return value
     if isinstance(value, tuple):

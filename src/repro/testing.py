@@ -68,8 +68,13 @@ def verify_app(
     optimize_flag: bool = True,
     coarse: bool = False,
     check_conventional: bool = True,
+    backend: Optional[str] = None,
 ) -> VerifyResult:
-    """Run the Section 4.3 verification protocol for one application."""
+    """Run the Section 4.3 verification protocol for one application.
+
+    ``backend`` selects the self-adjusting execution backend (``"interp"``
+    or ``"compiled"``; ``None`` defers to ``REPRO_BACKEND``/default).
+    """
     rng = random.Random(seed)
     program = app.compiled(
         memoize=memoize, optimize_flag=optimize_flag, coarse=coarse
@@ -87,7 +92,7 @@ def verify_app(
             )
 
     engine = Engine()
-    instance = program.self_adjusting_instance(engine)
+    instance = program.self_adjusting_instance(engine, backend=backend)
     input_value, handle = app.make_sa_input(engine, data)
     output = instance.apply(input_value)
 
@@ -144,6 +149,7 @@ def oracle_app(
     coarse: bool = False,
     check_invariants: bool = True,
     check_reference: bool = True,
+    backend: Optional[str] = None,
 ) -> OracleResult:
     """From-scratch-consistency oracle for one application.
 
@@ -168,7 +174,7 @@ def oracle_app(
 
         checker = InvariantChecker()
         engine.attach_hook(checker)
-    instance = program.self_adjusting_instance(engine)
+    instance = program.self_adjusting_instance(engine, backend=backend)
     input_value, handle = app.make_sa_input(engine, data)
     output = instance.apply(input_value)
 
@@ -190,7 +196,7 @@ def oracle_app(
         # The oracle: a fresh self-adjusting run over the current data.
         current = app.handle_data(handle)
         scratch_engine = Engine()
-        scratch = program.self_adjusting_instance(scratch_engine)
+        scratch = program.self_adjusting_instance(scratch_engine, backend=backend)
         scratch_input, _ = app.make_sa_input(scratch_engine, current)
         scratch_out = app.readback(scratch.apply(scratch_input))
 
