@@ -15,7 +15,8 @@ run); the claims are only asserted at the defaults.
 import os
 
 from repro.apps import REGISTRY
-from repro.bench import format_series, measure_app
+from repro.api import measure_app
+from repro.bench import format_series
 
 from _util import emit, once
 

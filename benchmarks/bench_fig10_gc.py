@@ -12,7 +12,8 @@ import gc
 import pytest
 
 from repro.apps import REGISTRY
-from repro.bench import format_series, measure_app
+from repro.api import measure_app
+from repro.bench import format_series
 
 from _util import emit, once
 

@@ -13,7 +13,8 @@ size, whereas speedups ... increase with the input size."
 import pytest
 
 from repro.apps import REGISTRY
-from repro.bench import format_series, measure_app
+from repro.api import measure_app
+from repro.bench import format_series
 
 from _util import emit, once
 

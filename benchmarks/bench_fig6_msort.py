@@ -17,7 +17,8 @@ import os
 import pytest
 
 from repro.apps import REGISTRY
-from repro.bench import format_phases, format_series, measure_app
+from repro.api import measure_app
+from repro.bench import format_phases, format_series
 
 from _util import emit, once
 

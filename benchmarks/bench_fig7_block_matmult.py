@@ -14,7 +14,8 @@ smaller blocks use more memory.
 import pytest
 
 from repro.apps import get_app
-from repro.bench import format_series, measure_app
+from repro.api import measure_app
+from repro.bench import format_series
 
 from _util import emit, once
 

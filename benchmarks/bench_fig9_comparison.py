@@ -20,7 +20,8 @@ code is at least competitive with (usually faster than) the compiled code.
 import pytest
 
 from repro.apps import REGISTRY
-from repro.bench import measure_app, measure_handwritten
+from repro.api import measure_app
+from repro.bench import measure_handwritten
 from repro.bench.handwritten import HANDWRITTEN
 from repro.bench.report import format_normalized
 

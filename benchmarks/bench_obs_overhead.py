@@ -24,7 +24,7 @@ import os
 import pytest
 
 from repro.apps import REGISTRY
-from repro.bench import measure_app
+from repro.api import measure_app
 from repro.obs import EventLog, TraceHook
 
 from _util import emit, once

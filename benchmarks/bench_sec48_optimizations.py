@@ -10,7 +10,7 @@ ratio Unopt/Optimized.
 import pytest
 
 from repro.apps import REGISTRY
-from repro.bench import measure_app
+from repro.api import measure_app
 from repro.core.optimize import count_primitives
 
 from _util import emit, once

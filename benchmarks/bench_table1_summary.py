@@ -15,7 +15,8 @@ speedup than element-wise mat-mult.
 import pytest
 
 from repro.apps import REGISTRY
-from repro.bench import format_table, measure_app
+from repro.api import measure_app
+from repro.bench import format_table
 
 from _util import emit, once
 

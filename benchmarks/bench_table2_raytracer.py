@@ -15,6 +15,7 @@ import time
 
 import pytest
 
+from repro.api import Session
 from repro.apps import REGISTRY
 from repro.apps.raytracer import (
     GROUPS,
@@ -44,10 +45,10 @@ def test_table2_raytracer(benchmark, capsys):
         conv.apply(conv_input)
         conv_time = time.perf_counter() - t0
 
-        sa = program.self_adjusting_instance()
+        sa = Session(program)
         handle = SceneInput(sa.engine, scene)
         t0 = time.perf_counter()
-        out = sa.apply(handle.value)
+        out = sa.run(handle.value)
         sa_time = time.perf_counter() - t0
 
         rows = []

@@ -12,6 +12,7 @@ import time
 
 import pytest
 
+from repro.api import Session
 from repro.apps import REGISTRY
 from repro.apps.raytracer import GROUPS, SceneInput, readback_image, standard_scene
 
@@ -22,10 +23,10 @@ TOGGLES = ["A", "C", "E", "G"]
 
 
 def _measure(program, scene):
-    sa = program.self_adjusting_instance()
+    sa = Session(program)
     handle = SceneInput(sa.engine, scene)
     t0 = time.perf_counter()
-    out = sa.apply(handle.value)
+    out = sa.run(handle.value)
     run_time = time.perf_counter() - t0
     mods = sa.engine.meter.mods_created
     trace = sa.engine.trace_size()

@@ -19,6 +19,7 @@ Run:  python examples/matrix_representations.py
 import random
 import time
 
+from repro.api import Session
 from repro.apps.matrices import BLOCK_MAT_MULT_SOURCE, MAT_MULT_SOURCE
 from repro.core import compile_program
 from repro.interp.marshal import BlockMatrixInput, ModMatrixInput
@@ -44,10 +45,10 @@ def main() -> None:
 
     print("element-granular: type matrix = ((real $C) vector) vector")
     program = compile_program(MAT_MULT_SOURCE)
-    sa = program.self_adjusting_instance()
+    sa = Session(program)
     a = ModMatrixInput(sa.engine, rows_a)
     b = ModMatrixInput(sa.engine, rows_b)
-    _, run_elem = timed("complete run", lambda: sa.apply((a.value, b.value)))
+    _, run_elem = timed("complete run", lambda: sa.run((a.value, b.value)))
     mods_elem = sa.engine.meter.mods_created
 
     def change_elem():
@@ -61,11 +62,11 @@ def main() -> None:
 
     print(f"block-granular: {BLOCK}x{BLOCK} blocks, one modifiable per block")
     program_b = compile_program(BLOCK_MAT_MULT_SOURCE)
-    sa_b = program_b.self_adjusting_instance()
+    sa_b = Session(program_b)
     ba = BlockMatrixInput(sa_b.engine, rows_a, BLOCK)
     bb = BlockMatrixInput(sa_b.engine, rows_b, BLOCK)
     _, run_block = timed(
-        "complete run", lambda: sa_b.apply((ba.value, bb.value, BLOCK))
+        "complete run", lambda: sa_b.run((ba.value, bb.value, BLOCK))
     )
     mods_block = sa_b.engine.meter.mods_created
 

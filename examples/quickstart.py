@@ -5,15 +5,16 @@ annotation saying what may change, and the compiler produces a program
 that responds to changes automatically and efficiently.
 
 Here: an ordinary list-processing function over a list whose *tails* are
-changeable (so elements can be inserted and deleted).  After the initial
-run, each insertion updates the output by re-executing O(1) reads instead
-of re-running the whole computation.
+changeable (so elements can be inserted and deleted), driven through the
+unified :class:`repro.api.Session` API.  After the initial run, each
+insertion updates the output by re-executing O(1) reads instead of
+re-running the whole computation -- and a *batch* of edits coalesces into
+a single propagation pass.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import compile_program
-from repro.interp.marshal import ModListInput
+from repro import Session
 from repro.interp.values import list_value_to_python
 
 SOURCE = """
@@ -29,42 +30,52 @@ val main : cell $C -> cell $C = squares
 
 
 def main() -> None:
-    program = compile_program(SOURCE)
+    session = Session(SOURCE)
 
     print("=== the self-adjusting code the compiler generated ===")
-    print(program.dump_translated())
+    print(session.program.dump_translated())
     print()
 
     # Initial (complete) run: builds the trace.
-    instance = program.self_adjusting_instance()
-    numbers = ModListInput(instance.engine, [1, 2, 3, 4, 5])
-    output = instance.apply(numbers.head)
+    numbers = session.input_list([1, 2, 3, 4, 5])
+    output = session.run(numbers.head)
     print("squares of", numbers.to_python(), "=", list_value_to_python(output))
 
     def change(description, fn):
-        meter = instance.engine.meter
-        before = meter.edges_reexecuted + meter.reads_executed
         fn()
-        instance.propagate()
-        work = meter.edges_reexecuted + meter.reads_executed - before
+        stats = session.propagate()
         print(
             f"after {description}: {list_value_to_python(output)} "
-            f"({work} read(s) of work)"
+            f"({stats.reexecuted} read(s) of work)"
         )
 
     change("inserting 10", lambda: numbers.insert(2, 10))
-    change("deleting the head", lambda: numbers.delete(0))
+    change("removing the head", lambda: numbers.remove(0))
+
+    # Several edits at once: a batch coalesces them into ONE propagation
+    # pass, so a read observing multiple edited inputs re-runs only once.
+    with session.batch() as batch:
+        numbers.insert(0, 7)
+        numbers.set(1, 20)
+    print(
+        f"after a 2-edit batch: {list_value_to_python(output)} "
+        f"({batch.changed} edits -> {batch.reexecuted} read(s) of work)"
+    )
 
     # The same work, grown 100x, still costs O(1) reads per change.
-    big = ModListInput(instance.engine, list(range(500)))
-    big_out = instance.apply(big.head)
-    meter = instance.engine.meter
-    before = meter.edges_reexecuted + meter.reads_executed
+    big = session.input_list(list(range(500)))
+    big_out = session.run(big.head)
     big.insert(250, 999)
-    instance.propagate()
-    work = meter.edges_reexecuted + meter.reads_executed - before
+    stats = session.propagate()
     assert list_value_to_python(big_out) == [x * x for x in big.to_python()]
-    print(f"on a 500-element list, one insert cost {work} read(s) of work")
+    print(f"on a 500-element list, one insert cost {stats.reexecuted} read(s) of work")
+
+    summary = session.stats()
+    print(
+        f"session: backend={summary['backend']}, "
+        f"{summary['propagations']} propagations, "
+        f"trace size {summary['trace_size']}"
+    )
 
 
 if __name__ == "__main__":

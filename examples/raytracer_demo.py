@@ -14,6 +14,7 @@ Run:  python examples/raytracer_demo.py
 import os
 import time
 
+from repro.api import Session
 from repro.apps import REGISTRY
 from repro.apps.raytracer import (
     SceneInput,
@@ -45,12 +46,12 @@ def main() -> None:
     program = app.compiled()
 
     scene = standard_scene(SIZE)
-    sa = program.self_adjusting_instance()
+    sa = Session(program)
     handle = SceneInput(sa.engine, scene)
 
     print(f"rendering {SIZE}x{SIZE} (initial self-adjusting run) ...")
     start = time.perf_counter()
-    output = sa.apply(handle.value)
+    output = sa.run(handle.value)
     run_time = time.perf_counter() - start
     before = readback_image(output)
     write_ppm(os.path.join(here, "raytracer_before.ppm"), before)

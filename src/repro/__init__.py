@@ -15,12 +15,12 @@ The package provides:
   blocked matrices, and a ray tracer) written in LML;
 * :mod:`repro.bench` -- the measurement harness regenerating the paper's
   tables and figures;
-* :mod:`repro.testing` -- the random-change verification framework.
+* :mod:`repro.api` -- the unified host API: :class:`repro.api.Session`
+  plus the verification and measurement drivers built on it.
 
 Quickstart::
 
-    from repro import compile_program
-    from repro.interp.marshal import ModListInput
+    from repro import Session
     from repro.interp.values import list_value_to_python
 
     source = '''
@@ -29,19 +29,26 @@ Quickstart::
       case l of Nil => Nil | Cons (h, t) => Cons (2 * h, double t)
     val main : cell $C -> cell $C = double
     '''
-    program = compile_program(source)
-    instance = program.self_adjusting_instance()
-    xs = ModListInput(instance.engine, [1, 2, 3])
-    out = instance.apply(xs.head)
+    session = Session(source)
+    xs = session.input_list([1, 2, 3])
+    out = session.run(xs.head)
     assert list_value_to_python(out) == [2, 4, 6]
-    xs.insert(1, 10)
-    instance.propagate()
-    assert list_value_to_python(out) == [2, 20, 4, 6]
+    with session.batch():       # edits coalesce; one propagation at exit
+        xs.insert(1, 10)
+        xs.set(0, 5)
+    assert list_value_to_python(out) == [10, 20, 4, 6]
 """
 
 from repro.core.pipeline import CompiledProgram, compile_program
 from repro.sac.engine import Engine
+from repro.api import Session
 
 __version__ = "1.0.0"
 
-__all__ = ["CompiledProgram", "Engine", "compile_program", "__version__"]
+__all__ = [
+    "CompiledProgram",
+    "Engine",
+    "Session",
+    "compile_program",
+    "__version__",
+]

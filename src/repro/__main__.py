@@ -69,8 +69,8 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.api import VerificationError, verify_app
     from repro.apps import REGISTRY
-    from repro.testing import VerificationError, verify_app
 
     if args.app not in REGISTRY:
         print(f"error: unknown app {args.app!r}; see `python -m repro apps`",
@@ -83,6 +83,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             changes=args.changes,
             seed=args.seed,
             backend=args.backend,
+            batch=args.batch,
         )
     except VerificationError as exc:
         print(f"FAILED: {exc}", file=sys.stderr)
@@ -102,8 +103,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         InvariantViolation,
         check_trace,
     )
-    from repro.sac.engine import Engine
-    from repro.testing import VerificationError, values_close
+    from repro.api import Session, VerificationError, values_close
 
     if args.app not in REGISTRY:
         print(f"error: unknown app {args.app!r}; see `python -m repro apps`",
@@ -111,29 +111,26 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         return 1
     app = REGISTRY[args.app]
     rng = random.Random(args.seed)
-    program = app.compiled()
     data = app.make_data(args.n, rng)
 
-    engine = Engine()
     log = EventLog(maxlen=args.max_events, values=args.values)
     hooks = [log]
     checker = None
     if not args.no_check:
         checker = InvariantChecker()
         hooks.append(checker)
-    engine.attach_hook(FanoutHook(hooks))
 
-    instance = program.self_adjusting_instance(engine, backend=args.backend)
-    input_value, handle = app.make_sa_input(engine, data)
-    output = instance.apply(input_value)
+    session = Session(app, backend=args.backend, hook=FanoutHook(hooks))
+    engine = session.engine
+    output = session.run(data=data)
     try:
         if checker is not None:
             check_trace(engine)
         for step in range(args.changes):
-            app.apply_change(handle, rng, step)
-            engine.propagate()
+            app.apply_change(session.handle, rng, step)
+            session.propagate()
         got = app.readback(output)
-        expected = app.reference(app.handle_data(handle))
+        expected = app.reference(app.handle_data(session.handle))
         if not values_close(got, expected):
             raise VerificationError(
                 f"output diverges from reference\n"
@@ -227,6 +224,10 @@ def main(argv=None) -> int:
         help="self-adjusting execution backend: the tree-walking "
              "interpreter or the closure-compilation backend "
              "(default: $REPRO_BACKEND, else interp)",
+    )
+    p_verify.add_argument(
+        "--batch", type=int, default=1,
+        help="coalesce this many changes per propagation pass (default 1)",
     )
     p_verify.set_defaults(fn=_cmd_verify)
 

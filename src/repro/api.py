@@ -1,0 +1,645 @@
+"""The unified host-program API: one object drives one incremental program.
+
+Everything a host needs to run an LML program incrementally used to be
+scattered over three modules with three backend-selection mechanisms
+(``App.instance``, ``repro.testing.verify_app``,
+``CompiledProgram.self_adjusting_instance``).  :class:`Session` is now the
+single entry point::
+
+    from repro.api import Session
+
+    session = Session(SOURCE)                  # LML source, app name,
+                                               # App, or CompiledProgram
+    xs = session.input_list([1, 2, 3])
+    output = session.run(xs.head)              # initial run builds the trace
+    xs.insert(1, 10)                           # edits stage; nothing re-runs
+    session.propagate()                        # one change-propagation pass
+
+    with session.batch():                      # coalesce many edits into
+        xs.insert(0, 7)                        # ... one propagation pass
+        xs.remove(4)                           # (auto-propagates at exit)
+
+    session.stats()                            # meter, trace size, tables
+
+Backend selection happens in exactly one place,
+:func:`repro.backends.resolve_backend`, with precedence *explicit
+``backend=`` argument > ``$REPRO_BACKEND`` > ``"interp"``*.
+
+The edit convention, uniform across the API: an edit entry point
+(:meth:`Session.edit`, ``ModList.insert/set/remove``, the marshalled input
+handles) stages the change **without propagating** and returns the number
+of read edges it dirtied; propagation is always an explicit
+:meth:`Session.propagate` or the close of a :meth:`Session.batch` scope.
+
+This module also hosts the canonical verification
+(:func:`verify_app`, :func:`oracle_app`) and measurement
+(:func:`measure_app`) drivers, reimplemented on top of ``Session``; their
+old homes in :mod:`repro.testing` and :mod:`repro.bench.runner` remain as
+deprecation shims.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.backends import BACKENDS, resolve_backend
+from repro.core.pipeline import CompiledProgram, compile_program
+from repro.sac.engine import Batch, Engine
+from repro.sac.exceptions import PropagationBudgetExceeded
+from repro.sac.modifiable import Modifiable
+
+__all__ = [
+    "BACKENDS",
+    "OracleResult",
+    "PropagateStats",
+    "PropagationBudgetExceeded",
+    "Session",
+    "VerificationError",
+    "VerifyResult",
+    "measure_app",
+    "oracle_app",
+    "resolve_backend",
+    "values_close",
+    "verify_app",
+]
+
+_UNSET = object()
+
+
+@dataclass
+class PropagateStats:
+    """Outcome of one :meth:`Session.propagate` call.
+
+    ``reexecuted`` counts read edges actually re-run; ``drained`` counts
+    dirty-queue entries conclusively popped (the difference is stale
+    entries skipped without work); ``seconds`` is wall time.
+    """
+
+    reexecuted: int
+    drained: int
+    seconds: float
+
+    def __str__(self) -> str:
+        return (
+            f"propagated in {self.seconds:.6f}s: {self.reexecuted} reads "
+            f"re-executed, {self.drained} queue entries drained"
+        )
+
+
+class Session:
+    """One incremental computation: compile pipeline + engine + instance +
+    edits + propagation + metering behind a single object.
+
+    ``app`` may be:
+
+    * LML source text -- compiled through the full pipeline;
+    * the name of a registered benchmark app (``python -m repro apps``);
+    * an :class:`repro.apps.base.App` object;
+    * an already-compiled :class:`repro.core.pipeline.CompiledProgram`
+      (the compiler options then come from the program, and the
+      ``optimize``/``memoize``/``coarse`` arguments must be left at their
+      defaults).
+
+    ``backend`` resolves through :func:`repro.backends.resolve_backend`
+    (explicit argument > ``$REPRO_BACKEND`` > ``"interp"``).  ``engine``
+    lets several sessions share one engine (or supply a pre-instrumented
+    one); ``hook`` attaches an observability hook
+    (:class:`repro.obs.events.TraceHook`) before anything runs.
+    """
+
+    def __init__(
+        self,
+        app: Any,
+        *,
+        backend: Optional[str] = None,
+        optimize: bool = True,
+        memoize: bool = True,
+        coarse: bool = False,
+        engine: Optional[Engine] = None,
+        hook: Optional[Any] = None,
+    ) -> None:
+        self.backend = resolve_backend(backend)
+        self.app = None
+        if isinstance(app, CompiledProgram):
+            if (optimize, memoize, coarse) != (True, True, False):
+                raise ValueError(
+                    "compiler options cannot be overridden for an "
+                    "already-compiled program"
+                )
+            self.program = app
+        else:
+            if isinstance(app, str):
+                from repro.apps import REGISTRY
+
+                if app in REGISTRY:
+                    app = REGISTRY[app]
+                else:
+                    self.program = compile_program(
+                        app,
+                        memoize=memoize,
+                        optimize_flag=optimize,
+                        coarse=coarse,
+                    )
+            if self.app is None and not isinstance(app, str):
+                # An App object (directly or via the registry).
+                self.app = app
+                self.program = app.compiled(
+                    memoize=memoize, optimize_flag=optimize, coarse=coarse
+                )
+        self.options = self.program.options
+        self.engine = engine if engine is not None else Engine()
+        if hook is not None:
+            self.engine.attach_hook(hook)
+        self.instance = None
+        self.handle = None
+        self.input_value: Any = _UNSET
+        self.output: Any = None
+        self.propagations = 0
+
+    # -- running --------------------------------------------------------
+
+    def _ensure_instance(self):
+        if self.instance is None:
+            self.instance = self.program._self_adjusting_instance(
+                self.engine, backend=self.backend
+            )
+        return self.instance
+
+    def prepare(self, data: Any = _UNSET, *, input_value: Any = _UNSET) -> "Session":
+        """Stage the instance and (optionally) the input without running.
+
+        For an app-backed session, ``data`` is plain Python input; the
+        app's marshaller builds the runtime input and the change *handle*
+        (exposed as :attr:`handle`).  Splitting preparation from
+        :meth:`run` keeps input construction and backend staging out of
+        timed sections, as the paper's methodology requires.
+        """
+        self._ensure_instance()
+        if data is not _UNSET:
+            if self.app is None:
+                raise ValueError(
+                    "data= requires an app-backed Session; pass input_value="
+                )
+            self.input_value, self.handle = self.app.make_sa_input(
+                self.engine, data
+            )
+        elif input_value is not _UNSET:
+            self.input_value = input_value
+        return self
+
+    def run(self, input_value: Any = _UNSET, *, data: Any = _UNSET) -> Any:
+        """Perform a complete (trace-building) run and return the output.
+
+        ``input_value`` is a runtime input (a modifiable, constructor
+        value, tuple, ...); ``data`` is plain Python input for an
+        app-backed session (marshalled via the app, setting
+        :attr:`handle`).  With neither, runs on whatever a previous
+        :meth:`prepare` staged.  May be called again with a new input to
+        grow the same trace (each run extends the engine's timeline).
+        """
+        if data is not _UNSET or input_value is not _UNSET:
+            self.prepare(data, input_value=input_value)
+        else:
+            self._ensure_instance()
+        if self.input_value is _UNSET:
+            raise ValueError("no input: pass input_value=/data= or prepare() first")
+        self.output = self.instance.apply(self.input_value)
+        return self.output
+
+    # -- edits and propagation ------------------------------------------
+
+    def edit(self, mod: Modifiable, value: Any) -> int:
+        """Stage one input edit; return the number of reads it dirtied.
+
+        Nothing re-executes until :meth:`propagate` (or the enclosing
+        :meth:`batch` scope closes).  A return of 0 means the new value
+        compared equal and the edit cut off immediately.
+        """
+        return self.engine.change(mod, value)
+
+    def batch(
+        self,
+        *,
+        budget: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> Batch:
+        """Open a batched-edit scope; one propagation pass at exit.
+
+        See :meth:`repro.sac.engine.Engine.batch`: edits inside the scope
+        coalesce, and a read that observed several edited inputs
+        re-executes once instead of once per edit.
+        """
+        return self.engine.batch(budget=budget, deadline=deadline)
+
+    def propagate(
+        self,
+        *,
+        budget: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> PropagateStats:
+        """Propagate all staged edits; return :class:`PropagateStats`.
+
+        ``budget`` / ``deadline`` bound the pass (see
+        :meth:`repro.sac.engine.Engine.propagate`); on overrun a
+        :class:`PropagationBudgetExceeded` is raised and a later call
+        resumes the remaining work.
+        """
+        meter = self.engine.meter
+        drained_before = meter.queue_drained
+        started = time.perf_counter()
+        reexecuted = self.engine.propagate(budget=budget, deadline=deadline)
+        seconds = time.perf_counter() - started
+        self.propagations += 1
+        return PropagateStats(
+            reexecuted=reexecuted,
+            drained=meter.queue_drained - drained_before,
+            seconds=seconds,
+        )
+
+    def compact(self) -> dict:
+        """Force a trace-table compaction (normally automatic); return the
+        removed-entry counts."""
+        return self.engine.compact()
+
+    # -- inputs ---------------------------------------------------------
+
+    def input_list(self, items, nil: str = "Nil", cons: str = "Cons"):
+        """Build a modifiable list input bound to this session's engine."""
+        from repro.interp.marshal import ModListInput
+
+        return ModListInput(self.engine, items, nil=nil, cons=cons)
+
+    def make_input(self, value: Any) -> Modifiable:
+        """Create one input modifiable on this session's engine."""
+        return self.engine.make_input(value)
+
+    # -- metering -------------------------------------------------------
+
+    def trace_size(self) -> int:
+        return self.engine.trace_size()
+
+    def stats(self) -> dict:
+        """One merged view of the session's accounting: backend, compiler
+        options, propagation count, live trace size, table residency, and
+        the full meter snapshot."""
+        options = self.options
+        return {
+            "backend": self.backend,
+            "options": {
+                "memoize": options.memoize,
+                "optimize": options.optimize,
+                "coarse": options.coarse,
+            },
+            "propagations": self.propagations,
+            "trace_size": self.engine.trace_size(),
+            "tables": self.engine.table_residency(),
+            "meter": self.engine.meter.snapshot(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = self.app.name if self.app is not None else "<source>"
+        return (
+            f"<Session {name} backend={self.backend} "
+            f"trace_size={self.engine.trace_size()}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# Verification (the paper's Section 4.3 framework, Session-powered)
+
+
+class VerificationError(AssertionError):
+    """The self-adjusting output diverged from the reference."""
+
+
+def values_close(a: Any, b: Any, rel: float = 1e-9) -> bool:
+    """Structural comparison with float tolerance."""
+    if isinstance(a, float) or isinstance(b, float):
+        return math.isclose(float(a), float(b), rel_tol=rel, abs_tol=1e-12)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(values_close(x, y, rel) for x, y in zip(a, b))
+    return a == b
+
+
+@dataclass
+class VerifyResult:
+    name: str
+    n: int
+    changes: int
+    reexecuted_total: int
+    #: dirty-queue entries drained across all propagations; the gap to
+    #: ``reexecuted_total`` is stale entries skipped without re-execution.
+    drained_total: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: n={self.n}, {self.changes} changes verified, "
+            f"{self.reexecuted_total} reads re-executed "
+            f"({self.drained_total} queue entries drained)"
+        )
+
+
+def _resolve_app(app: Any):
+    if isinstance(app, str):
+        from repro.apps import REGISTRY
+
+        return REGISTRY[app]
+    return app
+
+
+def verify_app(
+    app: Any,
+    n: int,
+    changes: int,
+    seed: int = 0,
+    *,
+    memoize: bool = True,
+    optimize_flag: bool = True,
+    coarse: bool = False,
+    check_conventional: bool = True,
+    backend: Optional[str] = None,
+    batch: int = 1,
+) -> VerifyResult:
+    """Run the Section 4.3 random-change verification for one application.
+
+    ``app`` is an :class:`repro.apps.base.App` or a registry name.
+    ``backend`` resolves via :func:`resolve_backend`.  ``batch`` > 1
+    coalesces that many random changes per propagation through
+    :meth:`Session.batch` (the output is re-verified after each batch).
+    """
+    app = _resolve_app(app)
+    rng = random.Random(seed)
+    session = Session(
+        app,
+        backend=backend,
+        optimize=optimize_flag,
+        memoize=memoize,
+        coarse=coarse,
+    )
+    data = app.make_data(n, rng)
+
+    if check_conventional:
+        conv = session.program.conventional_instance()
+        conv_out = app.readback(conv.apply(app.make_conv_input(data)))
+        expected = app.reference(data)
+        if not values_close(conv_out, expected):
+            raise VerificationError(
+                f"{app.name}: conventional output diverges from reference\n"
+                f"  got:      {conv_out!r}\n  expected: {expected!r}"
+            )
+
+    output = session.run(data=data)
+    got = app.readback(output)
+    expected = app.reference(data)
+    if not values_close(got, expected):
+        raise VerificationError(
+            f"{app.name}: initial self-adjusting output diverges\n"
+            f"  got:      {got!r}\n  expected: {expected!r}"
+        )
+
+    reexecuted = drained = 0
+    step = 0
+    while step < changes:
+        group = min(batch, changes - step)
+        if group == 1:
+            app.apply_change(session.handle, rng, step)
+            step += 1
+            stats = session.propagate()
+        else:
+            drained_before = session.engine.meter.queue_drained
+            with session.batch() as b:
+                for _ in range(group):
+                    app.apply_change(session.handle, rng, step)
+                    step += 1
+            stats = PropagateStats(
+                b.reexecuted,
+                session.engine.meter.queue_drained - drained_before,
+                0.0,
+            )
+        reexecuted += stats.reexecuted
+        drained += stats.drained
+        got = app.readback(output)
+        expected = app.reference(app.handle_data(session.handle))
+        if not values_close(got, expected):
+            raise VerificationError(
+                f"{app.name}: output diverges after change {step - 1}\n"
+                f"  got:      {got!r}\n  expected: {expected!r}"
+            )
+    return VerifyResult(app.name, n, changes, reexecuted, drained)
+
+
+@dataclass
+class OracleResult:
+    """Outcome of one :func:`oracle_app` run."""
+
+    name: str
+    n: int
+    changes: int
+    reexecuted_total: int
+    invariant_checks: int
+
+    def __str__(self) -> str:
+        text = (
+            f"{self.name}: n={self.n}, {self.changes} changes consistent "
+            f"with from-scratch reruns, {self.reexecuted_total} reads re-executed"
+        )
+        if self.invariant_checks:
+            text += f", {self.invariant_checks} invariant checks"
+        return text
+
+
+def oracle_app(
+    app: Any,
+    n: int,
+    changes: int,
+    seed: int = 0,
+    *,
+    memoize: bool = True,
+    optimize_flag: bool = True,
+    coarse: bool = False,
+    check_invariants: bool = True,
+    check_reference: bool = True,
+    backend: Optional[str] = None,
+) -> OracleResult:
+    """From-scratch-consistency oracle for one application.
+
+    Applies ``changes`` random input changes through a :class:`Session`,
+    and after each propagation asserts that the incrementally updated
+    output equals the output of a *fresh* session run on the current
+    input data -- the property the consistency theorems actually state.
+    With ``check_invariants`` (default), an
+    :class:`repro.obs.invariants.InvariantChecker` rides along.
+    """
+    app = _resolve_app(app)
+    rng = random.Random(seed)
+    checker = None
+    hook = None
+    if check_invariants:
+        from repro.obs.invariants import InvariantChecker
+
+        checker = hook = InvariantChecker()
+    session = Session(
+        app,
+        backend=backend,
+        optimize=optimize_flag,
+        memoize=memoize,
+        coarse=coarse,
+        hook=hook,
+    )
+    data = app.make_data(n, rng)
+    output = session.run(data=data)
+
+    if check_reference:
+        got = app.readback(output)
+        expected = app.reference(data)
+        if not values_close(got, expected):
+            raise VerificationError(
+                f"{app.name}: initial self-adjusting output diverges\n"
+                f"  got:      {got!r}\n  expected: {expected!r}"
+            )
+
+    reexecuted = 0
+    for step in range(changes):
+        app.apply_change(session.handle, rng, step)
+        reexecuted += session.propagate().reexecuted
+        got = app.readback(output)
+
+        # The oracle: a fresh run of the same program over the current data.
+        current = app.handle_data(session.handle)
+        scratch = Session(session.program, backend=session.backend)
+        scratch.app = app
+        scratch_out = app.readback(scratch.run(data=current))
+
+        if not values_close(got, scratch_out):
+            raise VerificationError(
+                f"{app.name}: propagated output diverges from a "
+                f"from-scratch rerun after change {step} (seed {seed})\n"
+                f"  propagated:   {got!r}\n  from scratch: {scratch_out!r}"
+            )
+        if check_reference:
+            expected = app.reference(current)
+            if not values_close(got, expected):
+                raise VerificationError(
+                    f"{app.name}: output diverges from reference after "
+                    f"change {step} (seed {seed})\n"
+                    f"  got:      {got!r}\n  expected: {expected!r}"
+                )
+    return OracleResult(
+        app.name,
+        n,
+        changes,
+        reexecuted,
+        checker.total_checks() if checker is not None else 0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Measurement (the paper's Section 4.2 methodology, Session-powered)
+
+
+def measure_app(
+    app: Any,
+    n: int,
+    *,
+    prop_samples: int = 20,
+    seed: int = 0,
+    repeats: int = 1,
+    memoize: bool = True,
+    optimize_flag: bool = True,
+    coarse: bool = False,
+    gc_enabled: bool = False,
+    skip_conventional: bool = False,
+    hook: Optional[Any] = None,
+    backend: Optional[str] = None,
+    batch: int = 1,
+):
+    """Measure one compiled benchmark at input size ``n``; returns a
+    :class:`repro.bench.runner.BenchRow`.
+
+    As in the paper, input construction and instance staging are excluded
+    from timed sections, and GC is excluded unless ``gc_enabled``.
+    ``batch`` > 1 applies that many random changes per propagation (one
+    coalesced pass each), so ``avg_prop`` becomes average time per
+    *batch*; ``prop_samples`` still counts individual changes.
+    """
+    from repro.bench.runner import BenchRow, _phase, _timed
+
+    app = _resolve_app(app)
+    rng = random.Random(seed)
+    session = Session(
+        app,
+        backend=backend,
+        optimize=optimize_flag,
+        memoize=memoize,
+        coarse=coarse,
+        hook=hook,
+    )
+    data = app.make_data(n, rng)
+
+    # Conventional run (fresh instance per repeat; average).
+    conv_time = 0.0
+    if not skip_conventional:
+        times = []
+        for _ in range(repeats):
+            conv = session.program.conventional_instance()
+            conv_input = app.make_conv_input(data)
+            times.append(_timed(lambda: conv.apply(conv_input), gc_enabled))
+        conv_time = sum(times) / len(times)
+
+    # Self-adjusting complete run (input construction and staging untimed).
+    engine = session.engine
+    session.prepare(data)
+    before_run = engine.meter.snapshot()
+    sa_time = _timed(session.run, gc_enabled)
+    after_run = engine.meter.snapshot()
+    trace_size = engine.trace_size()
+    mods = engine.meter.mods_created
+
+    # Average propagation over random changes (per pass: one change, or
+    # one ``batch``-sized coalesced group).
+    prop_total = 0.0
+    passes = 0
+    step = 0
+    while step < prop_samples:
+        group = min(batch, prop_samples - step)
+        if group == 1:
+            app.apply_change(session.handle, rng, step)
+            step += 1
+            prop_total += _timed(engine.propagate, gc_enabled)
+        else:
+
+            def one_batch():
+                nonlocal step
+                with session.batch():
+                    for _ in range(group):
+                        app.apply_change(session.handle, rng, step)
+                        step += 1
+
+            prop_total += _timed(one_batch, gc_enabled)
+        passes += 1
+    avg_prop = prop_total / passes if passes else float("nan")
+    after_prop = engine.meter.snapshot()
+
+    row = BenchRow(
+        name=app.name,
+        n=n,
+        conv_run=conv_time,
+        sa_run=sa_time,
+        avg_prop=avg_prop,
+        trace_size=max(trace_size, engine.trace_size()),
+        mods_created=mods,
+        prop_samples=prop_samples,
+    )
+    row.extra["phases"] = {
+        "initial-run": _phase(sa_time, before_run, after_run),
+        "propagation": _phase(
+            prop_total, after_run, after_prop, samples=max(passes, 1)
+        ),
+    }
+    if batch > 1:
+        row.extra["batch"] = batch
+    return row

@@ -72,7 +72,7 @@ class App:
         program = self.compiled(
             memoize=memoize, optimize_flag=optimize_flag, coarse=coarse
         )
-        return program.self_adjusting_instance(engine, backend=backend)
+        return program._self_adjusting_instance(engine, backend=backend)
 
 
 def random_permutation(n: int, rng: random.Random) -> list:

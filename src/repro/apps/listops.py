@@ -198,8 +198,9 @@ class _ListChanger:
             used.add(value)
             handle.insert(rng.randrange(len(handle) + 1), value)
         else:
-            removed = handle.delete(rng.randrange(len(handle)))
-            used.discard(removed)
+            index = rng.randrange(len(handle))
+            used.discard(handle.get(index))
+            handle.remove(index)
 
 
 def _make_sa_list(engine: Engine, data: List[int]):

@@ -23,8 +23,9 @@ from __future__ import annotations
 import gc
 import random
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable
 
 from repro.apps.base import App
 from repro.sac.engine import Engine
@@ -83,86 +84,22 @@ def _timed(fn: Callable[[], Any], gc_enabled: bool) -> float:
             gc.enable()
 
 
-def measure_app(
-    app: App,
-    n: int,
-    *,
-    prop_samples: int = 20,
-    seed: int = 0,
-    repeats: int = 1,
-    memoize: bool = True,
-    optimize_flag: bool = True,
-    coarse: bool = False,
-    gc_enabled: bool = False,
-    skip_conventional: bool = False,
-    hook: Optional[Any] = None,
-    backend: Optional[str] = None,
-) -> BenchRow:
-    """Measure one compiled benchmark at input size ``n``.
+def measure_app(*args, **kwargs) -> BenchRow:
+    """Deprecated: use :func:`repro.api.measure_app`.
 
-    ``hook`` (a ``repro.obs.events.TraceHook``) is attached to the
-    self-adjusting engine before the initial run, so the cost of
-    observability itself can be measured (see ``bench_obs_overhead.py``).
-
-    ``backend`` selects the self-adjusting execution backend (``"interp"``
-    or ``"compiled"``; ``None`` defers to ``REPRO_BACKEND``/default).
-    Instance creation -- including the compiled backend's staging pass --
-    is excluded from the timed sections, mirroring how the paper's
-    methodology excludes compilation.
+    The measurement driver now lives in :mod:`repro.api`, rebuilt on top of
+    :class:`repro.api.Session` (and gaining the ``batch=`` axis); this shim
+    delegates after emitting a :class:`DeprecationWarning`.
     """
-    rng = random.Random(seed)
-    program = app.compiled(
-        memoize=memoize, optimize_flag=optimize_flag, coarse=coarse
+    warnings.warn(
+        "repro.bench.runner.measure_app is deprecated; use "
+        "repro.api.measure_app",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    data = app.make_data(n, rng)
+    from repro.api import measure_app as _measure_app
 
-    # Conventional run (fresh instance per repeat; average).
-    conv_time = 0.0
-    if not skip_conventional:
-        times = []
-        for _ in range(repeats):
-            conv = program.conventional_instance()
-            conv_input = app.make_conv_input(data)
-            times.append(_timed(lambda: conv.apply(conv_input), gc_enabled))
-        conv_time = sum(times) / len(times)
-
-    # Self-adjusting complete run.
-    engine = Engine()
-    if hook is not None:
-        engine.attach_hook(hook)
-    instance = program.self_adjusting_instance(engine, backend=backend)
-    input_value, handle = app.make_sa_input(engine, data)
-    before_run = engine.meter.snapshot()
-    sa_time = _timed(lambda: instance.apply(input_value), gc_enabled)
-    after_run = engine.meter.snapshot()
-    trace_size = engine.trace_size()
-    mods = engine.meter.mods_created
-
-    # Average propagation over random changes.
-    prop_total = 0.0
-    for step in range(prop_samples):
-        app.apply_change(handle, rng, step)
-        prop_total += _timed(engine.propagate, gc_enabled)
-    avg_prop = prop_total / prop_samples if prop_samples else float("nan")
-    after_prop = engine.meter.snapshot()
-
-    row = BenchRow(
-        name=app.name,
-        n=n,
-        conv_run=conv_time,
-        sa_run=sa_time,
-        avg_prop=avg_prop,
-        trace_size=max(trace_size, engine.trace_size()),
-        mods_created=mods,
-        prop_samples=prop_samples,
-    )
-    row.extra["phases"] = {
-        "initial-run": _phase(sa_time, before_run, after_run),
-        "propagation": _phase(
-            prop_total, after_run, after_prop, samples=max(prop_samples, 1)
-        ),
-    }
-    return row
+    return _measure_app(*args, **kwargs)
 
 
 def measure_handwritten(

@@ -23,10 +23,11 @@ Compiler options mirror the paper's evaluation axes:
 
 from __future__ import annotations
 
-import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.backends import BACKENDS, resolve_backend
 from repro.core import ir as C
 from repro.core import sxml as S
 from repro.core.anf import normalize
@@ -55,24 +56,19 @@ class CompilerOptions:
     main: str = "main"
 
 
-#: The two self-adjusting execution backends (README "Backends"):
-#: ``interp`` walks the translated SXML; ``compiled`` stages it into
-#: Python closures (:mod:`repro.compile`) for zero-dispatch execution.
-BACKENDS = ("interp", "compiled")
-
-
 def default_backend() -> str:
-    """The backend used when none is requested explicitly.
+    """Deprecated: use :func:`repro.backends.resolve_backend` instead.
 
-    Controlled by the ``REPRO_BACKEND`` environment variable (CI runs the
-    whole suite under ``REPRO_BACKEND=compiled``); defaults to ``interp``.
+    Kept as a shim for external callers; backend selection now has a
+    single resolution path (explicit flag > ``$REPRO_BACKEND`` > default).
     """
-    backend = os.environ.get("REPRO_BACKEND", "interp")
-    if backend not in BACKENDS:
-        raise ValueError(
-            f"REPRO_BACKEND={backend!r} is not a backend (expected one of {BACKENDS})"
-        )
-    return backend
+    warnings.warn(
+        "repro.core.pipeline.default_backend is deprecated; use "
+        "repro.backends.resolve_backend",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return resolve_backend(None)
 
 
 class ConventionalInstance:
@@ -98,7 +94,7 @@ class SelfAdjustingInstance:
     (the tree-walking interpreter) or ``"compiled"`` (the closure-
     compilation backend, staged once at instance creation).  Both produce
     identical outputs, traces, and meter counts; ``None`` defers to
-    :func:`default_backend`.
+    :func:`repro.backends.resolve_backend`.
     """
 
     def __init__(
@@ -109,7 +105,7 @@ class SelfAdjustingInstance:
     ) -> None:
         ensure_recursion_headroom()
         self.engine = engine or Engine()
-        self.backend = backend or default_backend()
+        self.backend = resolve_backend(backend)
         if self.backend == "interp":
             self.interp = SelfAdjustingInterpreter(self.engine)
         elif self.backend == "compiled":
@@ -125,8 +121,8 @@ class SelfAdjustingInstance:
     def apply(self, input_value: Any) -> Any:
         return self.interp.apply(self.main, input_value)
 
-    def propagate(self) -> int:
-        return self.engine.propagate()
+    def propagate(self, **kwargs: Any) -> int:
+        return self.engine.propagate(**kwargs)
 
 
 @dataclass
@@ -149,10 +145,25 @@ class CompiledProgram:
     def conventional_instance(self) -> ConventionalInstance:
         return ConventionalInstance(self)
 
+    def _self_adjusting_instance(
+        self, engine: Optional[Engine] = None, backend: Optional[str] = None
+    ) -> SelfAdjustingInstance:
+        """Internal instance factory; the public surface is
+        :class:`repro.api.Session`."""
+        return SelfAdjustingInstance(self, engine, backend=backend)
+
     def self_adjusting_instance(
         self, engine: Optional[Engine] = None, backend: Optional[str] = None
     ) -> SelfAdjustingInstance:
-        return SelfAdjustingInstance(self, engine, backend=backend)
+        """Deprecated: drive the program through :class:`repro.api.Session`
+        (``Session(program, backend=..., engine=...)``) instead."""
+        warnings.warn(
+            "CompiledProgram.self_adjusting_instance is deprecated; use "
+            "repro.api.Session",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._self_adjusting_instance(engine, backend=backend)
 
     # -- inspection --------------------------------------------------------
 

@@ -7,15 +7,22 @@ make incremental changes and then call ``propagate``.
 
 The handles mirror the changes the paper's benchmarks make (Section 4.1):
 
-* :class:`ModListInput` -- lists with changeable tails: insert/delete/set;
+* :class:`ModListInput` -- lists with changeable tails: insert/remove/set;
 * :class:`ModVectorInput` -- vectors with changeable elements: set;
 * :class:`ModMatrixInput` -- matrices of changeable elements: set;
 * :class:`BlockMatrixInput` -- matrices of changeable blocks: set
   (any element change rewrites its whole block).
+
+Every edit method follows the uniform convention of
+:class:`repro.api.Session`: the change is *staged* (nothing re-executes
+until propagation) and the return value is the number of read edges it
+dirtied.  ``ModListInput.delete`` is the deprecated exception, kept as an
+alias of ``get`` + ``remove`` that returns the removed value.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.interp.values import ConValue, deep_read, list_value_to_python
@@ -75,31 +82,57 @@ class ModListInput:
     def to_python(self) -> list:
         return list_value_to_python(self.mods[0])
 
-    def insert(self, index: int, value: Any) -> None:
-        """Insert ``value`` so it becomes element ``index``; then propagate."""
+    def get(self, index: int) -> Any:
+        """The value of element ``index`` (untracked peek)."""
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        return self.mods[index].peek().arg[0]
+
+    def insert(self, index: int, value: Any) -> int:
+        """Insert ``value`` so it becomes element ``index``."""
         if not 0 <= index <= len(self):
             raise IndexError(index)
         target = self.mods[index]
         carrier = self.engine.make_input(target.peek())
-        self.engine.change(target, ConValue(self.cons, (value, carrier)))
+        dirtied = self.engine.change(
+            target, ConValue(self.cons, (value, carrier))
+        )
         self.mods.insert(index + 1, carrier)
+        return dirtied
 
-    def delete(self, index: int) -> Any:
-        """Delete element ``index`` (call ``engine.propagate()`` after)."""
+    def remove(self, index: int) -> int:
+        """Remove element ``index`` (use :meth:`get` first for its value)."""
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        dirtied = self.engine.change(
+            self.mods[index], self.mods[index + 1].peek()
+        )
+        del self.mods[index + 1]
+        return dirtied
+
+    def set(self, index: int, value: Any) -> int:
+        """Replace the head value of element ``index``."""
         if not 0 <= index < len(self):
             raise IndexError(index)
         cell = self.mods[index].peek()
-        value = cell.arg[0]
-        self.engine.change(self.mods[index], self.mods[index + 1].peek())
-        del self.mods[index + 1]
-        return value
-
-    def set(self, index: int, value: Any) -> None:
-        """Replace the head value of element ``index``."""
-        cell = self.mods[index].peek()
-        self.engine.change(
+        return self.engine.change(
             self.mods[index], ConValue(self.cons, (value, cell.arg[1]))
         )
+
+    def delete(self, index: int) -> Any:
+        """Deprecated: use :meth:`get` + :meth:`remove`.
+
+        Unlike every other edit method, returns the removed *value*
+        rather than the dirtied-read count."""
+        warnings.warn(
+            "ModListInput.delete is deprecated; use "
+            "ModListInput.get + ModListInput.remove",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        value = self.get(index)
+        self.remove(index)
+        return value
 
 
 class ModVectorInput:
@@ -113,8 +146,8 @@ class ModVectorInput:
     def __len__(self) -> int:
         return len(self.mods)
 
-    def set(self, index: int, value: Any) -> None:
-        self.engine.change(self.mods[index], value)
+    def set(self, index: int, value: Any) -> int:
+        return self.engine.change(self.mods[index], value)
 
     def get(self, index: int) -> Any:
         return self.mods[index].peek()
@@ -135,8 +168,8 @@ class ModMatrixInput:
     def shape(self):
         return (len(self.rows), len(self.rows[0]) if self.rows else 0)
 
-    def set(self, i: int, j: int, value: Any) -> None:
-        self.rows[i].set(j, value)
+    def set(self, i: int, j: int, value: Any) -> int:
+        return self.rows[i].set(j, value)
 
     def get(self, i: int, j: int) -> Any:
         return self.rows[i].get(j)
@@ -180,13 +213,13 @@ class BlockMatrixInput:
     def shape(self):
         return (self.n, self.m)
 
-    def set(self, i: int, j: int, value: float) -> None:
+    def set(self, i: int, j: int, value: float) -> int:
         """Change element (i, j), rewriting its block."""
         bi, bj = i // self.block, j // self.block
         mod = self.blocks[bi][bj]
         data = [list(row) for row in mod.peek().arg]
         data[i % self.block][j % self.block] = value
-        self.engine.change(
+        return self.engine.change(
             mod, ConValue("Block", tuple(tuple(row) for row in data))
         )
 

@@ -25,6 +25,7 @@ class TraceEvent(NamedTuple):
         mod-create  read-start  read-end  write  impwrite  change
         memo-hit    memo-miss   splice    discard
         reexec      propagate-begin       propagate-end
+        batch-begin batch-end   trace-compact
     """
 
     seq: int
@@ -89,7 +90,23 @@ class TraceHook:
         """Change propagation started with ``queued`` queue entries."""
 
     def on_propagate_end(self, reexecuted: int) -> None:
-        """Change propagation finished (``reexecuted`` edges re-run)."""
+        """Change propagation finished (``reexecuted`` edges re-run).
+
+        Not emitted when propagation is cut short by a budget or deadline
+        (:class:`repro.sac.exceptions.PropagationBudgetExceeded`); the next
+        resuming propagation emits its own begin/end pair.
+        """
+
+    # -- batching and compaction ---------------------------------------------
+    def on_batch_begin(self) -> None:
+        """An outermost ``Engine.batch()`` scope opened."""
+
+    def on_batch_end(self, changed: int, reexecuted: int) -> None:
+        """The outermost batch scope closed: ``changed`` effective edits
+        were coalesced into one pass that re-executed ``reexecuted`` reads."""
+
+    def on_trace_compact(self, memo_removed: int, alloc_removed: int) -> None:
+        """A compaction swept dead entries out of the memo/alloc tables."""
 
 
 class FanoutHook(TraceHook):
@@ -154,6 +171,18 @@ class FanoutHook(TraceHook):
     def on_propagate_end(self, reexecuted):
         for h in self.hooks:
             h.on_propagate_end(reexecuted)
+
+    def on_batch_begin(self):
+        for h in self.hooks:
+            h.on_batch_begin()
+
+    def on_batch_end(self, changed, reexecuted):
+        for h in self.hooks:
+            h.on_batch_end(changed, reexecuted)
+
+    def on_trace_compact(self, memo_removed, alloc_removed):
+        for h in self.hooks:
+            h.on_trace_compact(memo_removed, alloc_removed)
 
 
 def _short(value: Any, limit: int = 48) -> str:
@@ -275,6 +304,15 @@ class EventLog(TraceHook):
 
     def on_propagate_end(self, reexecuted):
         self._emit("propagate-end", reexecuted=reexecuted)
+
+    def on_batch_begin(self):
+        self._emit("batch-begin")
+
+    def on_batch_end(self, changed, reexecuted):
+        self._emit("batch-end", changed=changed, reexecuted=reexecuted)
+
+    def on_trace_compact(self, memo_removed, alloc_removed):
+        self._emit("trace-compact", memo=memo_removed, alloc=alloc_removed)
 
     # -- inspection -----------------------------------------------------------
 

@@ -19,8 +19,9 @@ Typical direct use::
     assert out.peek() == 9
 """
 
-from repro.sac.engine import Engine
+from repro.sac.engine import Batch, Engine
 from repro.sac.exceptions import (
+    PropagationBudgetExceeded,
     PropagationError,
     SacError,
     WriteOutsideModError,
@@ -30,10 +31,12 @@ from repro.sac.modifiable import Modifiable
 from repro.sac.order import Order, Stamp
 
 __all__ = [
+    "Batch",
     "Engine",
     "Meter",
     "Modifiable",
     "Order",
+    "PropagationBudgetExceeded",
     "PropagationError",
     "SacError",
     "Stamp",

@@ -7,11 +7,17 @@ This module provides the pieces that hand-written self-adjusting programs
   comparing modifiables (and other unhashable objects) by identity;
 * :class:`ModList` -- a Python-side handle to a modifiable list (the list
   representation of paper Section 4.1, where the *tail* of each cell is
-  changeable), supporting positional insert/delete/set.
+  changeable), supporting positional insert/remove/set.
+
+Edit methods follow the uniform convention of :class:`repro.api.Session`:
+they stage the change without propagating and return the number of read
+edges dirtied (``delete`` is the deprecated exception, kept as an alias
+of :meth:`ModList.remove` that returns the removed value).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.sac.engine import Engine
@@ -119,35 +125,60 @@ class ModList:
             cell = tail.peek()
         return out
 
-    # -- changes (call engine.propagate() afterwards) ------------------
+    def get(self, index: int) -> Any:
+        """The value of element ``index`` (untracked peek)."""
+        if not 0 <= index < len(self):
+            raise IndexError(index)
+        cell = self.mods[index].peek()
+        assert cell is not None
+        return cell[0]
 
-    def insert(self, index: int, value: Any) -> None:
+    # -- changes (stage only; propagate explicitly afterwards) ---------
+    #
+    # Each edit returns the number of read edges it dirtied, matching
+    # ``Session.edit``; nothing re-executes until propagation.
+
+    def insert(self, index: int, value: Any) -> int:
         """Insert ``value`` so that it becomes element ``index``."""
         if not 0 <= index <= len(self):
             raise IndexError(index)
         target = self.mods[index]
         carrier = self.engine.make_input(target.peek())
-        self.engine.change(target, (value, carrier))
+        dirtied = self.engine.change(target, (value, carrier))
         self.mods.insert(index + 1, carrier)
+        return dirtied
 
-    def delete(self, index: int) -> Any:
-        """Delete element ``index`` and return its value."""
+    def remove(self, index: int) -> int:
+        """Remove element ``index`` (use :meth:`get` first for its value)."""
         if not 0 <= index < len(self):
             raise IndexError(index)
-        cell = self.mods[index].peek()
-        assert cell is not None
-        value = cell[0]
-        self.engine.change(self.mods[index], self.mods[index + 1].peek())
+        dirtied = self.engine.change(
+            self.mods[index], self.mods[index + 1].peek()
+        )
         del self.mods[index + 1]
-        return value
+        return dirtied
 
-    def set(self, index: int, value: Any) -> None:
+    def set(self, index: int, value: Any) -> int:
         """Replace the head value of element ``index``."""
         if not 0 <= index < len(self):
             raise IndexError(index)
         cell = self.mods[index].peek()
         assert cell is not None
-        self.engine.change(self.mods[index], (value, cell[1]))
+        return self.engine.change(self.mods[index], (value, cell[1]))
+
+    def delete(self, index: int) -> Any:
+        """Deprecated: use :meth:`get` + :meth:`remove`.
+
+        Unlike every other edit method, returns the removed *value*
+        rather than the dirtied-read count."""
+        warnings.warn(
+            "ModList.delete is deprecated; use ModList.get + ModList.remove",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        value = self.get(index)
+        self.remove(index)
+        return value
 
 
 def modlist_foreach(engine: Engine, head: Modifiable, visit: Callable[[Any], None]) -> None:

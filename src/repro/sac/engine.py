@@ -29,9 +29,11 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Any, Callable, Hashable, List, Optional, Sequence
+import time
+from typing import Any, Callable, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sac.exceptions import (
+    PropagationBudgetExceeded,
     PropagationError,
     ReadOutsideModError,
     UnwrittenModError,
@@ -106,6 +108,16 @@ class Engine:
         self._mod_depth = 0
         self._reexec_depth = 0
         self.propagating = False
+        #: open ``batch()`` scopes; while positive, edits accumulate in the
+        #: dirty queue and propagation runs once at the outermost exit.
+        self._batch_depth = 0
+        self._batch_changes = 0
+        #: dead memo entries still occupying table buckets; when this
+        #: outgrows the live population, :meth:`compact` sweeps the tables.
+        self._dead_memo_entries = 0
+        #: floor before automatic compaction is considered at all (small
+        #: computations never pay a sweep).
+        self.compact_threshold = 64
         #: Optional observability hook (see :mod:`repro.obs.events`).  When
         #: None -- the default -- every emission site costs one attribute
         #: check, keeping the hot path fast.
@@ -237,11 +249,14 @@ class Engine:
         if self.hook is not None:
             self.hook.on_impwrite(dest, value, True, dirtied)
 
-    def _dirty_readers(self, mod: Modifiable) -> None:
+    def _dirty_readers(self, mod: Modifiable) -> int:
+        dirtied = 0
         for edge in list(mod.readers):
             if not edge.dead and not edge.dirty:
                 edge.dirty = True
                 heapq.heappush(self.queue, edge)
+                dirtied += 1
+        return dirtied
 
     def keyed_mod(self, key: Hashable, comp: Callable[[Modifiable], None]) -> Modifiable:
         """``mod`` with *keyed destination allocation* (AFL's "unsafe"
@@ -320,6 +335,10 @@ class Engine:
                     and entry.end.label <= limit.label
                 ):
                     hit = entry
+            # Lazy per-key pruning: dead entries leave the bucket here, so
+            # they must also leave the dead-entry account that drives
+            # whole-table compaction.
+            self._dead_memo_entries -= len(entries) - len(live)
             if live:
                 self.memo_table[key] = live
             else:
@@ -350,36 +369,122 @@ class Engine:
     # ------------------------------------------------------------------
     # Changes and propagation
 
-    def change(self, mod: Modifiable, value: Any) -> None:
-        """Change an input modifiable (between propagations)."""
+    def change(self, mod: Modifiable, value: Any) -> int:
+        """Change an input modifiable (between propagations).
+
+        Returns the number of read edges the change dirtied (0 when the new
+        value equals the old one and the edit cuts off immediately).  This
+        is the uniform return convention of every edit entry point
+        (``Session.edit`` and the ``ModList`` handles): stage the change,
+        report the dirtied reads, and leave propagation to an explicit
+        :meth:`propagate` call or an enclosing :meth:`batch`.
+        """
         if _values_equal(mod.value, value):
             if self.hook is not None:
                 self.hook.on_change(mod, value, False)
-            return
+            return 0
         mod.value = value
+        if self._batch_depth:
+            self._batch_changes += 1
         if self.hook is not None:
             self.hook.on_change(mod, value, True)
-        self._dirty_readers(mod)
+        return self._dirty_readers(mod)
 
-    def propagate(self) -> int:
+    def batch(self, *, budget: Optional[int] = None,
+              deadline: Optional[float] = None) -> "Batch":
+        """Open a batched-edit scope: many changes, one propagation pass.
+
+        Usage::
+
+            with engine.batch() as b:
+                engine.change(m1, 5)
+                engine.change(m2, 7)
+            b.reexecuted  # reads re-executed by the single pass
+
+        Inside the scope, edits only accumulate dirty reads; the outermost
+        exit runs one :meth:`propagate`.  A read that observed several of
+        the changed inputs therefore re-executes *once*, where separate
+        change/propagate cycles would re-execute it once per edit -- this
+        per-read deduplication is where batched propagation wins
+        asymptotically on overlapping edits (see
+        ``benchmarks/bench_batch_propagate.py``).
+
+        Nested ``batch()`` scopes coalesce into the outermost one.  If the
+        body raises, nothing is propagated (the dirty queue keeps the edits
+        staged, so a later ``propagate`` still applies them).  ``budget``
+        and ``deadline`` are forwarded to the closing :meth:`propagate`.
+        """
+        return Batch(self, budget=budget, deadline=deadline)
+
+    def change_many(
+        self,
+        changes: Iterable[Tuple[Modifiable, Any]],
+        *,
+        budget: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> int:
+        """Apply ``(mod, value)`` edits and propagate once; return the
+        number of reads re-executed by the single coalesced pass."""
+        with self.batch(budget=budget, deadline=deadline) as b:
+            for mod, value in changes:
+                self.change(mod, value)
+        return b.reexecuted
+
+    def propagate(
+        self,
+        *,
+        budget: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> int:
         """Run change propagation to completion.
 
         Returns the number of read edges re-executed.  After propagation the
         outputs of the computation are up to date with all changes made via
         :meth:`change` / :meth:`impwrite`.
+
+        ``budget`` caps the number of read re-executions and ``deadline``
+        the wall-clock seconds this call may spend; when either limit is
+        reached with real work still queued, the call stops *between*
+        re-executions and raises :class:`PropagationBudgetExceeded`.  The
+        trace stays consistent and the remaining dirty reads stay queued,
+        so a later ``propagate`` resumes where this one stopped.  The
+        limits guard long-lived instances against pathological edit
+        sequences that would otherwise propagate for unbounded time.
         """
+        if self._batch_depth:
+            raise PropagationError("propagate called inside an open batch()")
         if self.propagating:
             raise PropagationError("propagate is not reentrant")
         self.propagating = True
         hook = self.hook
         if hook is not None:
             hook.on_propagate_begin(len(self.queue))
+        deadline_at = None if deadline is None else time.monotonic() + deadline
+        meter = self.meter
         reexecuted = 0
         try:
             while self.queue:
                 edge = heapq.heappop(self.queue)
                 if edge.dead or not edge.dirty:
+                    meter.queue_drained += 1
                     continue
+                if budget is not None and reexecuted >= budget:
+                    heapq.heappush(self.queue, edge)
+                    raise PropagationBudgetExceeded(
+                        f"propagation budget of {budget} re-execution(s) "
+                        f"exhausted with {len(self.queue)} queue entries left",
+                        reexecuted=reexecuted,
+                        pending=len(self.queue),
+                    )
+                if deadline_at is not None and time.monotonic() >= deadline_at:
+                    heapq.heappush(self.queue, edge)
+                    raise PropagationBudgetExceeded(
+                        f"propagation deadline of {deadline:g}s exceeded "
+                        f"with {len(self.queue)} queue entries left",
+                        reexecuted=reexecuted,
+                        pending=len(self.queue),
+                    )
+                meter.queue_drained += 1
                 edge.dirty = False
                 assert edge.end is not None
                 if hook is not None:
@@ -397,12 +502,85 @@ class Engine:
                 self._delete_range(self.now, edge.end)
                 self.now, self.reuse_limit = saved_now, saved_limit
                 reexecuted += 1
-                self.meter.edges_reexecuted += 1
+                meter.edges_reexecuted += 1
         finally:
             self.propagating = False
         if hook is not None:
             hook.on_propagate_end(reexecuted)
+        if self._compaction_due():
+            self.compact()
         return reexecuted
+
+    # ------------------------------------------------------------------
+    # Trace compaction
+
+    def _compaction_due(self) -> bool:
+        """Whether dead table residue justifies a sweep.
+
+        Amortized O(1) per discard: a sweep costs O(table size) and only
+        runs once the dead population exceeds both a fixed floor and the
+        live population, so total sweep work is proportional to total
+        discard work.
+        """
+        dead = self._dead_memo_entries
+        return dead > self.compact_threshold and dead > self.meter.live_memo_entries
+
+    def compact(self) -> dict:
+        """Sweep dead residue out of the memo and allocation tables.
+
+        Trace *records* are already freed eagerly when their interval is
+        spliced out (:meth:`_delete_range` retracts them and drops their
+        closures/results), but the table buckets that index them are only
+        pruned lazily on key lookup -- a long-lived instance whose memo keys
+        never recur (value-dependent keys after an input edit) would grow
+        its tables without bound.  Compaction removes dead memo entries,
+        empty buckets, and allocation-table entries whose site was
+        discarded.  Dropping a dead allocation entry is always sound; the
+        only cost is that a *later* re-allocation under the same key gets a
+        fresh modifiable instead of recycling the old identity.
+
+        Runs automatically after a propagation once the dead population
+        outgrows the live one (see :meth:`_compaction_due`); idempotent and
+        cheap to call explicitly.  Returns ``{"memo": ..., "alloc": ...}``
+        counts of removed entries.
+        """
+        memo_removed = 0
+        if self._dead_memo_entries:
+            for key in list(self.memo_table):
+                entries = self.memo_table[key]
+                live = [e for e in entries if not e.dead]
+                if len(live) == len(entries):
+                    continue
+                memo_removed += len(entries) - len(live)
+                if live:
+                    self.memo_table[key] = live
+                else:
+                    del self.memo_table[key]
+            self._dead_memo_entries = 0
+        alloc_removed = 0
+        for key in [k for k, (_, stamp) in self.alloc_table.items() if not stamp.live]:
+            del self.alloc_table[key]
+            alloc_removed += 1
+        meter = self.meter
+        meter.compactions += 1
+        meter.memo_entries_compacted += memo_removed
+        meter.alloc_entries_compacted += alloc_removed
+        if self.hook is not None:
+            self.hook.on_trace_compact(memo_removed, alloc_removed)
+        return {"memo": memo_removed, "alloc": alloc_removed}
+
+    def table_residency(self) -> dict:
+        """Entry counts of the auxiliary tables, dead residue included.
+
+        ``trace_size`` counts only the *live* trace; this reports what the
+        tables actually hold, which is what compaction bounds.
+        """
+        return {
+            "memo_entries": sum(len(v) for v in self.memo_table.values()),
+            "memo_buckets": len(self.memo_table),
+            "dead_memo_entries": self._dead_memo_entries,
+            "alloc_entries": len(self.alloc_table),
+        }
 
     # ------------------------------------------------------------------
     # Trace deletion
@@ -463,3 +641,53 @@ class Engine:
     def trace_size(self) -> int:
         """Current live trace size (memory proxy; see :mod:`repro.sac.meter`)."""
         return self.meter.trace_size(self)
+
+
+class Batch:
+    """One open batched-edit scope (see :meth:`Engine.batch`).
+
+    After the scope closes normally, :attr:`changed` holds the number of
+    effective edits coalesced and :attr:`reexecuted` the reads re-executed
+    by the single propagation pass.
+    """
+
+    __slots__ = ("engine", "budget", "deadline", "changed", "reexecuted")
+
+    def __init__(
+        self,
+        engine: Engine,
+        *,
+        budget: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> None:
+        self.engine = engine
+        self.budget = budget
+        self.deadline = deadline
+        self.changed = 0
+        self.reexecuted = 0
+
+    def __enter__(self) -> "Batch":
+        engine = self.engine
+        if engine._batch_depth == 0:
+            engine._batch_changes = 0
+            if engine.hook is not None:
+                engine.hook.on_batch_begin()
+        engine._batch_depth += 1
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        engine = self.engine
+        engine._batch_depth -= 1
+        if engine._batch_depth > 0 or exc_type is not None:
+            # Inner scope, or an aborted body: leave the edits staged in
+            # the dirty queue and let the outermost scope (or a later
+            # explicit propagate) apply them.
+            return False
+        self.changed = engine._batch_changes
+        engine.meter.batches += 1
+        self.reexecuted = engine.propagate(
+            budget=self.budget, deadline=self.deadline
+        )
+        if engine.hook is not None:
+            engine.hook.on_batch_end(self.changed, self.reexecuted)
+        return False

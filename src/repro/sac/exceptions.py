@@ -24,3 +24,25 @@ class UnwrittenModError(SacError):
 
 class PropagationError(SacError):
     """Change propagation encountered an inconsistent trace."""
+
+
+class PropagationBudgetExceeded(SacError):
+    """Change propagation stopped at its budget or deadline before draining
+    the dirty queue.
+
+    Raised by :meth:`repro.sac.engine.Engine.propagate` when a ``budget``
+    (maximum read re-executions) or ``deadline`` (wall-clock seconds) is
+    given and the queue still holds real work when the limit is reached.
+    The trace is left *consistent*: every re-execution that started has
+    finished, and the remaining dirty reads stay queued, so calling
+    ``propagate`` again resumes exactly where the previous call stopped.
+
+    Attributes:
+        reexecuted: read edges re-executed before the limit hit;
+        pending: dirty-queue entries remaining (including stale ones).
+    """
+
+    def __init__(self, message: str, *, reexecuted: int = 0, pending: int = 0):
+        super().__init__(message)
+        self.reexecuted = reexecuted
+        self.pending = pending

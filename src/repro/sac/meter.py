@@ -23,6 +23,16 @@ class Meter:
     memo_hits: int = 0
     memo_misses: int = 0
     edges_reexecuted: int = 0
+    #: dirty-queue entries conclusively popped during propagation; the gap
+    #: to ``edges_reexecuted`` is stale entries (dead or already-clean
+    #: edges) skipped without work.
+    queue_drained: int = 0
+    #: coalesced edit groups propagated via ``Engine.batch``/``change_many``.
+    batches: int = 0
+    #: trace-compaction passes and the table entries they reclaimed.
+    compactions: int = 0
+    memo_entries_compacted: int = 0
+    alloc_entries_compacted: int = 0
     live_edges: int = 0
     live_memo_entries: int = 0
 

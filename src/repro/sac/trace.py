@@ -42,9 +42,18 @@ class ReadEdge:
         return self.start.label < other.start.label
 
     def discard(self, engine: Any) -> None:
-        """Retract this edge: called when its start stamp is deleted."""
+        """Retract this edge: called when its start stamp is deleted.
+
+        The reader closure and the modifiable reference are dropped eagerly:
+        a dead edge can linger in the dirty queue (it is skipped when
+        popped), and without this the closure's captured environment --
+        often a whole sub-computation's worth of values -- would stay live
+        until the queue drains.
+        """
         self.dead = True
         self.mod.readers.discard(self)
+        self.mod = None
+        self.reader = None
         engine.meter.live_edges -= 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -72,9 +81,17 @@ class MemoEntry:
         self.dead = False
 
     def discard(self, engine: Any) -> None:
-        """Retract this entry: called when its start stamp is deleted."""
+        """Retract this entry: called when its start stamp is deleted.
+
+        The stored result is dropped eagerly (a dead entry can never be
+        spliced, so the value is unreachable through the trace), and the
+        entry is reported to the engine's dead-entry account, which drives
+        memo-table compaction (:meth:`repro.sac.engine.Engine.compact`).
+        """
         self.dead = True
+        self.result = None
         engine.meter.live_memo_entries -= 1
+        engine._dead_memo_entries += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<MemoEntry {self.key!r} @{self.start.label}>"

@@ -1,223 +1,52 @@
-"""The random-change correctness framework (paper Section 4.3).
+"""Deprecated home of the verification framework; see :mod:`repro.api`.
 
-"We have developed a testing framework, which makes a massive number of
-randomly generated changes to the input data, and checks that the
-executable responds correctly to each such change by comparing its output
-with that of a verifier (reference implementation)."
-
-:func:`verify_app` does exactly this for one benchmark application: one
-complete self-adjusting run, then ``changes`` random incremental changes,
-re-verifying the output against the pure-Python reference after each
-change propagation.
-
-:func:`oracle_app` is the stronger *from-scratch-consistency oracle* (the
-property the consistency theorems of self-adjusting computation actually
-state): after every propagation, the incrementally updated output must
-equal the output of a **fresh self-adjusting run** of the same compiled
-program on the current input -- not just the reference implementation.
-This catches propagation bugs that happen to produce reference-correct
-values through a stale trace, and it can re-check the engine's trace
-invariants (:mod:`repro.obs.invariants`) after every propagation.
+The random-change verification (paper Section 4.3) and the from-scratch
+consistency oracle now live in :mod:`repro.api`, reimplemented on top of
+:class:`repro.api.Session`.  This module remains as a shim: the result
+and error types are re-exported unchanged, and the driver functions
+delegate after emitting a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-import math
-import random
-from dataclasses import dataclass
-from typing import Any, Optional
+import warnings
 
-from repro.apps.base import App
-from repro.sac.engine import Engine
+from repro.api import (  # noqa: F401  (re-exports)
+    OracleResult,
+    VerificationError,
+    VerifyResult,
+    values_close,
+)
 
-
-class VerificationError(AssertionError):
-    """The self-adjusting output diverged from the reference."""
-
-
-def values_close(a: Any, b: Any, rel: float = 1e-9) -> bool:
-    """Structural comparison with float tolerance."""
-    if isinstance(a, float) or isinstance(b, float):
-        return math.isclose(float(a), float(b), rel_tol=rel, abs_tol=1e-12)
-    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
-        return len(a) == len(b) and all(values_close(x, y, rel) for x, y in zip(a, b))
-    return a == b
+__all__ = [
+    "OracleResult",
+    "VerificationError",
+    "VerifyResult",
+    "oracle_app",
+    "values_close",
+    "verify_app",
+]
 
 
-@dataclass
-class VerifyResult:
-    name: str
-    n: int
-    changes: int
-    reexecuted_total: int
-
-    def __str__(self) -> str:
-        return (
-            f"{self.name}: n={self.n}, {self.changes} changes verified, "
-            f"{self.reexecuted_total} reads re-executed"
-        )
-
-
-def verify_app(
-    app: App,
-    n: int,
-    changes: int,
-    seed: int = 0,
-    *,
-    memoize: bool = True,
-    optimize_flag: bool = True,
-    coarse: bool = False,
-    check_conventional: bool = True,
-    backend: Optional[str] = None,
-) -> VerifyResult:
-    """Run the Section 4.3 verification protocol for one application.
-
-    ``backend`` selects the self-adjusting execution backend (``"interp"``
-    or ``"compiled"``; ``None`` defers to ``REPRO_BACKEND``/default).
-    """
-    rng = random.Random(seed)
-    program = app.compiled(
-        memoize=memoize, optimize_flag=optimize_flag, coarse=coarse
+def verify_app(*args, **kwargs):
+    """Deprecated: use :func:`repro.api.verify_app`."""
+    warnings.warn(
+        "repro.testing.verify_app is deprecated; use repro.api.verify_app",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    data = app.make_data(n, rng)
+    from repro.api import verify_app as _verify_app
 
-    if check_conventional:
-        conv = program.conventional_instance()
-        conv_out = app.readback(conv.apply(app.make_conv_input(data)))
-        expected = app.reference(data)
-        if not values_close(conv_out, expected):
-            raise VerificationError(
-                f"{app.name}: conventional output diverges from reference\n"
-                f"  got:      {conv_out!r}\n  expected: {expected!r}"
-            )
-
-    engine = Engine()
-    instance = program.self_adjusting_instance(engine, backend=backend)
-    input_value, handle = app.make_sa_input(engine, data)
-    output = instance.apply(input_value)
-
-    got = app.readback(output)
-    expected = app.reference(data)
-    if not values_close(got, expected):
-        raise VerificationError(
-            f"{app.name}: initial self-adjusting output diverges\n"
-            f"  got:      {got!r}\n  expected: {expected!r}"
-        )
-
-    reexecuted = 0
-    for step in range(changes):
-        app.apply_change(handle, rng, step)
-        reexecuted += engine.propagate()
-        got = app.readback(output)
-        expected = app.reference(app.handle_data(handle))
-        if not values_close(got, expected):
-            raise VerificationError(
-                f"{app.name}: output diverges after change {step}\n"
-                f"  got:      {got!r}\n  expected: {expected!r}"
-            )
-    return VerifyResult(app.name, n, changes, reexecuted)
+    return _verify_app(*args, **kwargs)
 
 
-@dataclass
-class OracleResult:
-    """Outcome of one :func:`oracle_app` run."""
-
-    name: str
-    n: int
-    changes: int
-    reexecuted_total: int
-    invariant_checks: int
-
-    def __str__(self) -> str:
-        text = (
-            f"{self.name}: n={self.n}, {self.changes} changes consistent "
-            f"with from-scratch reruns, {self.reexecuted_total} reads re-executed"
-        )
-        if self.invariant_checks:
-            text += f", {self.invariant_checks} invariant checks"
-        return text
-
-
-def oracle_app(
-    app: App,
-    n: int,
-    changes: int,
-    seed: int = 0,
-    *,
-    memoize: bool = True,
-    optimize_flag: bool = True,
-    coarse: bool = False,
-    check_invariants: bool = True,
-    check_reference: bool = True,
-    backend: Optional[str] = None,
-) -> OracleResult:
-    """From-scratch-consistency oracle for one application.
-
-    Runs the compiled program self-adjustingly, applies ``changes`` random
-    input changes, and after each propagation asserts that the propagated
-    output equals the output of a *from-scratch rerun* (a fresh engine and
-    instance applied to the current input data).  With ``check_invariants``
-    (default), an :class:`repro.obs.invariants.InvariantChecker` rides
-    along, validating splice containment and queue ordering during every
-    propagation and the structural trace invariants after it.
-    """
-    rng = random.Random(seed)
-    program = app.compiled(
-        memoize=memoize, optimize_flag=optimize_flag, coarse=coarse
+def oracle_app(*args, **kwargs):
+    """Deprecated: use :func:`repro.api.oracle_app`."""
+    warnings.warn(
+        "repro.testing.oracle_app is deprecated; use repro.api.oracle_app",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    data = app.make_data(n, rng)
+    from repro.api import oracle_app as _oracle_app
 
-    engine = Engine()
-    checker = None
-    if check_invariants:
-        from repro.obs.invariants import InvariantChecker
-
-        checker = InvariantChecker()
-        engine.attach_hook(checker)
-    instance = program.self_adjusting_instance(engine, backend=backend)
-    input_value, handle = app.make_sa_input(engine, data)
-    output = instance.apply(input_value)
-
-    if check_reference:
-        got = app.readback(output)
-        expected = app.reference(data)
-        if not values_close(got, expected):
-            raise VerificationError(
-                f"{app.name}: initial self-adjusting output diverges\n"
-                f"  got:      {got!r}\n  expected: {expected!r}"
-            )
-
-    reexecuted = 0
-    for step in range(changes):
-        app.apply_change(handle, rng, step)
-        reexecuted += engine.propagate()
-        got = app.readback(output)
-
-        # The oracle: a fresh self-adjusting run over the current data.
-        current = app.handle_data(handle)
-        scratch_engine = Engine()
-        scratch = program.self_adjusting_instance(scratch_engine, backend=backend)
-        scratch_input, _ = app.make_sa_input(scratch_engine, current)
-        scratch_out = app.readback(scratch.apply(scratch_input))
-
-        if not values_close(got, scratch_out):
-            raise VerificationError(
-                f"{app.name}: propagated output diverges from a "
-                f"from-scratch rerun after change {step} (seed {seed})\n"
-                f"  propagated:   {got!r}\n  from scratch: {scratch_out!r}"
-            )
-        if check_reference:
-            expected = app.reference(current)
-            if not values_close(got, expected):
-                raise VerificationError(
-                    f"{app.name}: output diverges from reference after "
-                    f"change {step} (seed {seed})\n"
-                    f"  got:      {got!r}\n  expected: {expected!r}"
-                )
-    return OracleResult(
-        app.name,
-        n,
-        changes,
-        reexecuted,
-        checker.total_checks() if checker is not None else 0,
-    )
+    return _oracle_app(*args, **kwargs)

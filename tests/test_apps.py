@@ -8,7 +8,7 @@ series of random incremental changes.
 import pytest
 
 from repro.apps import REGISTRY, get_app
-from repro.testing import verify_app
+from repro.api import Session, verify_app
 
 LIST_APPS = ["map", "filter", "split", "qsort", "msort"]
 VECTOR_APPS = ["vec-reduce", "vec-mult"]
@@ -74,21 +74,17 @@ def test_unmemoized_variant_verifies():
 
 
 def test_map_propagation_is_constant_work():
-    from repro.sac.engine import Engine
     import random
 
     app = REGISTRY["map"]
-    program = app.compiled()
     rng = random.Random(0)
-    data = app.make_data(400, rng)
-    engine = Engine()
-    instance = program.self_adjusting_instance(engine)
-    value, handle = app.make_sa_input(engine, data)
-    instance.apply(value)
+    session = Session(app)
+    engine = session.engine
+    session.run(data=app.make_data(400, rng))
     before = engine.meter.reads_executed
     for step in range(10):
-        app.apply_change(handle, rng, step)
-        engine.propagate()
+        app.apply_change(session.handle, rng, step)
+        session.propagate()
     # ~1 read per insert/delete, independent of n.
     assert engine.meter.reads_executed - before <= 20
 
@@ -104,24 +100,20 @@ def test_msort_speedup_grows_with_input_size():
     AFL substrate stabilizes this with keyed destination allocation.  The
     speedup (run work / propagation work) still grows with n.
     """
-    from repro.sac.engine import Engine
     import random
 
     app = REGISTRY["msort"]
-    program = app.compiled()
 
     def run_vs_prop(n):
         rng = random.Random(5)
-        data = app.make_data(n, rng)
-        engine = Engine()
-        instance = program.self_adjusting_instance(engine)
-        value, handle = app.make_sa_input(engine, data)
-        instance.apply(value)
+        session = Session(app)
+        engine = session.engine
+        session.run(data=app.make_data(n, rng))
         run_reads = engine.meter.reads_executed
         before = engine.meter.reads_executed
         for step in range(8):
-            app.apply_change(handle, rng, step)
-            engine.propagate()
+            app.apply_change(session.handle, rng, step)
+            session.propagate()
         prop_reads = (engine.meter.reads_executed - before) / 8
         return run_reads / prop_reads
 

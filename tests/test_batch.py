@@ -1,0 +1,131 @@
+"""Batched change propagation: differential and space-bound tests.
+
+The tentpole property: applying k edits inside one ``Session.batch`` scope
+and propagating once must be *indistinguishable* from applying the same k
+edits with a propagation after each -- identical outputs and identical
+final trace sizes -- across every registered application and both
+execution backends.  Batching is purely an efficiency lever (per-read
+deduplication within one pass), never a semantic one.
+
+Also here: the memory-growth smoke test -- hundreds of batched edit /
+propagate rounds keep ``trace_size`` within a constant factor of a fresh
+run on the final data, and table residency (memo/alloc buckets) stays
+bounded thanks to compaction.
+"""
+
+import random
+
+import pytest
+
+from repro.api import Session, values_close
+from repro.apps import REGISTRY
+
+# Input sizes chosen per app family to keep the suite fast (matrix apps
+# square their input; the raytracer's n is the image size).
+SIZES = {
+    "map": 24,
+    "filter": 24,
+    "reverse": 24,
+    "split": 24,
+    "qsort": 24,
+    "msort": 24,
+    "vec-reduce": 24,
+    "vec-mult": 24,
+    "mat-vec-mult": 6,
+    "mat-add": 6,
+    "transpose": 6,
+    "mat-mult": 4,
+    "block-mat-mult": 8,
+    "raytracer": 4,
+}
+EDITS = 4
+
+
+def _drive(app, n, *, backend, batch, seed=31):
+    """Run ``app``, apply EDITS random changes (batched or one-by-one),
+    and return (readback output, final trace size)."""
+    rng = random.Random(seed)
+    session = Session(app, backend=backend)
+    data = app.make_data(n, rng)
+    output = session.run(data=data)
+    if batch:
+        with session.batch():
+            for step in range(EDITS):
+                app.apply_change(session.handle, rng, step)
+    else:
+        for step in range(EDITS):
+            app.apply_change(session.handle, rng, step)
+            session.propagate()
+    return app.readback(output), session.trace_size(), session.handle
+
+
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_batched_equals_sequential(name, backend):
+    """k single-edit propagations == one k-edit batch, for every app."""
+    app = REGISTRY[name]
+    n = SIZES[name]
+    seq_out, seq_trace, seq_handle = _drive(app, n, backend=backend, batch=False)
+    bat_out, bat_trace, bat_handle = _drive(app, n, backend=backend, batch=True)
+    # Identical RNG consumption implies identical final inputs ...
+    assert app.handle_data(seq_handle) == app.handle_data(bat_handle)
+    # ... and batching must not change the output or the trace.
+    assert seq_out == bat_out
+    assert seq_trace == bat_trace
+    # Sanity: both equal the reference on the final data.
+    assert values_close(seq_out, app.reference(app.handle_data(seq_handle)))
+
+
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
+def test_batched_propagation_does_less_work(backend):
+    """A k-edit batch re-executes no more reads than k sequential passes
+    (and strictly fewer when edited cells share readers up the spine)."""
+    app = REGISTRY["msort"]
+
+    def work(batch):
+        rng = random.Random(9)
+        session = Session(app, backend=backend)
+        session.run(data=app.make_data(64, rng))
+        before = session.engine.meter.edges_reexecuted
+        if batch:
+            with session.batch():
+                for step in range(8):
+                    app.apply_change(session.handle, rng, step)
+        else:
+            for step in range(8):
+                app.apply_change(session.handle, rng, step)
+                session.propagate()
+        return session.engine.meter.edges_reexecuted - before
+
+    assert work(batch=True) < work(batch=False)
+
+
+def test_trace_size_bounded_over_many_batched_edits():
+    """500 batched edits leave the trace within 1.5x of a fresh run and
+    keep the memo/alloc tables swept (the compaction invariant)."""
+    app = REGISTRY["map"]
+    rng = random.Random(17)
+    session = Session(app)
+    session.run(data=list(range(64)))
+
+    step = 0
+    for _round in range(125):
+        with session.batch():
+            for _ in range(4):  # 125 rounds x 4 edits = 500 edits
+                app.apply_change(session.handle, rng, step)
+                step += 1
+
+    final_data = app.handle_data(session.handle)
+    fresh = Session(app)
+    fresh.run(data=final_data)
+
+    assert session.trace_size() <= 1.5 * fresh.trace_size()
+
+    # Compaction kept the dead-entry backlog below the live population
+    # (plus the sweep-trigger threshold).
+    residency = session.engine.table_residency()
+    live = session.engine.meter.live_memo_entries
+    assert residency["dead_memo_entries"] <= max(
+        session.engine.compact_threshold, live
+    )
+    assert session.engine.meter.compactions > 0

@@ -13,9 +13,11 @@ import time
 
 import pytest
 
+from repro.api import Session
 from repro.apps import REGISTRY
+from repro.backends import BACKENDS, resolve_backend
 from repro.compile import CompClosure, CompiledSelfAdjusting
-from repro.core.pipeline import BACKENDS, compile_program, default_backend
+from repro.core.pipeline import compile_program
 from repro.interp.marshal import ModListInput
 from repro.interp.values import ConValue
 from repro.sac.api import IdKey, memo_key
@@ -50,21 +52,35 @@ def test_convalue_nested_hash():
 # Backend selection
 
 
-def test_default_backend_env(monkeypatch):
+def test_resolve_backend_precedence(monkeypatch):
     monkeypatch.delenv("REPRO_BACKEND", raising=False)
-    assert default_backend() == "interp"
+    assert resolve_backend() == "interp"
     monkeypatch.setenv("REPRO_BACKEND", "compiled")
-    assert default_backend() == "compiled"
+    assert resolve_backend() == "compiled"
+    # An explicit request beats the environment ...
+    assert resolve_backend("interp") == "interp"
+    # ... and an empty variable counts as unset.
+    monkeypatch.setenv("REPRO_BACKEND", "")
+    assert resolve_backend() == "interp"
     assert set(BACKENDS) == {"interp", "compiled"}
+
+
+def test_default_backend_shim_warns(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "compiled")
+    from repro.core.pipeline import default_backend
+
+    with pytest.deprecated_call():
+        assert default_backend() == "compiled"
 
 
 def test_unknown_backend_rejected(monkeypatch):
     monkeypatch.setenv("REPRO_BACKEND", "jit")
     with pytest.raises(ValueError):
-        default_backend()
+        resolve_backend()
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
     program = compile_program("val main : int $C -> int $C = fn x => x + 1")
     with pytest.raises(ValueError):
-        program.self_adjusting_instance(backend="jit")
+        Session(program, backend="jit")
 
 
 # ----------------------------------------------------------------------
@@ -72,16 +88,15 @@ def test_unknown_backend_rejected(monkeypatch):
 
 
 def run_compiled(src, *, backend="compiled", **kwargs):
-    program = compile_program(src, **kwargs)
-    return program.self_adjusting_instance(backend=backend)
+    return Session(src, backend=backend, **kwargs)
 
 
 def test_scalar_program_compiles_and_propagates():
     sa = run_compiled("val main : int $C -> int $C = fn x => (x + 1) * (x + 2)")
-    x = sa.engine.make_input(3)
-    out = sa.apply(x)
+    x = sa.make_input(3)
+    out = sa.run(x)
     assert out.peek() == 20
-    sa.engine.change(x, 10)
+    sa.edit(x, 10)
     sa.propagate()
     assert out.peek() == 132
 
@@ -97,10 +112,10 @@ def test_deep_static_link_chain():
         val main : int $C -> int $C = fn x => add4 1 2 3 x
         """
     )
-    x = sa.engine.make_input(4)
-    out = sa.apply(x)
+    x = sa.make_input(4)
+    out = sa.run(x)
     assert out.peek() == 1234
-    sa.engine.change(x, 9)
+    sa.edit(x, 9)
     sa.propagate()
     assert out.peek() == 1239
 
@@ -114,12 +129,12 @@ def test_case_dispatch_and_recursion():
         """
     )
     xs = ModListInput(sa.engine, [1, 2, 3, 4])
-    out = sa.apply(xs.head)
+    out = sa.run(xs.head)
     assert out.peek() == 10
     xs.insert(2, 100)
     sa.propagate()
     assert out.peek() == 110
-    xs.delete(0)
+    xs.remove(0)
     sa.propagate()
     assert out.peek() == 109
 

@@ -63,11 +63,12 @@ def test_hand_uses_fewer_or_equal_mods_than_compiled():
     handle = ModListInput(hand_engine, data)
     HANDWRITTEN["qsort"](hand_engine, handle.head)
 
-    compiled_engine = Engine()
-    program = app.compiled()
-    instance = program.self_adjusting_instance(compiled_engine)
+    from repro.api import Session
+
+    session = Session(app)
+    compiled_engine = session.engine
     value, _handle2 = app.make_sa_input(compiled_engine, data)
-    instance.apply(value)
+    session.run(value)
 
     assert hand_engine.meter.mods_created <= compiled_engine.meter.mods_created
 

@@ -26,13 +26,15 @@ def test_modlist_basic_ops():
     xs = ModListInput(engine, [1, 2, 3])
     assert len(xs) == 3
     assert xs.to_python() == [1, 2, 3]
-    xs.insert(0, 0)
+    # Edit methods return the dirtied-read count: 0 with no readers.
+    assert xs.insert(0, 0) == 0
     assert xs.to_python() == [0, 1, 2, 3]
     xs.insert(4, 9)
     assert xs.to_python() == [0, 1, 2, 3, 9]
-    assert xs.delete(2) == 2
+    assert xs.get(2) == 2
+    assert xs.remove(2) == 0
     assert xs.to_python() == [0, 1, 3, 9]
-    xs.set(1, 100)
+    assert xs.set(1, 100) == 0
     assert xs.to_python() == [0, 100, 3, 9]
 
 
@@ -42,7 +44,20 @@ def test_modlist_bounds():
     with pytest.raises(IndexError):
         xs.insert(5, 0)
     with pytest.raises(IndexError):
-        xs.delete(1)
+        xs.remove(1)
+    with pytest.raises(IndexError):
+        xs.get(1)
+    with pytest.raises(IndexError):
+        xs.set(1, 0)
+
+
+def test_modlist_delete_deprecated():
+    """The old value-returning delete survives as a warning alias."""
+    engine = Engine()
+    xs = ModListInput(engine, [5, 6, 7])
+    with pytest.deprecated_call():
+        assert xs.delete(1) == 6
+    assert xs.to_python() == [5, 7]
 
 
 def test_modlist_empty():

@@ -77,7 +77,7 @@ def test_delete_hits_memo():
     xs = ModList(engine, list(range(50)))
     out = sa_map(engine, lambda x: x * 2, xs.head)
     before = engine.meter.reads_executed
-    xs.delete(25)
+    xs.remove(25)
     engine.propagate()
     assert engine.meter.reads_executed - before <= 2
     assert read_out(out) == [x * 2 for x in xs.to_python()]
@@ -93,7 +93,7 @@ def test_front_and_back_changes():
     xs.insert(4, 200)
     engine.propagate()
     assert read_out(out) == [-100, -1, -2, -3, -200]
-    xs.delete(0)
+    xs.remove(0)
     engine.propagate()
     assert read_out(out) == [-1, -2, -3, -200]
 
@@ -104,7 +104,7 @@ def test_batch_of_changes_single_propagation():
     out = sa_map(engine, lambda x: x + 1, xs.head)
     xs.insert(3, 100)
     xs.insert(10, 200)
-    xs.delete(0)
+    xs.remove(0)
     engine.propagate()
     assert read_out(out) == [x + 1 for x in xs.to_python()]
 
@@ -116,7 +116,7 @@ def test_memo_entry_not_reused_when_stale():
     sa_map(engine, lambda x: x, xs.head)
     # Delete everything: all suffix traces get discarded.
     for _ in range(4):
-        xs.delete(0)
+        xs.remove(0)
         engine.propagate()
     live = sum(
         1
@@ -164,7 +164,7 @@ def test_random_list_changes_match_reference(initial, ops):
         if op == "ins" or len(xs) == 0:
             xs.insert(pick % (len(xs) + 1), pick)
         elif op == "del":
-            xs.delete(pick % len(xs))
+            xs.remove(pick % len(xs))
         else:
             xs.set(pick % len(xs), pick)
         engine.propagate()

@@ -31,16 +31,13 @@ from repro.sac import Engine
 def _run_map(hook, n=12, changes=2):
     """Run the compiled `map` app with ``hook`` attached; return (engine,
     output handle plumbing) after ``changes`` insert/propagate rounds."""
-    program = REGISTRY["map"].compiled()
-    engine = Engine()
-    engine.attach_hook(hook)
-    instance = program.self_adjusting_instance(engine)
-    app = REGISTRY["map"]
-    data = list(range(1, n + 1))
-    input_value, handle = app.make_sa_input(engine, data)
-    output = instance.apply(input_value)
+    from repro.api import Session
+
+    session = Session(REGISTRY["map"], hook=hook)
+    engine = session.engine
+    output = session.run(data=list(range(1, n + 1)))
     for step in range(changes):
-        handle.insert(step, 100 + step)
+        session.handle.insert(step, 100 + step)
         engine.propagate()
     return engine, output
 

@@ -1,4 +1,4 @@
-"""From-scratch-consistency oracle tests (repro.testing.oracle_app).
+"""From-scratch-consistency oracle tests (repro.api.oracle_app).
 
 The consistency theorems of self-adjusting computation state that change
 propagation produces the state a from-scratch run on the changed input
@@ -12,7 +12,7 @@ list / change-sequence cases, under every combination of the compiler's
 import pytest
 
 from repro.apps import REGISTRY
-from repro.testing import VerificationError, oracle_app
+from repro.api import VerificationError, oracle_app
 
 APPS = ["filter", "map", "reverse", "msort"]
 CONFIGS = [

@@ -10,6 +10,7 @@ import math
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.api import Session
 from repro.core.pipeline import compile_program
 from repro.core.sxmlutil import alpha_equal
 from repro.interp.marshal import ModListInput, ModVectorInput
@@ -88,9 +89,9 @@ _FILTER = compile_program(
     ),
 )
 def test_compiled_filter_random_changes(initial, ops):
-    sa = _FILTER.self_adjusting_instance()
+    sa = Session(_FILTER)
     xs = ModListInput(sa.engine, initial)
-    out = sa.apply(xs.head)
+    out = sa.run(xs.head)
 
     def check():
         expected = [x for x in xs.to_python() if x % 3 == 0]
@@ -101,7 +102,7 @@ def test_compiled_filter_random_changes(initial, ops):
         if op == "ins" or len(xs) == 0:
             xs.insert(pick % (len(xs) + 1), pick % 1000)
         elif op == "del":
-            xs.delete(pick % len(xs))
+            xs.remove(pick % len(xs))
         else:
             xs.set(pick % len(xs), pick % 1000)
         sa.engine.propagate()
@@ -132,9 +133,9 @@ _SUM = compile_program(
 def test_compiled_vector_sum_random_changes(values, changes):
     from repro.apps.vectors import tree_sum
 
-    sa = _SUM.self_adjusting_instance()
+    sa = Session(_SUM)
     v = ModVectorInput(sa.engine, values)
-    out = sa.apply(v.value)
+    out = sa.run(v.value)
     assert math.isclose(out.peek(), tree_sum(values), rel_tol=1e-9, abs_tol=1e-9)
     for pick, new in changes:
         v.set(pick % len(v), new)
@@ -189,7 +190,7 @@ def test_conventional_and_self_adjusting_agree(initial, seed):
     program = _FILTER
     conv = program.conventional_instance()
     conv_out = list_value_to_python(conv.apply(plain_list(initial)))
-    sa = program.self_adjusting_instance()
+    sa = Session(program)
     xs = ModListInput(sa.engine, initial)
-    sa_out = list_value_to_python(sa.apply(xs.head))
+    sa_out = list_value_to_python(sa.run(xs.head))
     assert conv_out == sa_out

@@ -16,7 +16,7 @@ from repro.apps.raytracer import (
     reference_render,
     standard_scene,
 )
-from repro.testing import values_close
+from repro.api import Session, values_close
 
 
 @pytest.fixture(scope="module")
@@ -25,9 +25,9 @@ def program():
 
 
 def render_lml(program, scene):
-    sa = program.self_adjusting_instance()
+    sa = Session(program)
     handle = SceneInput(sa.engine, scene)
-    out = sa.apply(handle.value)
+    out = sa.run(handle.value)
     return sa, handle, out
 
 

@@ -4,7 +4,7 @@ from repro.bench.report import format_normalized, format_series, format_table
 from repro.bench.runner import BenchRow
 from repro.core.pipeline import compile_program
 from repro.core.pretty import pretty_expr
-from repro.testing import values_close
+from repro.api import values_close
 
 
 def test_pretty_prints_paper_style_primitives():
@@ -180,7 +180,7 @@ def test_format_phases_skips_rows_without_phase_data():
 
 def test_measure_app_records_phases():
     from repro.apps import REGISTRY
-    from repro.bench import measure_app
+    from repro.api import measure_app
 
     row = measure_app(
         REGISTRY["map"], 12, prop_samples=2, seed=0, skip_conventional=True

@@ -7,7 +7,7 @@ features beyond what the benchmark apps exercise.
 
 import pytest
 
-from repro.core.pipeline import compile_program
+from repro.api import Session
 from repro.interp.marshal import ModListInput, ModVectorInput
 from repro.interp.values import ConValue, deep_read, list_value_to_python
 from repro.sac.modifiable import Modifiable
@@ -17,10 +17,9 @@ def test_scalar_pipeline():
     src = """
     val main : int $C -> int $C = fn x => (x + 1) * (x + 2)
     """
-    program = compile_program(src)
-    sa = program.self_adjusting_instance()
+    sa = Session(src)
     x = sa.engine.make_input(3)
-    out = sa.apply(x)
+    out = sa.run(x)
     assert out.peek() == 20
     sa.engine.change(x, 10)
     sa.propagate()
@@ -32,11 +31,10 @@ def test_changeable_condition_switches_branches():
     val main : (bool $C * int $C) -> int $C =
       fn (b, x) => if b then x + 1 else x - 1
     """
-    program = compile_program(src)
-    sa = program.self_adjusting_instance()
+    sa = Session(src)
     b = sa.engine.make_input(True)
     x = sa.engine.make_input(10)
-    out = sa.apply((b, x))
+    out = sa.run((b, x))
     assert out.peek() == 11
     sa.engine.change(b, False)
     sa.propagate()
@@ -52,11 +50,10 @@ def test_changeable_tuple_projection():
     src = """
     val main = fn (p : (int * int) $C) => #1 p + #2 p
     """
-    program = compile_program(src)
-    sa = program.self_adjusting_instance()
-    in_lty = program.main_lty.children[0]
+    sa = Session(src)
+    in_lty = sa.program.main_lty.children[0]
     p = from_python(sa.engine, in_lty, (3, 4))
-    out = sa.apply(p)
+    out = sa.run(p)
     assert out.peek() == 7
     # Replace the whole tuple (components are modifiables per the levels).
     sa.engine.change(p, from_python(sa.engine, in_lty, (10, 20)).peek())
@@ -70,10 +67,9 @@ def test_case_on_changeable_datatype():
     val main : shape $C -> real $C =
       fn s => case s of Circle r => r * r * 3.14 | Square w => w * w
     """
-    program = compile_program(src)
-    sa = program.self_adjusting_instance()
+    sa = Session(src)
     s = sa.engine.make_input(ConValue("Square", 2.0))
-    out = sa.apply(s)
+    out = sa.run(s)
     assert out.peek() == 4.0
     sa.engine.change(s, ConValue("Circle", 1.0))
     sa.propagate()
@@ -86,15 +82,14 @@ def test_nested_changeable_structures():
     fun sumlist l = case l of Nil => 0 | Cons (h, t) => h + sumlist t
     val main : cell $C -> int $C = sumlist
     """
-    program = compile_program(src)
-    sa = program.self_adjusting_instance()
+    sa = Session(src)
     xs = ModListInput(sa.engine, [1, 2, 3, 4])
-    out = sa.apply(xs.head)
+    out = sa.run(xs.head)
     assert out.peek() == 10
     xs.insert(2, 100)
     sa.propagate()
     assert out.peek() == 110
-    xs.delete(0)
+    xs.remove(0)
     sa.propagate()
     assert out.peek() == 109
 
@@ -104,10 +99,9 @@ def test_sharing_one_mod_two_consumers():
     val main : int $C -> (int $C * int $C) =
       fn x => (x + 1, x * 2)
     """
-    program = compile_program(src)
-    sa = program.self_adjusting_instance()
+    sa = Session(src)
     x = sa.engine.make_input(5)
-    out = sa.apply(x)
+    out = sa.run(x)
     a, b = out
     assert a.peek() == 6 and b.peek() == 10
     sa.engine.change(x, 7)
@@ -122,10 +116,9 @@ def test_imperative_reference_updates():
     val main : int $C -> int $C =
       fn x => let val r = ref 17 in (r := 25; !r + x) end
     """
-    program = compile_program(src)
-    sa = program.self_adjusting_instance()
+    sa = Session(src)
     x = sa.engine.make_input(1)
-    out = sa.apply(x)
+    out = sa.run(x)
     assert out.peek() == 26
     sa.engine.change(x, 40)
     sa.propagate()
@@ -140,7 +133,7 @@ def test_ref_of_changeable_content_is_rejected():
       fn x => let val r = ref x in !r end
     """
     with pytest.raises(LmlLevelError):
-        compile_program(src)
+        Session(src)
 
 
 def test_higher_order_changeable_result():
@@ -148,10 +141,9 @@ def test_higher_order_changeable_result():
     fun twice f = fn x => f (f x)
     val main : int $C -> int $C = twice (fn x => x + 3)
     """
-    program = compile_program(src)
-    sa = program.self_adjusting_instance()
+    sa = Session(src)
     x = sa.engine.make_input(0)
-    out = sa.apply(x)
+    out = sa.run(x)
     assert out.peek() == 6
     sa.engine.change(x, 10)
     sa.propagate()
@@ -163,10 +155,9 @@ def test_vector_of_changeables_via_builtins():
     val main : (int $C) vector -> int $C =
       fn v => vreduce (v, 0, fn (a, b) => a + b)
     """
-    program = compile_program(src)
-    sa = program.self_adjusting_instance()
+    sa = Session(src)
     v = ModVectorInput(sa.engine, [1, 2, 3, 4, 5, 6, 7, 8])
-    out = sa.apply(v.value)
+    out = sa.run(v.value)
     assert out.peek() == 36
     before = sa.engine.meter.reads_executed
     v.set(3, 100)
@@ -185,14 +176,13 @@ def test_unopt_and_coarse_agree_with_optimized():
     outputs = []
     for options in (
         {},
-        {"optimize_flag": False},
-        {"optimize_flag": False, "coarse": True},
+        {"optimize": False},
+        {"optimize": False, "coarse": True},
         {"memoize": False},
     ):
-        program = compile_program(src, **options)
-        sa = program.self_adjusting_instance()
+        sa = Session(src, **options)
         xs = ModListInput(sa.engine, [1, 2, 3])
-        out = sa.apply(xs.head)
+        out = sa.run(xs.head)
         xs.insert(1, 50)
         sa.propagate()
         outputs.append(list_value_to_python(out))
@@ -205,10 +195,9 @@ def test_propagation_count_scales_with_list_changes():
     fun mapf l = case l of Nil => Nil | Cons (h, t) => Cons (h + 1, mapf t)
     val main : cell $C -> cell $C = mapf
     """
-    program = compile_program(src)
-    sa = program.self_adjusting_instance()
+    sa = Session(src)
     xs = ModListInput(sa.engine, list(range(500)))
-    out = sa.apply(xs.head)
+    out = sa.run(xs.head)
     before = sa.engine.meter.reads_executed
     for i in range(5):
         xs.insert(100 * i, 10_000 + i)
@@ -223,10 +212,9 @@ def test_output_mod_identity_stable_across_propagations():
     src = """
     val main : int $C -> int $C = fn x => x * x
     """
-    program = compile_program(src)
-    sa = program.self_adjusting_instance()
+    sa = Session(src)
     x = sa.engine.make_input(2)
-    out = sa.apply(x)
+    out = sa.run(x)
     assert isinstance(out, Modifiable)
     first = out
     sa.engine.change(x, 3)
@@ -238,10 +226,9 @@ def test_string_data_changeable():
     src = """
     val main : string $C -> string $C = fn s => s ^ "!"
     """
-    program = compile_program(src)
-    sa = program.self_adjusting_instance()
+    sa = Session(src)
     s = sa.engine.make_input("hi")
-    out = sa.apply(s)
+    out = sa.run(s)
     assert out.peek() == "hi!"
     sa.engine.change(s, "bye")
     sa.propagate()

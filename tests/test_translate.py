@@ -140,9 +140,11 @@ def test_translated_equals_conventional_semantics():
     program = compile_program(MAP_SRC)
     conv = program.conventional_instance()
     conv_out = conv.apply(plain_list([5, 6, 7]))
-    sa = program.self_adjusting_instance()
+    from repro.api import Session
+
+    sa = Session(program)
     xs = ModListInput(sa.engine, [5, 6, 7])
-    sa_out = sa.apply(xs.head)
+    sa_out = sa.run(xs.head)
     assert list_value_to_python(conv_out) == list_value_to_python(sa_out) == [6, 7, 8]
 
 
