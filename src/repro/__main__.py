@@ -9,6 +9,7 @@ Usage::
     python -m repro compile program.lml --counts   # mod/read/write/memo
     python -m repro verify <app> [-n N] [--changes K]   # Section 4.3 check
     python -m repro trace <app> [-n N] [--changes K] [--out DIR]
+    python -m repro chaos <app> [-n N] [--site S] [--mode M]  # fault inject
     python -m repro apps                           # list benchmark apps
 
 The ``verify`` subcommand runs the paper's random-change correctness
@@ -23,6 +24,11 @@ The ``trace`` subcommand runs an application under full observability:
 it records the structured engine event stream, validates the trace
 invariants during and after every change propagation, and dumps dynamic-
 dependence-graph snapshots (JSON + Graphviz DOT) plus the event log.
+
+The ``chaos`` subcommand exercises the failure model (DESIGN.md
+Section 7): it plants deterministic exceptions at trace sites during
+change propagation, recovers via ``Session.propagate(on_error=...)``,
+and checks the recovered output against a from-scratch oracle.
 """
 
 from __future__ import annotations
@@ -183,6 +189,39 @@ def _write_trace_dumps(args, engine, log) -> list:
     return paths
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.apps import REGISTRY
+    from repro.obs.faults import SITES, ChaosError, chaos_app
+    from repro.obs.invariants import InvariantViolation
+
+    if args.app not in REGISTRY:
+        print(f"error: unknown app {args.app!r}; see `python -m repro apps`",
+              file=sys.stderr)
+        return 1
+    sites = tuple(args.site) if args.site else ("read", "mod", "write", "memo-hit")
+    for site in sites:
+        if site not in SITES:
+            print(f"error: unknown site {site!r}; expected one of "
+                  f"{sorted(SITES)}", file=sys.stderr)
+            return 1
+    modes = tuple(args.mode) if args.mode else ("rollback", "rebuild")
+    try:
+        result = chaos_app(
+            REGISTRY[args.app],
+            args.n,
+            backend=args.backend,
+            sites=sites,
+            modes=modes,
+            changes=args.changes,
+            seed=args.seed,
+        )
+    except (ChaosError, InvariantViolation) as exc:
+        print(f"FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(f"OK: {result}")
+    return 0
+
+
 def _cmd_apps(_args: argparse.Namespace) -> int:
     from repro.apps import REGISTRY
 
@@ -259,6 +298,33 @@ def main(argv=None) -> int:
              "else interp); both emit identical traces and events",
     )
     p_trace.set_defaults(fn=_cmd_trace)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="inject deterministic faults during propagation and verify "
+             "recovery against a from-scratch oracle",
+    )
+    p_chaos.add_argument("app")
+    p_chaos.add_argument("-n", type=int, default=16, help="input size")
+    p_chaos.add_argument("--changes", type=int, default=3,
+                         help="input changes per scenario (default 3)")
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument(
+        "--site", action="append", default=None,
+        help="trace site(s) to inject at (repeatable; default: "
+             "read, mod, write, memo-hit)",
+    )
+    p_chaos.add_argument(
+        "--mode", action="append", choices=["rollback", "rebuild"],
+        default=None,
+        help="recovery mode(s) to exercise (repeatable; default both)",
+    )
+    p_chaos.add_argument(
+        "--backend", choices=["interp", "compiled"], default=None,
+        help="self-adjusting execution backend (default: $REPRO_BACKEND, "
+             "else interp)",
+    )
+    p_chaos.set_defaults(fn=_cmd_chaos)
 
     p_apps = sub.add_parser("apps", help="list the bundled benchmark apps")
     p_apps.set_defaults(fn=_cmd_apps)

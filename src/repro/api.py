@@ -49,14 +49,20 @@ from typing import Any, Optional, Tuple
 from repro.backends import BACKENDS, resolve_backend
 from repro.core.pipeline import CompiledProgram, compile_program
 from repro.sac.engine import Batch, Engine
-from repro.sac.exceptions import PropagationBudgetExceeded
+from repro.sac.exceptions import (
+    EnginePoisonedError,
+    PropagationBudgetExceeded,
+    ReexecutionError,
+)
 from repro.sac.modifiable import Modifiable
 
 __all__ = [
     "BACKENDS",
+    "EnginePoisonedError",
     "OracleResult",
     "PropagateStats",
     "PropagationBudgetExceeded",
+    "ReexecutionError",
     "Session",
     "VerificationError",
     "VerifyResult",
@@ -77,13 +83,32 @@ class PropagateStats:
     ``reexecuted`` counts read edges actually re-run; ``drained`` counts
     dirty-queue entries conclusively popped (the difference is stale
     entries skipped without work); ``seconds`` is wall time.
+
+    ``path`` reports which recovery route ran: ``"propagate"`` for a
+    normal pass, ``"rollback"`` when a failed re-execution was undone
+    back to the last-good state (``undone`` edits reverted, ``restaged``
+    of them left staged for a later propagate), ``"rebuild"`` when the
+    session fell back to a from-scratch re-run.  On a recovery path
+    ``error`` holds the exception that triggered it.
     """
 
     reexecuted: int
     drained: int
     seconds: float
+    path: str = "propagate"
+    undone: int = 0
+    restaged: int = 0
+    error: Optional[BaseException] = None
 
     def __str__(self) -> str:
+        if self.path == "rollback":
+            return (
+                f"rolled back in {self.seconds:.6f}s: {self.undone} edits "
+                f"undone, {self.reexecuted} reads re-executed to recover, "
+                f"{self.restaged} edits re-staged"
+            )
+        if self.path == "rebuild":
+            return f"rebuilt from scratch in {self.seconds:.6f}s"
         return (
             f"propagated in {self.seconds:.6f}s: {self.reexecuted} reads "
             f"re-executed, {self.drained} queue entries drained"
@@ -159,6 +184,7 @@ class Session:
         self.input_value: Any = _UNSET
         self.output: Any = None
         self.propagations = 0
+        self.rebuilds = 0
 
     # -- running --------------------------------------------------------
 
@@ -207,7 +233,15 @@ class Session:
             self._ensure_instance()
         if self.input_value is _UNSET:
             raise ValueError("no input: pass input_value=/data= or prepare() first")
-        self.output = self.instance.apply(self.input_value)
+        # Transactional initial run: a raising program must not leave a
+        # half-built trace behind, or later runs on this engine would stack
+        # on garbage.  Truncate back to the pre-run checkpoint and re-raise.
+        checkpoint = self.engine.now
+        try:
+            self.output = self.instance.apply(self.input_value)
+        except BaseException:
+            self.engine.truncate_after(checkpoint)
+            raise
         return self.output
 
     # -- edits and propagation ------------------------------------------
@@ -240,6 +274,7 @@ class Session:
         *,
         budget: Optional[int] = None,
         deadline: Optional[float] = None,
+        on_error: str = "raise",
     ) -> PropagateStats:
         """Propagate all staged edits; return :class:`PropagateStats`.
 
@@ -247,11 +282,58 @@ class Session:
         :meth:`repro.sac.engine.Engine.propagate`); on overrun a
         :class:`PropagationBudgetExceeded` is raised and a later call
         resumes the remaining work.
+
+        ``on_error`` selects the recovery policy when a re-executed
+        reader raises (see DESIGN.md Section 7):
+
+        * ``"raise"`` (default) -- let the typed
+          :class:`~repro.sac.exceptions.ReexecutionError` propagate; the
+          failing edge stays queued for retry.
+        * ``"rollback"`` -- undo the staged edits back to the last-good
+          state via :meth:`repro.sac.engine.Engine.rollback` and re-stage
+          them; the returned stats have ``path="rollback"``.  Only
+          possible while the trace is consistent: a poisoned engine
+          re-raises instead.
+        * ``"rebuild"`` -- fall back to a from-scratch re-run on the
+          current input data (:meth:`rebuild`); works even from a
+          poisoned engine, because it replaces the engine outright.
         """
+        if on_error not in ("raise", "rollback", "rebuild"):
+            raise ValueError(
+                f'on_error must be "raise", "rollback" or "rebuild", '
+                f"got {on_error!r}"
+            )
         meter = self.engine.meter
         drained_before = meter.queue_drained
         started = time.perf_counter()
-        reexecuted = self.engine.propagate(budget=budget, deadline=deadline)
+        try:
+            reexecuted = self.engine.propagate(budget=budget, deadline=deadline)
+        except (ReexecutionError, EnginePoisonedError) as exc:
+            if on_error == "raise":
+                raise
+            if on_error == "rollback":
+                if isinstance(exc, EnginePoisonedError) or not exc.consistent:
+                    raise  # nothing consistent left to roll back to
+                undone, recovery_reexecuted, restaged = self.engine.rollback()
+                self.propagations += 1
+                return PropagateStats(
+                    reexecuted=recovery_reexecuted,
+                    drained=meter.queue_drained - drained_before,
+                    seconds=time.perf_counter() - started,
+                    path="rollback",
+                    undone=undone,
+                    restaged=restaged,
+                    error=exc,
+                )
+            self.rebuild()
+            self.propagations += 1
+            return PropagateStats(
+                reexecuted=0,
+                drained=0,
+                seconds=time.perf_counter() - started,
+                path="rebuild",
+                error=exc,
+            )
         seconds = time.perf_counter() - started
         self.propagations += 1
         return PropagateStats(
@@ -259,6 +341,37 @@ class Session:
             drained=meter.queue_drained - drained_before,
             seconds=seconds,
         )
+
+    def rebuild(self) -> Any:
+        """From-scratch fallback: re-run on the current input data.
+
+        Marshals the data currently held by :attr:`handle` into a *fresh*
+        engine, re-runs the program, and swaps the new engine, instance,
+        handle and output into this session -- the incremental trace is
+        abandoned, which is always safe (self-adjusting semantics
+        guarantee a from-scratch run is the reference behaviour).  This
+        is the escape hatch that works even when the old engine is
+        poisoned.  The old engine's hook is deliberately *not* carried
+        over: a hook can itself be the failure source (fault injection),
+        and a rebuild must converge; re-attach one via
+        ``session.engine.attach_hook`` afterwards if wanted.
+
+        Requires an app-backed session whose input was marshalled via
+        ``run(data=...)``/``prepare(data)`` (the handle is what lets the
+        session reconstruct the current input).
+        """
+        if self.app is None or self.handle is None:
+            raise ValueError(
+                "rebuild() requires an app-backed session with marshalled "
+                "input (run with data=...)"
+            )
+        data = self.app.handle_data(self.handle)
+        self.engine = Engine()
+        self.instance = None
+        self.handle = None
+        self.input_value = _UNSET
+        self.rebuilds += 1
+        return self.run(data=data)
 
     def compact(self) -> dict:
         """Force a trace-table compaction (normally automatic); return the
@@ -295,6 +408,7 @@ class Session:
                 "coarse": options.coarse,
             },
             "propagations": self.propagations,
+            "rebuilds": self.rebuilds,
             "trace_size": self.engine.trace_size(),
             "tables": self.engine.table_residency(),
             "meter": self.engine.meter.snapshot(),

@@ -39,6 +39,12 @@ written values, as the interpreting backend produces -- so traces, meter
 counts, and observability hooks are unchanged.  ``tests/
 test_backends_differential.py`` asserts this meter-exact equivalence over
 every registered application.
+
+Exception transparency: like the interpreter, the emitted closures contain
+no exception handlers -- a raise inside user code (builtin failure,
+``MatchFailure``, ``RecursionError``, planted fault) reaches the engine's
+transactional re-execution wrapper unmangled (DESIGN.md Section 7), so
+both backends share one failure model.
 """
 
 from __future__ import annotations

@@ -8,6 +8,13 @@ so the engine can re-execute them during change propagation.
 Memoized applications (``BMemoApp``) key on the function closure's identity
 plus the structural/identity memo key of the argument -- the same strategy
 as the AFL library benchmarks (paper Section 4.1).
+
+Exception transparency: this backend deliberately contains no exception
+handlers.  Anything raised while evaluating user code -- a failing
+builtin, a ``MatchFailure``, a ``RecursionError``, a planted fault from
+:mod:`repro.obs.faults` -- propagates unmangled to the engine, whose
+transactional re-execution wrapper (DESIGN.md Section 7) owns failure
+handling.  Catching here would corrupt that contract.
 """
 
 from __future__ import annotations

@@ -17,7 +17,10 @@ package makes all of that *observable* and *checkable*:
 * :mod:`repro.obs.invariants` -- a trace invariant checker, usable as a
   one-shot structural check (:func:`check_trace`) or installed as a hook
   (:class:`InvariantChecker`) that validates every splice and every
-  propagation as it happens.
+  propagation as it happens;
+* :mod:`repro.obs.faults` -- deterministic fault injection: plant an
+  exception at the Nth trace site (:class:`FaultInjector`) and prove the
+  engine's recovery paths with the :func:`chaos_app` driver.
 
 Typical debugging session::
 
@@ -36,6 +39,14 @@ or, from the command line, ``python -m repro trace <app>``.
 
 from repro.obs.ddg import ddg_dot, ddg_json, ddg_snapshot
 from repro.obs.events import EventLog, FanoutHook, TraceEvent, TraceHook
+from repro.obs.faults import (
+    ChaosError,
+    ChaosResult,
+    FaultInjector,
+    PlantedFault,
+    SiteCounter,
+    chaos_app,
+)
 from repro.obs.invariants import (
     InvariantChecker,
     InvariantViolation,
@@ -44,13 +55,19 @@ from repro.obs.invariants import (
 )
 
 __all__ = [
+    "ChaosError",
+    "ChaosResult",
     "EventLog",
     "FanoutHook",
+    "FaultInjector",
     "InvariantChecker",
     "InvariantViolation",
+    "PlantedFault",
+    "SiteCounter",
     "TraceCheckReport",
     "TraceEvent",
     "TraceHook",
+    "chaos_app",
     "check_trace",
     "ddg_dot",
     "ddg_json",

@@ -26,6 +26,7 @@ class TraceEvent(NamedTuple):
         memo-hit    memo-miss   splice    discard
         reexec      propagate-begin       propagate-end
         batch-begin batch-end   trace-compact
+        reexec-abort poison     rollback
     """
 
     seq: int
@@ -96,6 +97,21 @@ class TraceHook:
         (:class:`repro.sac.exceptions.PropagationBudgetExceeded`); the next
         resuming propagation emits its own begin/end pair.
         """
+
+    # -- failure and recovery -------------------------------------------------
+    def on_reexec_abort(self, edge: Any, exc: BaseException, consistent: bool) -> None:
+        """A re-executed reader raised; the engine spliced the edge's
+        interval back out and re-queued it (``consistent=False``: the
+        cleanup itself failed and the engine poisoned itself)."""
+
+    def on_poison(self, reason: str) -> None:
+        """The engine poisoned itself; all further operations will raise
+        :class:`repro.sac.exceptions.EnginePoisonedError`."""
+
+    def on_rollback(self, undone: int, recovery_reexecuted: int, restaged: int) -> None:
+        """``Engine.rollback`` undid ``undone`` journalled edits, propagated
+        back to the last-good state (``recovery_reexecuted`` reads), and
+        re-staged ``restaged`` of them as pending edits."""
 
     # -- batching and compaction ---------------------------------------------
     def on_batch_begin(self) -> None:
@@ -171,6 +187,18 @@ class FanoutHook(TraceHook):
     def on_propagate_end(self, reexecuted):
         for h in self.hooks:
             h.on_propagate_end(reexecuted)
+
+    def on_reexec_abort(self, edge, exc, consistent):
+        for h in self.hooks:
+            h.on_reexec_abort(edge, exc, consistent)
+
+    def on_poison(self, reason):
+        for h in self.hooks:
+            h.on_poison(reason)
+
+    def on_rollback(self, undone, recovery_reexecuted, restaged):
+        for h in self.hooks:
+            h.on_rollback(undone, recovery_reexecuted, restaged)
 
     def on_batch_begin(self):
         for h in self.hooks:
@@ -304,6 +332,25 @@ class EventLog(TraceHook):
 
     def on_propagate_end(self, reexecuted):
         self._emit("propagate-end", reexecuted=reexecuted)
+
+    def on_reexec_abort(self, edge, exc, consistent):
+        self._emit(
+            "reexec-abort",
+            edge=self._edge_name(edge),
+            error=_short(exc),
+            consistent=consistent,
+        )
+
+    def on_poison(self, reason):
+        self._emit("poison", reason=_short(reason, limit=120))
+
+    def on_rollback(self, undone, recovery_reexecuted, restaged):
+        self._emit(
+            "rollback",
+            undone=undone,
+            recovery_reexecuted=recovery_reexecuted,
+            restaged=restaged,
+        )
 
     def on_batch_begin(self):
         self._emit("batch-begin")

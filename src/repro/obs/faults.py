@@ -1,0 +1,334 @@
+"""Deterministic fault injection for the self-adjusting engine.
+
+Change propagation re-executes user code (read bodies), and the engine's
+failure model (DESIGN.md Section 7) promises that an exception thrown at
+*any* point of a re-execution leaves the trace consistent and the session
+recoverable.  A promise like that is only worth what its test harness
+proves, so this module provides:
+
+* :class:`FaultInjector` -- a :class:`~repro.obs.events.TraceHook` that
+  raises a planted exception at the Nth occurrence of a chosen trace
+  *site* (read start, mod allocation, write, memo hit, ...), restricted
+  to an execution window (during propagation, during initial runs, or
+  anywhere).  Hook callbacks run synchronously inside the engine, so the
+  raise surfaces exactly where a failing user function would.
+* :class:`SiteCounter` -- the passive twin: counts site events in the
+  same window, so a probe run can enumerate every injectable position.
+* :func:`chaos_app` -- the chaos driver: for one app and backend, inject
+  a fault at selected positions of each site during the first
+  propagation, recover through ``Session.propagate(on_error=...)``
+  (``rollback`` and ``rebuild``), propagate the remaining edits, and
+  check the final output against a from-scratch oracle and the app's
+  reference function, with :mod:`repro.obs.invariants` riding along.
+
+Faults are deterministic: the same (app, n, seed, site, at) quintuple
+always fires at the same trace event, so every chaos failure replays.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.obs.events import FanoutHook, TraceHook
+from repro.obs.invariants import InvariantChecker, check_trace
+
+__all__ = [
+    "SITES",
+    "ChaosError",
+    "ChaosResult",
+    "FaultInjector",
+    "PlantedFault",
+    "SiteCounter",
+    "chaos_app",
+]
+
+
+class PlantedFault(RuntimeError):
+    """The default exception planted by :class:`FaultInjector`."""
+
+
+#: Injectable trace sites: site name -> the hook callback that marks it.
+SITES: Dict[str, str] = {
+    "read": "on_read_start",
+    "mod": "on_mod_create",
+    "write": "on_write",
+    "memo-hit": "on_memo_hit",
+    "memo-miss": "on_memo_miss",
+    "change": "on_change",
+    "reexec": "on_reexec",
+}
+
+_WINDOWS = ("propagate", "run", "any")
+
+
+class _SiteHook(TraceHook):
+    """Map engine callbacks to named site events, filtered by a window.
+
+    ``during="propagate"`` observes only events emitted while the engine
+    is propagating (the window a re-executed reader runs in); ``"run"``
+    only events outside propagation (initial runs and edits); ``"any"``
+    everything.  Subclasses override :meth:`_site`.
+    """
+
+    def __init__(self, during: str = "propagate") -> None:
+        if during not in _WINDOWS:
+            raise ValueError(f"during must be one of {_WINDOWS}, got {during!r}")
+        self.during = during
+
+    def _in_window(self) -> bool:
+        if self.during == "any":
+            return True
+        propagating = self.engine is not None and self.engine.propagating
+        return propagating if self.during == "propagate" else not propagating
+
+    def _site(self, name: str) -> None:
+        raise NotImplementedError
+
+    # -- engine callbacks, one per site --------------------------------------
+    def on_read_start(self, edge: Any) -> None:
+        self._site("read")
+
+    def on_mod_create(self, mod: Any, is_input: bool, recycled: bool) -> None:
+        self._site("mod")
+
+    def on_write(self, dest: Any, value: Any, changed: bool) -> None:
+        self._site("write")
+
+    def on_memo_hit(self, entry: Any) -> None:
+        self._site("memo-hit")
+
+    def on_memo_miss(self, key: Any) -> None:
+        self._site("memo-miss")
+
+    def on_change(self, mod: Any, value: Any, changed: bool) -> None:
+        self._site("change")
+
+    def on_reexec(self, edge: Any) -> None:
+        self._site("reexec")
+
+
+class SiteCounter(_SiteHook):
+    """Count site events inside the window without interfering.
+
+    A probe run with a ``SiteCounter`` enumerates the injectable positions
+    for a later :class:`FaultInjector` with the same ``during`` window.
+    """
+
+    def __init__(self, during: str = "propagate") -> None:
+        super().__init__(during)
+        self.counts: Dict[str, int] = {name: 0 for name in SITES}
+
+    def _site(self, name: str) -> None:
+        if self._in_window():
+            self.counts[name] += 1
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
+class FaultInjector(_SiteHook):
+    """Raise a planted exception at the Nth event of one trace site.
+
+    ``site`` names the trace site (a :data:`SITES` key); ``at`` is the
+    zero-based event index within the window at which to fire.  ``exc``
+    is the exception to raise -- an instance, or a class instantiated
+    with a descriptive message.  One-shot by default (disarms after
+    firing, so recovery and later propagations run clean); with
+    ``repeat=True`` the fault is *persistent* and fires at every event
+    index >= ``at``, which is how you drive recovery itself into the
+    ground (e.g. to test engine poisoning and ``rebuild``).
+
+    ``fired`` counts raises; ``counts`` mirrors :class:`SiteCounter`.
+    """
+
+    def __init__(
+        self,
+        site: str,
+        at: int = 0,
+        exc: Union[BaseException, type] = PlantedFault,
+        *,
+        during: str = "propagate",
+        repeat: bool = False,
+    ) -> None:
+        super().__init__(during)
+        if site not in SITES:
+            raise ValueError(f"unknown site {site!r}; expected one of {sorted(SITES)}")
+        self.site = site
+        self.at = at
+        self.exc = exc
+        self.repeat = repeat
+        self.armed = True
+        self.fired = 0
+        self.counts: Dict[str, int] = {name: 0 for name in SITES}
+
+    def _site(self, name: str) -> None:
+        if not self._in_window():
+            return
+        idx = self.counts[name]
+        self.counts[name] = idx + 1
+        if name != self.site or not self.armed:
+            return
+        if idx == self.at or (self.repeat and idx > self.at):
+            self.fired += 1
+            if not self.repeat:
+                self.armed = False
+            exc = self.exc
+            if isinstance(exc, type):
+                exc = exc(f"planted fault at {name}[{idx}]")
+            raise exc
+
+
+# ----------------------------------------------------------------------
+# The chaos driver
+
+
+class ChaosError(AssertionError):
+    """A chaos scenario produced a wrong output or a corrupt trace."""
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one :func:`chaos_app` sweep."""
+
+    name: str
+    backend: str
+    n: int
+    scenarios: int
+    fired: int
+    #: sites that emitted no events during the probed propagation (nothing
+    #: to inject there for this app/size; reported, not silently dropped).
+    skipped_sites: List[str] = field(default_factory=list)
+    invariant_checks: int = 0
+
+    def __str__(self) -> str:
+        text = (
+            f"chaos {self.name} [{self.backend}] n={self.n}: "
+            f"{self.scenarios} scenarios, {self.fired} faults fired and "
+            f"recovered, {self.invariant_checks} invariant checks"
+        )
+        if self.skipped_sites:
+            text += f" (no events at: {', '.join(self.skipped_sites)})"
+        return text
+
+
+def _positions(count: int, positions: Optional[Sequence[int]]) -> List[int]:
+    if positions is not None:
+        return [p for p in positions if 0 <= p < count]
+    if count == 0:
+        return []
+    # First, middle, last: the boundary positions where cleanup bugs live.
+    return sorted({0, count // 2, count - 1})
+
+
+def chaos_app(
+    app: Any,
+    n: int,
+    *,
+    backend: Optional[str] = None,
+    sites: Sequence[str] = ("read", "mod", "write", "memo-hit"),
+    modes: Sequence[str] = ("rollback", "rebuild"),
+    changes: int = 3,
+    seed: int = 0,
+    positions: Optional[Sequence[int]] = None,
+    check_invariants: bool = True,
+) -> ChaosResult:
+    """Fault-inject one app on one backend and prove it recovers.
+
+    A probe run applies all ``changes`` random edits, counting the trace
+    events each site emits during propagation.  Then, for every ``site``,
+    probed position, and recovery ``mode``, a fresh session replays the
+    exact same run with a one-shot :class:`FaultInjector` planted at that
+    position (the event stream is deterministic, so the fault fires
+    during whichever propagation reaches it); every propagation goes
+    through ``Session.propagate(on_error=mode)``.  The final output must
+    match both a from-scratch rerun of the same compiled program (the
+    oracle) and the app's reference function, with the trace passing the
+    structural invariant check.
+
+    Returns a :class:`ChaosResult`; raises :class:`ChaosError` on any
+    divergence.  Deterministic in ``seed``.
+    """
+    from repro.api import Session, values_close  # deferred: api imports obs lazily
+
+    from repro.apps import REGISTRY
+
+    if isinstance(app, str):
+        app = REGISTRY[app]
+    for site in sites:
+        if site not in SITES:
+            raise ValueError(f"unknown site {site!r}")
+
+    # Probe: enumerate the injectable positions over all propagations.
+    rng = random.Random(seed)
+    data = app.make_data(n, rng)
+    counter = SiteCounter(during="propagate")
+    probe = Session(app, backend=backend, hook=counter)
+    probe.run(data=data)
+    for step in range(changes):
+        app.apply_change(probe.handle, rng, step)
+        probe.propagate()
+    counts = dict(counter.counts)
+    resolved_backend = probe.backend
+
+    scenarios = fired = invariant_checks = 0
+    skipped = [site for site in sites if not _positions(counts[site], positions)]
+
+    for site in sites:
+        for at in _positions(counts[site], positions):
+            for mode in modes:
+                scenarios += 1
+                # Replay the exact same run: same seed, data, change stream.
+                rng = random.Random(seed)
+                data = app.make_data(n, rng)
+                checker = InvariantChecker() if check_invariants else None
+                injector = FaultInjector(site, at=at)
+                hooks: List[TraceHook] = [h for h in (checker, injector) if h]
+                session = Session(app, backend=backend, hook=FanoutHook(hooks))
+                session.run(data=data)
+
+                for step in range(changes):
+                    app.apply_change(session.handle, rng, step)
+                    stats = session.propagate(on_error=mode)
+                    if stats.path != "propagate":
+                        fired += 1
+                    if stats.path == "rollback":
+                        # Rollback left the edit re-staged; the fault was
+                        # one-shot, so applying it now succeeds.
+                        session.propagate()
+
+                scenario = (
+                    f"{app.name} [{resolved_backend}] site={site} at={at} "
+                    f"mode={mode} seed={seed}"
+                )
+                current = app.handle_data(session.handle)
+                got = app.readback(session.output)
+                scratch = Session(session.program, backend=session.backend)
+                scratch.app = app
+                oracle = app.readback(scratch.run(data=current))
+                if not values_close(got, oracle):
+                    raise ChaosError(
+                        f"chaos {scenario}: output diverges from a "
+                        f"from-scratch rerun\n  recovered:    {got!r}\n"
+                        f"  from scratch: {oracle!r}"
+                    )
+                expected = app.reference(current)
+                if not values_close(got, expected):
+                    raise ChaosError(
+                        f"chaos {scenario}: output diverges from reference\n"
+                        f"  recovered: {got!r}\n  expected:  {expected!r}"
+                    )
+                check_trace(session.engine, expect_empty_queue=True)
+                if checker is not None:
+                    invariant_checks += checker.total_checks()
+
+    return ChaosResult(
+        name=app.name,
+        backend=resolved_backend,
+        n=n,
+        scenarios=scenarios,
+        fired=fired,
+        skipped_sites=skipped,
+        invariant_checks=invariant_checks,
+    )

@@ -181,6 +181,7 @@ class InvariantChecker(TraceHook):
             "queue_order": 0,
             "read_nesting": 0,
             "full_trace": 0,
+            "abort_trace": 0,
         }
         self.last_report: Optional[TraceCheckReport] = None
         self._last_popped: Any = None
@@ -246,3 +247,15 @@ class InvariantChecker(TraceHook):
                 self.engine, expect_quiescent=True, expect_empty_queue=True
             )
             self.checks["full_trace"] += 1
+
+    def on_reexec_abort(self, edge: Any, exc: BaseException, consistent: bool) -> None:
+        """After a transactional abort the trace must be structurally whole
+        again -- quiescent intervals, but with the failing edge (and any
+        remaining work) still queued."""
+        self._last_popped = None
+        self._open_reads.clear()
+        if consistent and self.check_every_propagation:
+            self.last_report = check_trace(
+                self.engine, expect_quiescent=True, expect_empty_queue=False
+            )
+            self.checks["abort_trace"] += 1

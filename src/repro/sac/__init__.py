@@ -21,8 +21,11 @@ Typical direct use::
 
 from repro.sac.engine import Batch, Engine
 from repro.sac.exceptions import (
+    EnginePoisonedError,
     PropagationBudgetExceeded,
     PropagationError,
+    RecursionReexecutionError,
+    ReexecutionError,
     SacError,
     WriteOutsideModError,
 )
@@ -33,11 +36,14 @@ from repro.sac.order import Order, Stamp
 __all__ = [
     "Batch",
     "Engine",
+    "EnginePoisonedError",
     "Meter",
     "Modifiable",
     "Order",
     "PropagationBudgetExceeded",
     "PropagationError",
+    "RecursionReexecutionError",
+    "ReexecutionError",
     "SacError",
     "Stamp",
     "WriteOutsideModError",

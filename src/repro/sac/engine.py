@@ -33,9 +33,13 @@ import time
 from typing import Any, Callable, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sac.exceptions import (
+    EnginePoisonedError,
     PropagationBudgetExceeded,
     PropagationError,
     ReadOutsideModError,
+    RecursionReexecutionError,
+    ReexecutionError,
+    SacError,
     UnwrittenModError,
 )
 from repro.sac.meter import Meter
@@ -90,14 +94,23 @@ class Engine:
 
     #: Self-adjusting programs nest reader closures deeply (one level per
     #: list cell); CPython 3.11+ keeps pure-Python frames on the heap, so a
-    #: high recursion limit is safe.
+    #: high recursion limit is safe.  Override with the
+    #: ``REPRO_RECURSION_LIMIT`` environment variable (deeper inputs need
+    #: more; a :class:`RecursionReexecutionError` names the variable when
+    #: the limit is hit anyway).
     RECURSION_LIMIT = 600_000
 
     def __init__(self) -> None:
+        import os
         import sys
 
-        if sys.getrecursionlimit() < self.RECURSION_LIMIT:
-            sys.setrecursionlimit(self.RECURSION_LIMIT)
+        limit = self.RECURSION_LIMIT
+        env_limit = os.environ.get("REPRO_RECURSION_LIMIT")
+        if env_limit:
+            limit = int(env_limit)
+        self.recursion_limit = limit
+        if sys.getrecursionlimit() < limit:
+            sys.setrecursionlimit(limit)
         self.alloc_table: dict = {}
         self.order = Order()
         self.now: Stamp = self.order.base
@@ -115,6 +128,16 @@ class Engine:
         #: dead memo entries still occupying table buckets; when this
         #: outgrows the live population, :meth:`compact` sweeps the tables.
         self._dead_memo_entries = 0
+        #: poisoning reason, or None while the engine is healthy.  Set when
+        #: failure cleanup could not restore a consistent trace; every
+        #: public operation then raises :class:`EnginePoisonedError`.
+        self._poison: Optional[str] = None
+        #: journal of ``(mod, old_value)`` pairs for every effective input
+        #: edit staged since the last *complete* propagation; consumed by
+        #: :meth:`rollback` to restore the last-good state after a failed
+        #: propagation.
+        self._edit_log: List[Tuple[Modifiable, Any]] = []
+        self._journal_enabled = True
         #: floor before automatic compaction is considered at all (small
         #: computations never pay a sweep).
         self.compact_threshold = 64
@@ -137,6 +160,60 @@ class Engine:
             hook.on_attach(self)
 
     # ------------------------------------------------------------------
+    # Failure model: poisoning and recovery (see DESIGN.md Section 7)
+
+    @property
+    def poisoned(self) -> bool:
+        """Whether the engine has been poisoned (see :meth:`poison`)."""
+        return self._poison is not None
+
+    def poison(self, reason: str) -> None:
+        """Mark the engine unusable: the trace can no longer be trusted.
+
+        Called by the engine itself when failure cleanup cannot restore a
+        consistent trace (and available to hosts that detect external
+        corruption).  Afterwards every public operation raises
+        :class:`EnginePoisonedError`; the only way forward is a rebuild on
+        a fresh engine (``Session.propagate(on_error="rebuild")``).
+        """
+        if self._poison is None:
+            self._poison = reason
+            if self.hook is not None:
+                try:
+                    self.hook.on_poison(reason)
+                except Exception:  # the hook must not mask the poisoning
+                    pass
+
+    def _check_usable(self) -> None:
+        if self._poison is not None:
+            raise EnginePoisonedError(
+                f"engine is poisoned and refuses further work: {self._poison}",
+                reason=self._poison,
+            )
+
+    def truncate_after(self, checkpoint: Stamp) -> bool:
+        """Delete all trace after ``checkpoint`` and restore the cursor.
+
+        The recovery primitive behind transactional initial runs: take
+        ``checkpoint = engine.now`` before running new computation; if the
+        run raises, ``truncate_after(checkpoint)`` retracts everything the
+        partial run recorded, leaving the engine exactly as it was.
+        Returns True when the cleanup succeeded; on an internal failure the
+        engine poisons itself and returns False (never raises, so callers
+        can re-raise the run's original exception).
+        """
+        try:
+            self._delete_range(checkpoint, None)
+            self.now = checkpoint
+            self.meter.run_aborts += 1
+            return True
+        except BaseException as exc:  # cleanup itself failed: poison
+            self.poison(
+                f"trace truncation after a failed run raised {exc!r}"
+            )
+            return False
+
+    # ------------------------------------------------------------------
     # Trace construction primitives
 
     def _advance(self) -> Stamp:
@@ -150,6 +227,7 @@ class Engine:
         Inputs are created outside the traced computation; change them with
         :meth:`change` and then call :meth:`propagate`.
         """
+        self._check_usable()
         self.meter.mods_created += 1
         mod = Modifiable(value)
         if self.hook is not None:
@@ -161,18 +239,32 @@ class Engine:
 
         ``comp`` receives the destination and must finish with a
         :meth:`write` to it (possibly inside nested reads).
+
+        An *outermost* ``mod`` (no enclosing mod and not inside change
+        propagation) is transactional: if ``comp`` raises, the partial
+        trace it recorded is truncated back to the pre-call checkpoint
+        before the exception propagates, so a failed initial run leaves
+        the engine exactly as it was.  Failures inside propagation are
+        handled by :meth:`propagate`'s transactional re-execution instead.
         """
+        self._check_usable()
         dest = Modifiable()
         self.meter.mods_created += 1
         if self.hook is not None:
             self.hook.on_mod_create(dest, False, False)
+        outermost = self._mod_depth == 0 and self._reexec_depth == 0
+        checkpoint = self.now if outermost else None
         self._mod_depth += 1
         try:
             comp(dest)
+            if dest.value is UNWRITTEN:
+                raise UnwrittenModError("mod body finished without writing")
+        except BaseException:
+            if outermost:
+                self.truncate_after(checkpoint)
+            raise
         finally:
             self._mod_depth -= 1
-        if dest.value is UNWRITTEN:
-            raise UnwrittenModError("mod body finished without writing")
         return dest
 
     def read(self, mod: Modifiable, reader: Callable[[Any], None]) -> None:
@@ -229,14 +321,23 @@ class Engine:
         observed.  Outside any run it is an input change: all readers
         become dirty.
         """
+        self._check_usable()
         self.meter.writes += 1
         if dest.value is not UNWRITTEN and _values_equal(dest.value, value):
             if self.hook is not None:
                 self.hook.on_impwrite(dest, value, False, 0)
             return
+        inside_run = self._mod_depth > 0 or self._reexec_depth > 0
+        if (
+            self._journal_enabled
+            and not inside_run
+            and dest.value is not UNWRITTEN
+        ):
+            # An imperative write outside any run is an input edit; journal
+            # it so rollback can restore the last-good state.
+            self._edit_log.append((dest, dest.value))
         dest.value = value
         self.meter.changed_writes += 1
-        inside_run = self._mod_depth > 0 or self._reexec_depth > 0
         now_label = self.now.label
         dirtied = 0
         for edge in list(dest.readers):
@@ -278,7 +379,14 @@ class Engine:
         an instance identifier); when a live allocation outside the reuse
         zone already holds the key, a fresh modifiable is allocated instead,
         which is always sound.
+
+        Like :meth:`mod`, an outermost ``keyed_mod`` is transactional: a
+        raising ``comp`` truncates the partial trace (including this
+        call's allocation stamp) back to the pre-call checkpoint.
         """
+        self._check_usable()
+        outermost = self._mod_depth == 0 and self._reexec_depth == 0
+        checkpoint = self.now if outermost else None
         dest: Optional[Modifiable] = None
         entry = self.alloc_table.get(key)
         if entry is not None:
@@ -301,10 +409,14 @@ class Engine:
         self._mod_depth += 1
         try:
             comp(dest)
+            if dest.value is UNWRITTEN:
+                raise UnwrittenModError("keyed_mod body finished without writing")
+        except BaseException:
+            if outermost:
+                self.truncate_after(checkpoint)
+            raise
         finally:
             self._mod_depth -= 1
-        if dest.value is UNWRITTEN:
-            raise UnwrittenModError("keyed_mod body finished without writing")
         return dest
 
     # ------------------------------------------------------------------
@@ -318,6 +430,7 @@ class Engine:
         result returned without recomputation.  Otherwise ``thunk`` runs and
         its interval and result are recorded.
         """
+        self._check_usable()
         entries = self.memo_table.get(key)
         if entries is not None:
             live: List[MemoEntry] = []
@@ -378,11 +491,18 @@ class Engine:
         (``Session.edit`` and the ``ModList`` handles): stage the change,
         report the dirtied reads, and leave propagation to an explicit
         :meth:`propagate` call or an enclosing :meth:`batch`.
+
+        Every effective edit is journaled until the next complete
+        propagation, so :meth:`rollback` can restore the last-good input
+        state after a failed propagation.
         """
+        self._check_usable()
         if _values_equal(mod.value, value):
             if self.hook is not None:
                 self.hook.on_change(mod, value, False)
             return 0
+        if self._journal_enabled:
+            self._edit_log.append((mod, mod.value))
         mod.value = value
         if self._batch_depth:
             self._batch_changes += 1
@@ -450,7 +570,19 @@ class Engine:
         so a later ``propagate`` resumes where this one stopped.  The
         limits guard long-lived instances against pathological edit
         sequences that would otherwise propagate for unbounded time.
+
+        Re-execution is *transactional*: if a reader raises, the engine
+        splices the edge's whole interval back out (the partially rebuilt
+        new trace together with the not-yet-reused old trace), restores
+        the cursor, re-queues the edge as dirty, and raises a
+        :class:`ReexecutionError` (a :class:`RecursionReexecutionError`
+        for stack overflows) wrapping the original exception.  The trace
+        stays structurally consistent -- retry, :meth:`rollback`, or
+        rebuild -- unless the abort cleanup itself fails, in which case
+        the engine poisons itself (``consistent=False`` on the error) and
+        refuses further work with :class:`EnginePoisonedError`.
         """
+        self._check_usable()
         if self._batch_depth:
             raise PropagationError("propagate called inside an open batch()")
         if self.propagating:
@@ -494,22 +626,157 @@ class Engine:
                 self.reuse_limit = edge.end
                 self._reexec_depth += 1
                 try:
-                    edge.reader(edge.mod.value)
-                finally:
-                    self._reexec_depth -= 1
-                # Discard whatever old trace was neither re-created nor
-                # spliced, then restore the cursor.
-                self._delete_range(self.now, edge.end)
+                    try:
+                        edge.reader(edge.mod.value)
+                    finally:
+                        self._reexec_depth -= 1
+                    # Discard whatever old trace was neither re-created
+                    # nor spliced.  Inside the protected region: skipping
+                    # this splice-out would silently corrupt the DDG, so a
+                    # failure here must go through the same abort path.
+                    self._delete_range(self.now, edge.end)
+                except BaseException as exc:
+                    wrapped = self._abort_reexec(
+                        edge, exc, saved_now, saved_limit, reexecuted
+                    )
+                    if wrapped is None:
+                        raise  # KeyboardInterrupt & co: cleaned up, re-raise
+                    raise wrapped from exc
                 self.now, self.reuse_limit = saved_now, saved_limit
                 reexecuted += 1
                 meter.edges_reexecuted += 1
         finally:
             self.propagating = False
+        # A complete pass leaves the outputs consistent with all inputs:
+        # this is the new last-good state, so the rollback journal resets.
+        self._edit_log = []
         if hook is not None:
             hook.on_propagate_end(reexecuted)
         if self._compaction_due():
             self.compact()
         return reexecuted
+
+    def _abort_reexec(
+        self,
+        edge: ReadEdge,
+        exc: BaseException,
+        saved_now: Stamp,
+        saved_limit: Optional[Stamp],
+        reexecuted: int,
+    ) -> Optional[ReexecutionError]:
+        """Transactional abort of one failed re-execution.
+
+        Splices the edge's whole interval out (partial new trace and
+        unreused old trace alike), restores the cursor and reuse zone, and
+        re-queues the edge as dirty so the failed work stays staged.  If
+        the cleanup itself fails the engine is poisoned instead.
+
+        Returns the typed :class:`ReexecutionError` to raise, or None when
+        ``exc`` is not an :class:`Exception` (KeyboardInterrupt and
+        friends): those are cleaned up after but re-raised unchanged.
+        """
+        self.meter.reexec_aborts += 1
+        consistent = True
+        try:
+            self._delete_range(edge.start, edge.end)
+            self.now, self.reuse_limit = saved_now, saved_limit
+            if not edge.dead and not edge.dirty:
+                edge.dirty = True
+                heapq.heappush(self.queue, edge)
+        except BaseException as cleanup_exc:
+            consistent = False
+            self.poison(
+                f"abort cleanup after a failed re-execution raised "
+                f"{cleanup_exc!r} (original reader error: {exc!r})"
+            )
+        if self.hook is not None:
+            self.hook.on_reexec_abort(edge, exc, consistent)
+        if not isinstance(exc, Exception):
+            return None
+        pending = len(self.queue)
+        if isinstance(exc, RecursionError):
+            return RecursionReexecutionError(
+                f"re-execution of {edge!r} overflowed the interpreter "
+                f"stack; self-adjusting readers nest one Python frame per "
+                f"traced cell, so deep inputs need a recursion limit above "
+                f"the current {self.recursion_limit} (set "
+                f"REPRO_RECURSION_LIMIT) or a smaller input",
+                edge=edge,
+                original=exc,
+                consistent=consistent,
+                reexecuted=reexecuted,
+                pending=pending,
+            )
+        verdict = (
+            "the stale interval was spliced out and the edge re-queued"
+            if consistent
+            else "abort cleanup failed and the engine is now poisoned"
+        )
+        return ReexecutionError(
+            f"re-execution of {edge!r} raised "
+            f"{type(exc).__name__}: {exc}; {verdict}",
+            edge=edge,
+            original=exc,
+            consistent=consistent,
+            reexecuted=reexecuted,
+            pending=pending,
+        )
+
+    def rollback(self) -> Tuple[int, int, int]:
+        """Recover from a failed propagation by restoring the last-good
+        state, then re-staging the edits.
+
+        Uses the journal of input edits staged since the last complete
+        propagation: each edited modifiable is restored to its last-good
+        value (in reverse edit order) and a recovery propagation re-runs
+        every affected read -- including the re-queued failing edge, now
+        with its old input again -- bringing the outputs back to the state
+        before the edits.  The edits are then re-applied, *staged but not
+        propagated*, so the host can fix the environment and propagate
+        again (or inspect/abandon the edits).
+
+        Returns ``(undone, recovery_reexecuted, restaged)``: journal
+        entries undone, reads re-executed by the recovery propagation, and
+        edits re-staged (one per touched modifiable whose edited value
+        differs from its last-good value).  If the recovery propagation
+        itself fails, the last-good state is unreachable and the engine
+        poisons itself before re-raising.
+        """
+        self._check_usable()
+        if self.propagating:
+            raise PropagationError("rollback called during propagation")
+        if self._batch_depth:
+            raise PropagationError("rollback called inside an open batch()")
+        journal = self._edit_log
+        self._edit_log = []
+        # Redo plan: the current (edited) value of each touched modifiable,
+        # in first-edit order, captured before the undo overwrites them.
+        redo = []
+        seen = set()
+        for mod, _old in journal:
+            if id(mod) not in seen:
+                seen.add(id(mod))
+                redo.append((mod, mod.value))
+        self.meter.rollbacks += 1
+        self._journal_enabled = False
+        try:
+            for mod, old in reversed(journal):
+                self.change(mod, old)
+            try:
+                recovery_reexecuted = self.propagate()
+            except SacError as exc:
+                self.poison(f"rollback recovery propagation failed: {exc!r}")
+                raise
+        finally:
+            self._journal_enabled = True
+        restaged = 0
+        for mod, new in redo:
+            if not _values_equal(mod.value, new):
+                self.change(mod, new)
+                restaged += 1
+        if self.hook is not None:
+            self.hook.on_rollback(len(journal), recovery_reexecuted, restaged)
+        return len(journal), recovery_reexecuted, restaged
 
     # ------------------------------------------------------------------
     # Trace compaction
@@ -544,6 +811,7 @@ class Engine:
         cheap to call explicitly.  Returns ``{"memo": ..., "alloc": ...}``
         counts of removed entries.
         """
+        self._check_usable()
         memo_removed = 0
         if self._dead_memo_entries:
             for key in list(self.memo_table):
@@ -668,6 +936,7 @@ class Batch:
 
     def __enter__(self) -> "Batch":
         engine = self.engine
+        engine._check_usable()
         if engine._batch_depth == 0:
             engine._batch_changes = 0
             if engine.hook is not None:
@@ -685,9 +954,17 @@ class Batch:
             return False
         self.changed = engine._batch_changes
         engine.meter.batches += 1
-        self.reexecuted = engine.propagate(
-            budget=self.budget, deadline=self.deadline
-        )
+        try:
+            self.reexecuted = engine.propagate(
+                budget=self.budget, deadline=self.deadline
+            )
+        except (PropagationBudgetExceeded, ReexecutionError) as prop_exc:
+            # The closing propagation stopped early: record the partial
+            # re-execution count before re-raising.  The staged edits (and
+            # any re-queued failing edge) survive in the dirty queue, so a
+            # later propagate resumes or retries them.
+            self.reexecuted = prop_exc.reexecuted
+            raise
         if engine.hook is not None:
             engine.hook.on_batch_end(self.changed, self.reexecuted)
         return False

@@ -29,6 +29,16 @@ class Meter:
     queue_drained: int = 0
     #: coalesced edit groups propagated via ``Engine.batch``/``change_many``.
     batches: int = 0
+    #: re-executions aborted because the reader raised; each abort spliced
+    #: the edge's interval back out and re-queued the edge (see
+    #: :class:`repro.sac.exceptions.ReexecutionError`).
+    reexec_aborts: int = 0
+    #: ``Engine.rollback`` recoveries (undo staged edits, propagate back to
+    #: the last-good state, re-stage).
+    rollbacks: int = 0
+    #: failed initial runs whose partial trace was truncated back to the
+    #: pre-run checkpoint (transactional ``mod`` / ``Session.run``).
+    run_aborts: int = 0
     #: trace-compaction passes and the table entries they reclaimed.
     compactions: int = 0
     memo_entries_compacted: int = 0

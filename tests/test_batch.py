@@ -129,3 +129,74 @@ def test_trace_size_bounded_over_many_batched_edits():
         session.engine.compact_threshold, live
     )
     assert session.engine.meter.compactions > 0
+
+
+# ----------------------------------------------------------------------
+# Batch exception guarantees (DESIGN.md Section 7)
+
+
+def test_batch_records_partial_reexecuted_on_budget():
+    """The closing propagate overrunning its budget must still record the
+    partial re-execution count on the batch object before re-raising."""
+    from repro.api import PropagationBudgetExceeded
+
+    app = REGISTRY["msort"]
+    rng = random.Random(5)
+    session = Session(app, backend="interp")
+    output = session.run(data=app.make_data(24, rng))
+
+    with pytest.raises(PropagationBudgetExceeded) as exc_info:
+        with session.batch(budget=1) as b:
+            for step in range(3):
+                app.apply_change(session.handle, rng, step)
+    assert b.reexecuted == exc_info.value.reexecuted == 1
+    assert b.changed >= 1  # the edit count was recorded too
+
+    # The staged work survives: an unbounded propagate finishes the pass.
+    session.propagate()
+    assert app.readback(output) == app.reference(app.handle_data(session.handle))
+
+
+def test_batch_records_partial_reexecuted_on_reader_failure():
+    """Same guarantee when the closing propagate aborts on a raising
+    reader: partial count recorded, failing edge still staged."""
+    from repro.obs.faults import FaultInjector
+    from repro.sac import ReexecutionError
+
+    app = REGISTRY["msort"]
+    rng = random.Random(5)
+    injector = FaultInjector("write", at=2)
+    session = Session(app, backend="interp", hook=injector)
+    output = session.run(data=app.make_data(24, rng))
+
+    with pytest.raises(ReexecutionError) as exc_info:
+        with session.batch() as b:
+            for step in range(3):
+                app.apply_change(session.handle, rng, step)
+    assert b.reexecuted == exc_info.value.reexecuted
+    assert exc_info.value.pending > 0
+
+    # The injector is one-shot: retrying converges on the edited data.
+    session.propagate()
+    assert app.readback(output) == app.reference(app.handle_data(session.handle))
+
+
+def test_staged_edits_survive_batch_body_exception():
+    """An exception inside the batch body skips the closing propagation
+    but keeps the staged edits in the dirty queue."""
+    app = REGISTRY["map"]
+    rng = random.Random(5)
+    session = Session(app, backend="interp")
+    output = session.run(data=list(range(8)))
+    before = app.readback(output)
+
+    with pytest.raises(RuntimeError, match="host bug"):
+        with session.batch():
+            app.apply_change(session.handle, rng, 0)
+            raise RuntimeError("host bug")
+    # Nothing propagated at scope exit...
+    assert app.readback(output) == before
+    assert len(session.engine.queue) > 0
+    # ...but the edit is staged, not lost: propagate applies it.
+    session.propagate()
+    assert app.readback(output) == app.reference(app.handle_data(session.handle))
