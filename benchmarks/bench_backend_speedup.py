@@ -7,9 +7,17 @@ timing difference is pure dispatch cost: AST ``isinstance`` ladders and
 slot-indexed frames on the compiled side.
 
 Claims checked at the default sizes: the compiled backend's initial msort
-run is at least 2x faster at n=64, and change propagation is never slower.
+run is at least 1.4x faster at n=64, and change propagation is never
+slower.  (The edge was ~2.3x before the engine hot-path overhaul; the
+interpreter's operator-table primitive dispatch and inlined variable
+lookups closed part of the gap from below, which is the desired outcome --
+the absolute times of *both* backends dropped.)
 ``REPRO_BACKEND_SIZES`` overrides the sizes (e.g. "32 64" for a CI smoke
 run); the claims are only asserted at the defaults.
+``REPRO_BENCH_REPEAT`` overrides the number of timing attempts per
+configuration; the headline table reports the per-size minimum and the
+spread table below it reports min/median/stddev so noisy runs are visible
+in the checked-in results.
 """
 
 import os
@@ -18,15 +26,15 @@ from repro.apps import REGISTRY
 from repro.api import measure_app
 from repro.bench import format_series
 
-from _util import emit, once
+from _util import bench_repeat, emit, format_spread_rows, once
 
 _SIZES_ENV = os.environ.get("REPRO_BACKEND_SIZES")
 SIZES = [int(s) for s in (_SIZES_ENV or "32 64 128").split()]
 _SMOKE = _SIZES_ENV is not None
 
-#: Timing attempts per (backend, n); the minimum is reported, which is the
-#: standard defense against scheduler noise on shared machines.
-ATTEMPTS = 5
+#: Timing attempts per (backend, n); the minimum is the headline number,
+#: the standard defense against scheduler noise on shared machines.
+ATTEMPTS = bench_repeat(5)
 
 
 def _measure(backend):
@@ -39,8 +47,8 @@ def _measure(backend):
         for _ in range(ATTEMPTS)
     ]
     rows = tries[0]
-    runs = [min(t[i].sa_run for t in tries) for i in range(len(SIZES))]
-    props = [min(t[i].avg_prop for t in tries) for i in range(len(SIZES))]
+    runs = [[t[i].sa_run for t in tries] for i in range(len(SIZES))]
+    props = [[t[i].avg_prop for t in tries] for i in range(len(SIZES))]
     return rows, runs, props
 
 
@@ -60,21 +68,33 @@ def test_backend_speedup_msort(benchmark, capsys):
         assert i.trace_size == c.trace_size
 
     series = {
-        "interp run (s)": interp_runs,
-        "compiled run (s)": compiled_runs,
-        "run speedup": [i / c for i, c in zip(interp_runs, compiled_runs)],
-        "interp prop (s)": interp_props,
-        "compiled prop (s)": compiled_props,
-        "prop speedup": [i / c for i, c in zip(interp_props, compiled_props)],
+        "interp run (s)": [min(s) for s in interp_runs],
+        "compiled run (s)": [min(s) for s in compiled_runs],
+        "run speedup": [
+            min(i) / min(c) for i, c in zip(interp_runs, compiled_runs)
+        ],
+        "interp prop (s)": [min(s) for s in interp_props],
+        "compiled prop (s)": [min(s) for s in compiled_props],
+        "prop speedup": [
+            min(i) / min(c) for i, c in zip(interp_props, compiled_props)
+        ],
     }
     text = format_series(
         "Backend speedup: msort, interp vs closure-compiled", SIZES, series
     )
 
+    spread_rows = {}
+    for i, n in enumerate(SIZES):
+        spread_rows[f"interp prop n={n}"] = interp_props[i]
+        spread_rows[f"compiled prop n={n}"] = compiled_props[i]
+    text += "\n\n" + format_spread_rows(
+        f"Timing spread over {ATTEMPTS} attempt(s)", spread_rows
+    )
+
     if not _SMOKE:
         at64 = SIZES.index(64)
-        assert series["run speedup"][at64] >= 2.0, (
-            "compiled backend lost its 2x initial-run edge at n=64: "
+        assert series["run speedup"][at64] >= 1.4, (
+            "compiled backend lost its initial-run edge at n=64: "
             f"{series['run speedup'][at64]:.2f}x"
         )
         assert all(s >= 1.0 for s in series["prop speedup"]), (

@@ -10,6 +10,7 @@ Usage::
     python -m repro verify <app> [-n N] [--changes K]   # Section 4.3 check
     python -m repro trace <app> [-n N] [--changes K] [--out DIR]
     python -m repro chaos <app> [-n N] [--site S] [--mode M]  # fault inject
+    python -m repro profile <app> [-n N] [--changes K]  # engine hot-path profile
     python -m repro apps                           # list benchmark apps
 
 The ``verify`` subcommand runs the paper's random-change correctness
@@ -29,11 +30,17 @@ The ``chaos`` subcommand exercises the failure model (DESIGN.md
 Section 7): it plants deterministic exceptions at trace sites during
 change propagation, recovers via ``Session.propagate(on_error=...)``,
 and checks the recovered output against a from-scratch oracle.
+
+The ``profile`` subcommand runs an app end to end and reports per-phase
+wall time and meter deltas, the engine's order-maintenance / dirty-queue /
+free-list statistics, the intern table profile, and (by default) the top
+propagation call sites by internal time.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 
@@ -222,6 +229,28 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.apps import REGISTRY
+    from repro.obs.profile import profile_app
+
+    if args.app not in REGISTRY:
+        print(f"error: unknown app {args.app!r}; see `python -m repro apps`",
+              file=sys.stderr)
+        return 1
+    report = profile_app(
+        args.app,
+        n=args.n,
+        changes=args.changes,
+        seed=args.seed,
+        backend=args.backend,
+        top=args.top,
+        callsites=not args.no_callsites,
+        events=args.events,
+    )
+    print(report.format())
+    return 0
+
+
 def _cmd_apps(_args: argparse.Namespace) -> int:
     from repro.apps import REGISTRY
 
@@ -326,11 +355,42 @@ def main(argv=None) -> int:
     )
     p_chaos.set_defaults(fn=_cmd_chaos)
 
+    p_profile = sub.add_parser(
+        "profile",
+        help="per-phase engine profile: wall time, meter deltas, order/"
+             "queue/pool statistics, top propagation call sites",
+    )
+    p_profile.add_argument("app")
+    p_profile.add_argument("-n", type=int, default=64, help="input size")
+    p_profile.add_argument("--changes", type=int, default=8,
+                           help="random changes to propagate (default 8)")
+    p_profile.add_argument("--seed", type=int, default=0)
+    p_profile.add_argument("--top", type=int, default=10,
+                           help="call sites to list (default 10)")
+    p_profile.add_argument("--no-callsites", action="store_true",
+                           help="skip cProfile over the propagation phase")
+    p_profile.add_argument("--events", action="store_true",
+                           help="attach an event log and report per-phase "
+                                "event counts (disables record pooling)")
+    p_profile.add_argument(
+        "--backend", choices=["interp", "compiled"], default=None,
+        help="self-adjusting execution backend (default: $REPRO_BACKEND, "
+             "else interp)",
+    )
+    p_profile.set_defaults(fn=_cmd_profile)
+
     p_apps = sub.add_parser("apps", help="list the bundled benchmark apps")
     p_apps.set_defaults(fn=_cmd_apps)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit quietly.  Detach
+        # stdout so the interpreter's shutdown flush cannot raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -2,7 +2,7 @@
 
 Everything a host needs to run an LML program incrementally used to be
 scattered over three modules with three backend-selection mechanisms
-(``App.instance``, ``repro.testing.verify_app``,
+(``App.instance``, the old ``repro.testing.verify_app``,
 ``CompiledProgram.self_adjusting_instance``).  :class:`Session` is now the
 single entry point::
 
@@ -33,9 +33,9 @@ of read edges it dirtied; propagation is always an explicit
 
 This module also hosts the canonical verification
 (:func:`verify_app`, :func:`oracle_app`) and measurement
-(:func:`measure_app`) drivers, reimplemented on top of ``Session``; their
-old homes in :mod:`repro.testing` and :mod:`repro.bench.runner` remain as
-deprecation shims.
+(:func:`measure_app`) drivers, reimplemented on top of ``Session``.  (Their
+old homes, ``repro.testing`` and ``repro.bench.runner.measure_app``, were
+deprecation shims for two releases and have been removed.)
 """
 
 from __future__ import annotations

@@ -7,7 +7,7 @@
 * :mod:`repro.bench.report` -- paper-style table and series formatting.
 """
 
-from repro.bench.runner import BenchRow, measure_app, measure_handwritten
+from repro.bench.runner import BenchRow, measure_handwritten
 from repro.bench.report import (
     format_normalized,
     format_phases,
@@ -21,6 +21,5 @@ __all__ = [
     "format_phases",
     "format_series",
     "format_table",
-    "measure_app",
     "measure_handwritten",
 ]

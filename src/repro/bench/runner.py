@@ -23,7 +23,6 @@ from __future__ import annotations
 import gc
 import random
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -82,24 +81,6 @@ def _timed(fn: Callable[[], Any], gc_enabled: bool) -> float:
     finally:
         if not gc_enabled and was_enabled:
             gc.enable()
-
-
-def measure_app(*args, **kwargs) -> BenchRow:
-    """Deprecated: use :func:`repro.api.measure_app`.
-
-    The measurement driver now lives in :mod:`repro.api`, rebuilt on top of
-    :class:`repro.api.Session` (and gaining the ``batch=`` axis); this shim
-    delegates after emitting a :class:`DeprecationWarning`.
-    """
-    warnings.warn(
-        "repro.bench.runner.measure_app is deprecated; use "
-        "repro.api.measure_app",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from repro.api import measure_app as _measure_app
-
-    return _measure_app(*args, **kwargs)
 
 
 def measure_handwritten(

@@ -55,8 +55,8 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core import sxml as S
 from repro.interp.builtins import BUILTIN_IMPLS, BuiltinFn, eval_prim
-from repro.interp.values import ConValue, LmlRuntimeError, MatchFailure
-from repro.sac.api import IdKey, memo_key
+from repro.interp.values import ConValue, LmlRuntimeError, MatchFailure, intern_con
+from repro.sac.api import memo_key
 from repro.sac.engine import Engine
 from repro.sac.modifiable import Modifiable
 
@@ -83,7 +83,9 @@ class CompClosure:
         self.name = name
 
     def memo_key(self) -> Any:
-        return IdKey(self)
+        # Identity key; the closure is its own key (default object hash/eq),
+        # saving a wrapper allocation per memo lookup.
+        return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<compiled closure {self.name or 'fn'}>"
@@ -328,15 +330,13 @@ class _Stager:
                 # key equals what generic ``memo_key`` would build, so memo
                 # hits and misses match the interpreting backend exactly.
                 fn = gf(f)
-                kf = IdKey(fn) if type(fn) is CompClosure else memo_key(fn)
+                kf = fn if type(fn) is CompClosure else memo_key(fn)
                 arg = ga(f)
                 ta = type(arg)
-                if ta is Modifiable:
-                    ka = IdKey(arg)
+                if ta is Modifiable or ta is int or ta is str or ta is bool:
+                    ka = arg
                 elif ta is ConValue:
                     ka = arg.memo_key()
-                elif ta is int or ta is str or ta is float or ta is bool:
-                    ka = arg
                 else:
                     ka = memo_key(arg)
                 return engine_memo((kf, ka), partial(rt_apply, fn, arg))
@@ -360,12 +360,10 @@ class _Stager:
             tag = b.tag
             if b.args:
                 g = self.atom(b.args[0], sc)
-                return lambda f: ConValue(tag, g(f))
-            # Nullary constructors are immutable: share one value.  Both
-            # memoization and write cutoffs compare them structurally, so
-            # sharing is indistinguishable from the interpreter's fresh
-            # allocation per evaluation.
-            nullary = ConValue(tag)
+                return lambda f: intern_con(tag, g(f))
+            # Nullary constructors are canonical singletons via the intern
+            # table (shared with the interpreting backend).
+            nullary = intern_con(tag)
             return lambda f: nullary
         if t is S.BLam:
             return self.lam(b, sc)

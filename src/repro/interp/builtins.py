@@ -15,9 +15,29 @@ and 4.1); a left fold would re-execute O(n) combines per change.
 from __future__ import annotations
 
 import math
+import operator
 from typing import Any, Callable, Dict, Tuple
 
 from repro.interp.values import LmlRuntimeError
+
+
+#: Direct two-argument implementations for the primitives with no
+#: error-path of their own (division-likes keep their zero checks in
+#: :func:`eval_prim`).  Interpreters dispatch through this table to skip
+#: the string ladder and the argument-list allocation on the hot path.
+PRIM2 = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "=": operator.eq,
+    "<>": operator.ne,
+    "^": operator.add,
+    "rpow": math.pow,
+}
 
 
 def eval_prim(op: str, args: list) -> Any:

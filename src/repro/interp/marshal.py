@@ -16,16 +16,19 @@ The handles mirror the changes the paper's benchmarks make (Section 4.1):
 Every edit method follows the uniform convention of
 :class:`repro.api.Session`: the change is *staged* (nothing re-executes
 until propagation) and the return value is the number of read edges it
-dirtied.  ``ModListInput.delete`` is the deprecated exception, kept as an
-alias of ``get`` + ``remove`` that returns the removed value.
+dirtied.
+
+List cells are built through the intern table
+(:func:`repro.interp.values.intern_con`), so a cell rebuilt during an edit
+with unchanged contents is the *same object* the trace already holds and
+the engine's write cutoff answers by identity.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Any, Callable, List, Optional, Sequence
 
-from repro.interp.values import ConValue, deep_read, list_value_to_python
+from repro.interp.values import ConValue, deep_read, intern_con, list_value_to_python
 from repro.sac.engine import Engine
 from repro.sac.modifiable import Modifiable
 
@@ -42,9 +45,9 @@ __all__ = [
 
 def plain_list(items: Sequence[Any], nil: str = "Nil", cons: str = "Cons") -> ConValue:
     """Build a conventional (modifiable-free) cons list value."""
-    value = ConValue(nil)
+    value = intern_con(nil)
     for item in reversed(list(items)):
-        value = ConValue(cons, (item, value))
+        value = intern_con(cons, (item, value))
     return value
 
 
@@ -67,9 +70,9 @@ class ModListInput:
         self.engine = engine
         self.nil = nil
         self.cons = cons
-        self.mods: List[Modifiable] = [engine.make_input(ConValue(nil))]
+        self.mods: List[Modifiable] = [engine.make_input(intern_con(nil))]
         for item in reversed(list(items)):
-            cell = ConValue(cons, (item, self.mods[0]))
+            cell = intern_con(cons, (item, self.mods[0]))
             self.mods.insert(0, engine.make_input(cell))
 
     @property
@@ -95,7 +98,7 @@ class ModListInput:
         target = self.mods[index]
         carrier = self.engine.make_input(target.peek())
         dirtied = self.engine.change(
-            target, ConValue(self.cons, (value, carrier))
+            target, intern_con(self.cons, (value, carrier))
         )
         self.mods.insert(index + 1, carrier)
         return dirtied
@@ -116,23 +119,8 @@ class ModListInput:
             raise IndexError(index)
         cell = self.mods[index].peek()
         return self.engine.change(
-            self.mods[index], ConValue(self.cons, (value, cell.arg[1]))
+            self.mods[index], intern_con(self.cons, (value, cell.arg[1]))
         )
-
-    def delete(self, index: int) -> Any:
-        """Deprecated: use :meth:`get` + :meth:`remove`.
-
-        Unlike every other edit method, returns the removed *value*
-        rather than the dirtied-read count."""
-        warnings.warn(
-            "ModListInput.delete is deprecated; use "
-            "ModListInput.get + ModListInput.remove",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        value = self.get(index)
-        self.remove(index)
-        return value
 
 
 class ModVectorInput:

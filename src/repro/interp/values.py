@@ -14,7 +14,8 @@ from __future__ import annotations
 
 from typing import Any, Optional, Tuple
 
-from repro.sac.api import IdKey, memo_key
+from repro.sac.api import memo_key
+from repro.sac.intern import INTERN
 
 
 class LmlRuntimeError(Exception):
@@ -26,35 +27,106 @@ class MatchFailure(LmlRuntimeError):
 
 
 class ConValue:
-    """A datatype constructor value: tag plus optional argument."""
+    """A datatype constructor value: tag plus optional argument.
 
-    __slots__ = ("tag", "arg")
+    Equality and hashing are structural (matching SML value equality over
+    the constructed data; pieces without structural equality -- modifiables,
+    closures -- fall back to identity).  Both are implemented iteratively
+    with explicit stacks: constructor spines built without intervening
+    modifiables (``marshal.plain_list``) can be deeper than the Python
+    recursion limit.  The structural hash is computed once and cached.
+
+    ``_hc`` marks a *canonical* (hash-consed) instance from the process-wide
+    intern table (see :mod:`repro.sac.intern` and :func:`intern_con`);
+    canonical instances let the engine's write cutoff and the memo tables
+    compare/hash by identity on the fast path.
+    """
+
+    __slots__ = ("tag", "arg", "_hash", "_hc", "__weakref__")
 
     def __init__(self, tag: str, arg: Any = None) -> None:
         self.tag = tag
         self.arg = arg
+        self._hash: Optional[int] = None
+        self._hc = False
 
     def __eq__(self, other: Any) -> bool:
-        return (
-            isinstance(other, ConValue)
-            and self.tag == other.tag
-            and self.arg == other.arg
-        )
+        if self is other:
+            return True
+        if not isinstance(other, ConValue):
+            return False
+        stack = [(self.arg, other.arg)]
+        if self.tag != other.tag:
+            return False
+        while stack:
+            a, b = stack.pop()
+            if a is b:
+                continue
+            a_con = type(a) is ConValue
+            if a_con and type(b) is ConValue:
+                if a.tag != b.tag:
+                    return False
+                stack.append((a.arg, b.arg))
+                continue
+            if type(a) is tuple and type(b) is tuple:
+                if len(a) != len(b):
+                    return False
+                stack.extend(zip(a, b))
+                continue
+            # Mixed or leaf pair: plain equality.  A ConValue here pairs
+            # with a non-ConValue, so this bottoms out immediately.
+            if a_con or type(b) is ConValue:
+                return False
+            if not a == b:
+                return False
+        return True
 
     def __hash__(self) -> int:
         # Structural, matching __eq__: equal values must hash equally or
         # dict/set membership (and any hash-keyed memo path) breaks.
-        # Pieces without structural equality (modifiables, closures) hash
-        # by identity via object.__hash__, consistent with their __eq__.
-        return hash((self.tag, self.arg))
+        h = self._hash
+        if h is not None:
+            return h
+        # Discover uncached constructor nodes (parents before children),
+        # then fill hashes bottom-up so each hash() call below finds its
+        # constructor children already cached and stays O(1)-deep.
+        order = []
+        stack: list = [self]
+        while stack:
+            v = stack.pop()
+            tv = type(v)
+            if tv is ConValue:
+                if v._hash is None:
+                    order.append(v)
+                    stack.append(v.arg)
+            elif tv is tuple:
+                stack.extend(v)
+        for v in reversed(order):
+            if v._hash is None:
+                v._hash = hash((v.tag, v.arg))
+        return self._hash
 
     def memo_key(self) -> Any:
+        # A canonical value is its own memo key: hashing is the cached
+        # structural hash and equality has the identity fast path, while
+        # the key's equality classes match the structural tuple keys used
+        # for uninterned values (both follow Python ``==`` on the pieces).
+        if self._hc:
+            return self
         return ("con", self.tag, memo_key(self.arg))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if self.arg is None:
             return self.tag
         return f"{self.tag}({self.arg!r})"
+
+
+def intern_con(tag: str, arg: Any = None) -> ConValue:
+    """Build a :class:`ConValue` through the process-wide intern table.
+
+    Returns the canonical instance when ``(tag, arg)`` is internable (see
+    :mod:`repro.sac.intern`), a fresh uninterned instance otherwise."""
+    return INTERN.con(ConValue, tag, arg)
 
 
 class Closure:
@@ -69,7 +141,9 @@ class Closure:
         self.name = name
 
     def memo_key(self) -> Any:
-        return IdKey(self)
+        # Closures key by identity; the closure is its own key (default
+        # object hash/eq), saving a wrapper allocation per memo lookup.
+        return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<closure {self.name or self.param}>"

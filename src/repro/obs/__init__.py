@@ -53,6 +53,7 @@ from repro.obs.invariants import (
     TraceCheckReport,
     check_trace,
 )
+from repro.obs.profile import PhaseProfile, ProfileReport, profile_app
 
 __all__ = [
     "ChaosError",
@@ -62,13 +63,16 @@ __all__ = [
     "FaultInjector",
     "InvariantChecker",
     "InvariantViolation",
+    "PhaseProfile",
     "PlantedFault",
+    "ProfileReport",
     "SiteCounter",
     "TraceCheckReport",
     "TraceEvent",
     "TraceHook",
     "chaos_app",
     "check_trace",
+    "profile_app",
     "ddg_dot",
     "ddg_json",
     "ddg_snapshot",

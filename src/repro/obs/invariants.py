@@ -13,9 +13,11 @@ checkable in one walk of the timestamp order:
 3. **Anchoring** -- every record found at a live stamp is itself live,
    anchored at that stamp, with a live end stamp; read edges are
    registered with their modifiable, and no dead record is reachable.
-4. **Dirty-queue discipline** -- the queue is a valid min-heap on start
-   labels, holds only dirty live edges (plus harmless dead entries), and
-   every dirty live edge in the trace is queued.
+4. **Dirty-queue discipline** -- the queue is a valid min-heap on its
+   ``(key, tiebreak)`` snapshot entries, holds only dirty live edges (plus
+   harmless dead entries), every dirty live edge in the trace is queued,
+   and -- when no order relabel is pending -- every live entry's key
+   snapshot agrees with its edge's current start key.
 
 :func:`check_trace` performs these structural checks on a quiescent
 engine.  :class:`InvariantChecker` is a :class:`~repro.obs.events.TraceHook`
@@ -142,14 +144,24 @@ def check_trace(
             f"queue not empty after propagation: {len(queue)} entries"
         )
     queued_ids = set()
-    for i, edge in enumerate(queue):
+    # The heap stores (key, tiebreak, edge) snapshots; when the engine has
+    # caught up with the order's epoch, live snapshots must also agree with
+    # the stamps they were taken from.
+    caught_up = engine._queue_epoch == engine.order.epoch
+    for i, entry in enumerate(queue):
+        key, tiebreak, edge = entry
         for child in (2 * i + 1, 2 * i + 2):
-            if child < len(queue) and queue[child].start.label < edge.start.label:
+            if child < len(queue) and queue[child][:2] < (key, tiebreak):
                 raise InvariantViolation("dirty queue is not a valid min-heap")
         if edge.dead:
             continue  # stale entries are popped and skipped; harmless
         if not edge.dirty:
             raise InvariantViolation(f"queued live edge {edge!r} is not dirty")
+        if caught_up and key != edge.start.key:
+            raise InvariantViolation(
+                f"queue key snapshot {key} is stale for {edge!r} with no "
+                f"pending relabel epoch"
+            )
         queued_ids.add(id(edge))
     if not engine.propagating:
         for edge in dirty_live:

@@ -11,13 +11,11 @@ This module provides the pieces that hand-written self-adjusting programs
 
 Edit methods follow the uniform convention of :class:`repro.api.Session`:
 they stage the change without propagating and return the number of read
-edges dirtied (``delete`` is the deprecated exception, kept as an alias
-of :meth:`ModList.remove` that returns the removed value).
+edges dirtied.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.sac.engine import Engine
@@ -60,6 +58,10 @@ def memo_key(value: Any) -> Any:
     """
     t = type(value)
     if t is int or t is str or t is float or t is bool:
+        return value
+    if t is Modifiable:
+        # Modifiables key by identity; the object is its own key (default
+        # object hash/eq run at C speed, no wrapper allocation).
         return value
     if t is tuple:
         # Dominant tuple shapes are pairs and triples (list cells, argument
@@ -165,20 +167,6 @@ class ModList:
         cell = self.mods[index].peek()
         assert cell is not None
         return self.engine.change(self.mods[index], (value, cell[1]))
-
-    def delete(self, index: int) -> Any:
-        """Deprecated: use :meth:`get` + :meth:`remove`.
-
-        Unlike every other edit method, returns the removed *value*
-        rather than the dirtied-read count."""
-        warnings.warn(
-            "ModList.delete is deprecated; use ModList.get + ModList.remove",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        value = self.get(index)
-        self.remove(index)
-        return value
 
 
 def modlist_foreach(engine: Engine, head: Modifiable, visit: Callable[[Any], None]) -> None:

@@ -60,27 +60,59 @@ def _values_equal(a: Any, b: Any) -> bool:
     Modifiables compare by identity; tuples and constructor values compare
     structurally under the same rules.  Returning False for incomparable
     values is always sound (it only causes extra propagation).
+
+    Hash-consed constructor values (see :mod:`repro.sac.intern`) make the
+    common cases O(1): identical canonical instances hit the leading
+    identity test, and two *distinct* canonical instances are unequal by
+    construction (the intern key discriminates exactly the distinctions
+    made here), so no structural walk is needed either way.  The walk
+    itself is iterative -- an explicit pair stack instead of recursion -- so
+    a cutoff check on a 10k-deep constructor chain cannot overflow the
+    interpreter stack.
     """
     if a is b:
         return True
-    ta = type(a)
-    if ta is not type(b):
+    stack = [(a, b)]
+    pop = stack.pop
+    while stack:
+        a, b = pop()
+        if a is b:
+            continue
+        ta = type(a)
+        if ta is not type(b):
+            return False
+        if ta is float:
+            if a == b:
+                if a == 0.0 and math.copysign(1.0, a) != math.copysign(1.0, b):
+                    return False
+                continue
+            if a != a and b != b:  # NaN == NaN for cutoff purposes
+                continue
+            return False
+        if ta is tuple:
+            if len(a) != len(b):
+                return False
+            stack.extend(zip(a, b))
+            continue
+        tag = getattr(a, "tag", None)
+        if tag is not None and hasattr(a, "arg"):
+            # Constructor values, duck-typed so the runtime does not import
+            # the interpreter layer: same tag, argument equal under these
+            # rules.
+            if tag != b.tag:
+                return False
+            if getattr(a, "_hc", False) and getattr(b, "_hc", False):
+                # Both canonical but not identical: unequal by construction.
+                return False
+            stack.append((a.arg, b.arg))
+            continue
+        try:
+            if a == b:
+                continue
+        except Exception:
+            return False
         return False
-    if ta is float:
-        if a == b:
-            return a != 0.0 or math.copysign(1.0, a) == math.copysign(1.0, b)
-        return a != a and b != b  # NaN == NaN for cutoff purposes
-    if ta is tuple:
-        return len(a) == len(b) and all(map(_values_equal, a, b))
-    tag = getattr(a, "tag", None)
-    if tag is not None and hasattr(a, "arg"):
-        # Constructor values, duck-typed so the runtime does not import the
-        # interpreter layer: same tag, argument equal under these rules.
-        return tag == b.tag and _values_equal(a.arg, b.arg)
-    try:
-        return bool(a == b)
-    except Exception:
-        return False
+    return True
 
 
 class Engine:
@@ -100,6 +132,11 @@ class Engine:
     #: the limit is hit anyway).
     RECURSION_LIMIT = 600_000
 
+    #: bounds on the trace-record free-lists (see ``_edge_pool`` /
+    #: ``_memo_pool`` in ``__init__``).
+    EDGE_POOL_CAP = 8192
+    MEMO_POOL_CAP = 8192
+
     def __init__(self) -> None:
         import os
         import sys
@@ -114,7 +151,24 @@ class Engine:
         self.alloc_table: dict = {}
         self.order = Order()
         self.now: Stamp = self.order.base
-        self.queue: List[ReadEdge] = []
+        #: bound once: ``insert_after`` is the single hottest engine call.
+        self._insert_after = self.order.insert_after
+        #: propagation heap of ``(key, tiebreak, edge)`` entries.  Keys are
+        #: snapshots of ``edge.start.key`` so heap sifts compare plain ints;
+        #: when the order's epoch moves (a relabel changed some keys) the
+        #: whole heap is re-keyed at once (see :meth:`_rekey_queue`).
+        self.queue: List[Tuple[int, int, ReadEdge]] = []
+        self._queue_epoch = self.order.epoch
+        self._queue_seq = 0
+        self._queue_peak = 0
+        #: free-lists recycling discarded trace records (allocator churn is
+        #: measurable during compaction-heavy propagation).  Recycling is
+        #: disabled while an observability hook is attached: hooks name
+        #: records by identity, which reuse would alias.
+        self._edge_pool: List[ReadEdge] = []
+        self._memo_pool: List[MemoEntry] = []
+        self.edges_reused = 0
+        self.memo_entries_reused = 0
         self.memo_table: dict = {}
         self.reuse_limit: Optional[Stamp] = None
         self.meter = Meter()
@@ -214,10 +268,46 @@ class Engine:
             return False
 
     # ------------------------------------------------------------------
+    # Dirty queue
+
+    def _enqueue(self, edge: ReadEdge) -> None:
+        """Push a (just-dirtied) edge onto the propagation heap.
+
+        Heap entries snapshot the start stamp's packed key.  Snapshots
+        taken at different order epochs are not mutually comparable, so a
+        pending epoch change re-keys the existing entries *before* the
+        push -- afterwards every entry in the heap agrees with the current
+        epoch again.
+        """
+        if self.order.epoch != self._queue_epoch:
+            self._rekey_queue()
+        seq = self._queue_seq + 1
+        self._queue_seq = seq
+        self.meter.queue_pushes += 1
+        queue = self.queue
+        heapq.heappush(queue, (edge.start.key, seq, edge))
+        if len(queue) > self._queue_peak:
+            self._queue_peak = len(queue)
+
+    def _rekey_queue(self) -> None:
+        """Rebuild every heap entry's key snapshot after a relabel.
+
+        Dead entries are kept (their stale keys still form a total order,
+        and dropping them here would skew the drain accounting); they are
+        skipped and recycled when popped, as usual.
+        """
+        queue = self.queue
+        for i, (_key, seq, edge) in enumerate(queue):
+            queue[i] = (edge.start.key, seq, edge)
+        heapq.heapify(queue)
+        self._queue_epoch = self.order.epoch
+        self.meter.queue_rekeys += 1
+
+    # ------------------------------------------------------------------
     # Trace construction primitives
 
     def _advance(self) -> Stamp:
-        stamp = self.order.insert_after(self.now)
+        stamp = self._insert_after(self.now)
         self.now = stamp
         return stamp
 
@@ -247,24 +337,34 @@ class Engine:
         the engine exactly as it was.  Failures inside propagation are
         handled by :meth:`propagate`'s transactional re-execution instead.
         """
-        self._check_usable()
+        if self._poison is not None:
+            self._check_usable()
         dest = Modifiable()
         self.meter.mods_created += 1
         if self.hook is not None:
             self.hook.on_mod_create(dest, False, False)
-        outermost = self._mod_depth == 0 and self._reexec_depth == 0
-        checkpoint = self.now if outermost else None
-        self._mod_depth += 1
-        try:
-            comp(dest)
-            if dest.value is UNWRITTEN:
-                raise UnwrittenModError("mod body finished without writing")
-        except BaseException:
-            if outermost:
+        if self._mod_depth == 0 and self._reexec_depth == 0:
+            checkpoint = self.now
+            self._mod_depth += 1
+            try:
+                comp(dest)
+                if dest.value is UNWRITTEN:
+                    raise UnwrittenModError("mod body finished without writing")
+            except BaseException:
                 self.truncate_after(checkpoint)
-            raise
-        finally:
-            self._mod_depth -= 1
+                raise
+            finally:
+                self._mod_depth -= 1
+        else:
+            # Nested / propagation-time mods are the hot case: no
+            # transaction checkpoint (propagate() owns recovery there).
+            self._mod_depth += 1
+            try:
+                comp(dest)
+                if dest.value is UNWRITTEN:
+                    raise UnwrittenModError("mod body finished without writing")
+            finally:
+                self._mod_depth -= 1
         return dest
 
     def read(self, mod: Modifiable, reader: Callable[[Any], None]) -> None:
@@ -280,8 +380,20 @@ class Engine:
             raise UnwrittenModError("read of an unwritten modifiable")
         # Hottest engine primitive: _advance() is inlined and the meter is
         # fetched once (two stamps + two counters per read add up).
-        start = self.now = self.order.insert_after(self.now)
-        edge = ReadEdge(mod, reader, start)
+        insert_after = self._insert_after
+        start = self.now = insert_after(self.now)
+        pool = self._edge_pool
+        if pool:
+            edge = pool.pop()
+            edge.mod = mod
+            edge.reader = reader
+            edge.start = start
+            edge.end = None
+            edge.dirty = False
+            edge.dead = False
+            self.edges_reused += 1
+        else:
+            edge = ReadEdge(mod, reader, start)
         start.owner = edge
         mod.readers.add(edge)
         meter = self.meter
@@ -291,7 +403,7 @@ class Engine:
         if hook is not None:
             hook.on_read_start(edge)
         reader(value)
-        edge.end = self.now = self.order.insert_after(self.now)
+        edge.end = self.now = insert_after(self.now)
         if hook is not None:
             hook.on_read_end(edge)
 
@@ -338,24 +450,25 @@ class Engine:
             self._edit_log.append((dest, dest.value))
         dest.value = value
         self.meter.changed_writes += 1
-        now_label = self.now.label
+        now_key = self.now.key
         dirtied = 0
         for edge in list(dest.readers):
             if edge.dead or edge.dirty:
                 continue
-            if not inside_run or edge.start.label > now_label:
+            if not inside_run or edge.start.key > now_key:
                 edge.dirty = True
-                heapq.heappush(self.queue, edge)
+                self._enqueue(edge)
                 dirtied += 1
         if self.hook is not None:
             self.hook.on_impwrite(dest, value, True, dirtied)
 
     def _dirty_readers(self, mod: Modifiable) -> int:
         dirtied = 0
-        for edge in list(mod.readers):
+        # Dirtying never mutates the reader set, so no defensive copy.
+        for edge in mod.readers:
             if not edge.dead and not edge.dirty:
                 edge.dirty = True
-                heapq.heappush(self.queue, edge)
+                self._enqueue(edge)
                 dirtied += 1
         return dirtied
 
@@ -390,14 +503,17 @@ class Engine:
         dest: Optional[Modifiable] = None
         entry = self.alloc_table.get(key)
         if entry is not None:
-            old_mod, old_stamp = entry
-            doomed = (
-                self.reuse_limit is not None
-                and old_stamp.live
-                and self.now.label < old_stamp.label <= self.reuse_limit.label
-            )
-            if not old_stamp.live or doomed:
+            old_mod, old_stamp, old_gen = entry
+            # A generation mismatch means the recorded stamp died and was
+            # recycled by the order's free-list for an unrelated position:
+            # treat it exactly like a dead allocation site.
+            if old_stamp.gen != old_gen or not old_stamp.live:
                 dest = old_mod
+            elif (
+                self.reuse_limit is not None
+                and self.now.key < old_stamp.key <= self.reuse_limit.key
+            ):
+                dest = old_mod  # doomed: lies in the current reuse zone
         recycled = dest is not None
         if dest is None:
             dest = Modifiable()
@@ -405,7 +521,7 @@ class Engine:
         if self.hook is not None:
             self.hook.on_mod_create(dest, False, recycled)
         stamp = self._advance()
-        self.alloc_table[key] = (dest, stamp)
+        self.alloc_table[key] = (dest, stamp, stamp.gen)
         self._mod_depth += 1
         try:
             comp(dest)
@@ -433,29 +549,45 @@ class Engine:
         self._check_usable()
         entries = self.memo_table.get(key)
         if entries is not None:
-            live: List[MemoEntry] = []
             hit: Optional[MemoEntry] = None
             limit = self.reuse_limit
-            for entry in entries:
-                if entry.dead:
-                    continue
-                live.append(entry)
-                if (
-                    hit is None
-                    and limit is not None
-                    and self.now.label < entry.start.label
-                    and entry.end is not None
-                    and entry.end.label <= limit.label
-                ):
-                    hit = entry
-            # Lazy per-key pruning: dead entries leave the bucket here, so
-            # they must also leave the dead-entry account that drives
-            # whole-table compaction.
-            self._dead_memo_entries -= len(entries) - len(live)
-            if live:
-                self.memo_table[key] = live
+            dead = 0
+            if limit is not None:
+                now_key = self.now.key
+                limit_key = limit.key
+                for entry in entries:
+                    if entry.dead:
+                        dead += 1
+                    elif (
+                        hit is None
+                        and now_key < entry.start.key
+                        and entry.end is not None
+                        and entry.end.key <= limit_key
+                    ):
+                        hit = entry
             else:
-                del self.memo_table[key]
+                for entry in entries:
+                    if entry.dead:
+                        dead += 1
+            if dead:
+                # Lazy per-key pruning: dead entries leave the bucket here,
+                # so they must also leave the dead-entry account that
+                # drives whole-table compaction.
+                live = [e for e in entries if not e.dead]
+                self._dead_memo_entries -= dead
+                if live:
+                    self.memo_table[key] = live
+                else:
+                    del self.memo_table[key]
+                if self.hook is None:
+                    pool = self._memo_pool
+                    cap = self.MEMO_POOL_CAP
+                    for entry in entries:
+                        if entry.dead and len(pool) < cap:
+                            entry.key = None
+                            entry.start = None
+                            entry.end = None
+                            pool.append(entry)
             if hit is not None:
                 # Splice: discard the skipped old trace, jump past the hit.
                 if self.hook is not None:
@@ -469,12 +601,22 @@ class Engine:
         self.meter.memo_misses += 1
         if self.hook is not None:
             self.hook.on_memo_miss(key)
-        start = self.now = self.order.insert_after(self.now)
-        entry = MemoEntry(key, start)
+        start = self.now = self._insert_after(self.now)
+        pool = self._memo_pool
+        if pool:
+            entry = pool.pop()
+            entry.key = key
+            entry.result = None
+            entry.start = start
+            entry.end = None
+            entry.dead = False
+            self.memo_entries_reused += 1
+        else:
+            entry = MemoEntry(key, start)
         start.owner = entry
         self.meter.live_memo_entries += 1
         result = thunk()
-        entry.end = self.now = self.order.insert_after(self.now)
+        entry.end = self.now = self._insert_after(self.now)
         entry.result = result
         self.memo_table.setdefault(key, []).append(entry)
         return result
@@ -593,28 +735,45 @@ class Engine:
             hook.on_propagate_begin(len(self.queue))
         deadline_at = None if deadline is None else time.monotonic() + deadline
         meter = self.meter
+        order = self.order
+        queue = self.queue
         reexecuted = 0
         try:
-            while self.queue:
-                edge = heapq.heappop(self.queue)
+            while queue:
+                # Re-executed readers insert stamps, which can relabel; a
+                # pending epoch change invalidates every key snapshot in
+                # the heap, so re-key before trusting the heap order.
+                if order.epoch != self._queue_epoch:
+                    self._rekey_queue()
+                entry_key, entry_seq, edge = heapq.heappop(queue)
                 if edge.dead or not edge.dirty:
                     meter.queue_drained += 1
+                    if (
+                        edge.dead
+                        and self.hook is None
+                        and len(self._edge_pool) < self.EDGE_POOL_CAP
+                    ):
+                        # A discarded edge leaves the queue for good here;
+                        # recycle it (discard already dropped mod/reader).
+                        edge.start = None
+                        edge.end = None
+                        self._edge_pool.append(edge)
                     continue
                 if budget is not None and reexecuted >= budget:
-                    heapq.heappush(self.queue, edge)
+                    heapq.heappush(queue, (entry_key, entry_seq, edge))
                     raise PropagationBudgetExceeded(
                         f"propagation budget of {budget} re-execution(s) "
-                        f"exhausted with {len(self.queue)} queue entries left",
+                        f"exhausted with {len(queue)} queue entries left",
                         reexecuted=reexecuted,
-                        pending=len(self.queue),
+                        pending=len(queue),
                     )
                 if deadline_at is not None and time.monotonic() >= deadline_at:
-                    heapq.heappush(self.queue, edge)
+                    heapq.heappush(queue, (entry_key, entry_seq, edge))
                     raise PropagationBudgetExceeded(
                         f"propagation deadline of {deadline:g}s exceeded "
-                        f"with {len(self.queue)} queue entries left",
+                        f"with {len(queue)} queue entries left",
                         reexecuted=reexecuted,
-                        pending=len(self.queue),
+                        pending=len(queue),
                     )
                 meter.queue_drained += 1
                 edge.dirty = False
@@ -682,7 +841,7 @@ class Engine:
             self.now, self.reuse_limit = saved_now, saved_limit
             if not edge.dead and not edge.dirty:
                 edge.dirty = True
-                heapq.heappush(self.queue, edge)
+                self._enqueue(edge)
         except BaseException as cleanup_exc:
             consistent = False
             self.poison(
@@ -814,19 +973,33 @@ class Engine:
         self._check_usable()
         memo_removed = 0
         if self._dead_memo_entries:
+            pool = self._memo_pool if self.hook is None else None
+            cap = self.MEMO_POOL_CAP
             for key in list(self.memo_table):
                 entries = self.memo_table[key]
                 live = [e for e in entries if not e.dead]
                 if len(live) == len(entries):
                     continue
                 memo_removed += len(entries) - len(live)
+                if pool is not None:
+                    for entry in entries:
+                        if entry.dead and len(pool) < cap:
+                            entry.key = None
+                            entry.start = None
+                            entry.end = None
+                            pool.append(entry)
                 if live:
                     self.memo_table[key] = live
                 else:
                     del self.memo_table[key]
             self._dead_memo_entries = 0
         alloc_removed = 0
-        for key in [k for k, (_, stamp) in self.alloc_table.items() if not stamp.live]:
+        stale = [
+            k
+            for k, (_, stamp, gen) in self.alloc_table.items()
+            if not stamp.live or stamp.gen != gen
+        ]
+        for key in stale:
             del self.alloc_table[key]
             alloc_removed += 1
         meter = self.meter
@@ -850,23 +1023,81 @@ class Engine:
             "alloc_entries": len(self.alloc_table),
         }
 
+    def hot_stats(self) -> dict:
+        """Hot-path data-structure statistics (profiling harness surface).
+
+        Groups the order-maintenance, dirty-queue, and free-list counters
+        that ``python -m repro profile`` reports next to the per-phase
+        meter numbers.
+        """
+        meter = self.meter
+        return {
+            "order": self.order.stats(),
+            "queue": {
+                "size": len(self.queue),
+                "peak": self._queue_peak,
+                "pushes": meter.queue_pushes,
+                "rekeys": meter.queue_rekeys,
+                "drained": meter.queue_drained,
+            },
+            "pools": {
+                "edges_reused": self.edges_reused,
+                "edges_pooled": len(self._edge_pool),
+                "memo_entries_reused": self.memo_entries_reused,
+                "memo_entries_pooled": len(self._memo_pool),
+            },
+        }
+
     # ------------------------------------------------------------------
     # Trace deletion
 
     def _delete_range(self, a: Stamp, b: Optional[Stamp]) -> None:
-        """Delete stamps strictly between ``a`` and ``b``, retracting owners."""
-        hook = self.hook
+        """Delete stamps strictly between ``a`` and ``b``, retracting owners.
+
+        Owners are discarded in a first pass (discard never touches the
+        order), then the whole chain is unlinked with one bulk
+        :meth:`~repro.sac.order.Order.delete_range` splice.
+        """
         node = a.next
-        while node is not None and node is not b:
-            nxt = node.next
-            owner = node.owner
-            if owner is not None:
-                owner.discard(self)
-                node.owner = None
-                if hook is not None:
+        if node is None or node is b:
+            return
+        hook = self.hook
+        if hook is None:
+            # Inlined ReadEdge.discard / MemoEntry.discard bodies: this
+            # walk retracts every record of a re-executed read's old
+            # sub-trace, so the per-record method call is measurable.
+            meter = self.meter
+            edge_pool = self._edge_pool
+            edge_cap = self.EDGE_POOL_CAP
+            while node is not None and node is not b:
+                owner = node.owner
+                if owner is not None:
+                    if type(owner) is ReadEdge:
+                        owner.dead = True
+                        owner.mod.readers.discard(owner)
+                        owner.mod = None
+                        owner.reader = None
+                        meter.live_edges -= 1
+                        if not owner.dirty and len(edge_pool) < edge_cap:
+                            owner.start = None
+                            owner.end = None
+                            edge_pool.append(owner)
+                    else:
+                        owner.dead = True
+                        owner.result = None
+                        meter.live_memo_entries -= 1
+                        self._dead_memo_entries += 1
+                    node.owner = None
+                node = node.next
+        else:
+            while node is not None and node is not b:
+                owner = node.owner
+                if owner is not None:
+                    owner.discard(self)
+                    node.owner = None
                     hook.on_discard(owner)
-            self.order.delete(node)
-            node = nxt
+                node = node.next
+        self.order.delete_range(a, b)
 
     # ------------------------------------------------------------------
     # Convenience combinators (AFL-style library surface)

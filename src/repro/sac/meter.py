@@ -27,6 +27,13 @@ class Meter:
     #: to ``edges_reexecuted`` is stale entries (dead or already-clean
     #: edges) skipped without work.
     queue_drained: int = 0
+    #: dirty-queue entries pushed (edges newly dirtied or re-queued).
+    queue_pushes: int = 0
+    #: whole-queue re-key passes forced by order-maintenance relabels: heap
+    #: entries snapshot their stamp's packed key, so when the order's epoch
+    #: moves the engine rebuilds every snapshot at once (see
+    #: :mod:`repro.sac.order`).
+    queue_rekeys: int = 0
     #: coalesced edit groups propagated via ``Engine.batch``/``change_many``.
     batches: int = 0
     #: re-executions aborted because the reader raised; each abort spliced

@@ -4,6 +4,18 @@ The *trace* of a self-adjusting run is the set of read edges ordered by their
 start timestamps, together with the memo entries recorded during the run.
 Both kinds of record are *anchored* at their start stamp (``stamp.owner``),
 so that deleting a time range retracts exactly the records created in it.
+
+Both records are ``__slots__``-packed and recycled through engine free-lists
+once fully retracted (see :class:`repro.sac.engine.Engine`): a discarded
+edge that is not sitting in the dirty queue goes straight back to the pool,
+a queued one when it is finally popped, and a dead memo entry when lazy
+pruning or compaction removes it from its table bucket.  Recycling is
+skipped while an observability hook is attached, because hooks name records
+by identity.
+
+The propagation heap does *not* compare these records: the engine stores
+``(key, tiebreak, edge)`` tuples whose leading ints decide the order at C
+speed, so the records need no ordering protocol at all.
 """
 
 from __future__ import annotations
@@ -28,18 +40,10 @@ class ReadEdge:
     def __init__(self, mod: Any, reader: Callable[[Any], None], start: Stamp) -> None:
         self.mod = mod
         self.reader = reader
-        self.start = start
+        self.start: Optional[Stamp] = start
         self.end: Optional[Stamp] = None
         self.dirty = False
         self.dead = False
-
-    def __lt__(self, other: "ReadEdge") -> bool:
-        """Heap ordering: earlier start timestamp first.
-
-        Relabeling preserves relative stamp order, so heaps built on this
-        comparison stay valid across relabelings.
-        """
-        return self.start.label < other.start.label
 
     def discard(self, engine: Any) -> None:
         """Retract this edge: called when its start stamp is deleted.
@@ -48,17 +52,27 @@ class ReadEdge:
         a dead edge can linger in the dirty queue (it is skipped when
         popped), and without this the closure's captured environment --
         often a whole sub-computation's worth of values -- would stay live
-        until the queue drains.
+        until the queue drains.  An edge that is *not* queued is done for
+        good and goes back to the engine's free-list immediately (queued
+        ones are recycled at pop time instead: the queue entry still
+        references them).
         """
         self.dead = True
         self.mod.readers.discard(self)
         self.mod = None
         self.reader = None
         engine.meter.live_edges -= 1
+        if not self.dirty and engine.hook is None:
+            pool = engine._edge_pool
+            if len(pool) < engine.EDGE_POOL_CAP:
+                self.start = None
+                self.end = None
+                pool.append(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flags = ("dirty" if self.dirty else "") + (" dead" if self.dead else "")
-        return f"<ReadEdge @{self.start.label} {flags}>"
+        at = self.start.key if self.start is not None else "?"
+        return f"<ReadEdge @{at} {flags}>"
 
 
 class MemoEntry:
@@ -76,7 +90,7 @@ class MemoEntry:
     def __init__(self, key: Any, start: Stamp) -> None:
         self.key = key
         self.result: Any = None
-        self.start = start
+        self.start: Optional[Stamp] = start
         self.end: Optional[Stamp] = None
         self.dead = False
 
@@ -87,6 +101,8 @@ class MemoEntry:
         spliced, so the value is unreachable through the trace), and the
         entry is reported to the engine's dead-entry account, which drives
         memo-table compaction (:meth:`repro.sac.engine.Engine.compact`).
+        The entry itself stays in its table bucket until lazy pruning or
+        compaction removes it -- that is where it is recycled.
         """
         self.dead = True
         self.result = None
@@ -94,4 +110,5 @@ class MemoEntry:
         engine._dead_memo_entries += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<MemoEntry {self.key!r} @{self.start.label}>"
+        at = self.start.key if self.start is not None else "?"
+        return f"<MemoEntry {self.key!r} @{at}>"

@@ -109,3 +109,37 @@ def test_trace_no_check_skips_invariants(tmp_path, capsys):
     rc = main(["trace", "map", "-n", "8", "--out", str(tmp_path), "--no-check"])
     assert rc == 0
     assert "invariants" not in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
+def test_profile_reports_phases_and_engine_stats(capsys, backend):
+    rc = main(
+        ["profile", "msort", "-n", "16", "--changes", "2",
+         "--backend", backend, "--top", "3"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    # Per-phase rows ...
+    for phase in ("compile", "input marshal", "initial run",
+                  "propagate x2", "readback"):
+        assert phase in out
+    # ... relabel and queue statistics ...
+    assert "relabels=" in out
+    assert "queue:" in out and "rekeys=" in out and "drained=" in out
+    assert "intern:" in out
+    # ... and the cProfile call-site section.
+    assert "top call sites" in out
+
+
+def test_profile_no_callsites_and_events(capsys):
+    rc = main(["profile", "filter", "-n", "8", "--changes", "1",
+               "--no-callsites", "--events"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "top call sites" not in out
+    assert "events[propagate x1]:" in out
+
+
+def test_profile_unknown_app(capsys):
+    assert main(["profile", "nosuchapp"]) == 1
+    assert "unknown app" in capsys.readouterr().err

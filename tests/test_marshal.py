@@ -51,15 +51,6 @@ def test_modlist_bounds():
         xs.set(1, 0)
 
 
-def test_modlist_delete_deprecated():
-    """The old value-returning delete survives as a warning alias."""
-    engine = Engine()
-    xs = ModListInput(engine, [5, 6, 7])
-    with pytest.deprecated_call():
-        assert xs.delete(1) == 6
-    assert xs.to_python() == [5, 7]
-
-
 def test_modlist_empty():
     engine = Engine()
     xs = ModListInput(engine, [])

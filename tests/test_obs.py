@@ -166,7 +166,7 @@ def test_check_trace_detects_dirty_unqueued_edge():
 def test_check_trace_detects_nonempty_queue_when_required():
     engine, edge, _ = _two_read_engine()
     edge.dirty = True
-    engine.queue.append(edge)
+    engine.queue.append((edge.start.key, 0, edge))
     check_trace(engine)  # dirty *and* queued is fine in general...
     with pytest.raises(InvariantViolation, match="queue not empty"):
         check_trace(engine, expect_empty_queue=True)  # ...but not post-prop
@@ -174,7 +174,7 @@ def test_check_trace_detects_nonempty_queue_when_required():
 
 def test_check_trace_detects_clean_queued_edge():
     engine, edge, _ = _two_read_engine()
-    engine.queue.append(edge)  # live, not dirty
+    engine.queue.append((edge.start.key, 0, edge))  # live, not dirty
     with pytest.raises(InvariantViolation, match="not dirty"):
         check_trace(engine)
 
@@ -183,8 +183,18 @@ def test_check_trace_detects_heap_violation():
     engine, edge_m, edge_k = _two_read_engine()
     assert edge_m.start.label < edge_k.start.label
     edge_m.dirty = edge_k.dirty = True
-    engine.queue.extend([edge_k, edge_m])  # later stamp at the root
+    # later stamp at the root
+    engine.queue.extend([(edge_k.start.key, 0, edge_k), (edge_m.start.key, 1, edge_m)])
     with pytest.raises(InvariantViolation, match="min-heap"):
+        check_trace(engine)
+
+
+def test_check_trace_detects_stale_queue_snapshot():
+    engine, edge, _ = _two_read_engine()
+    edge.dirty = True
+    engine.queue.append((edge.start.key - 1, 0, edge))  # snapshot disagrees
+    assert engine._queue_epoch == engine.order.epoch
+    with pytest.raises(InvariantViolation, match="stale"):
         check_trace(engine)
 
 

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sac.order import SPACING, Order, Stamp
+from repro.sac.order import BUCKET_CAPACITY, SPACING, Order, Stamp
 
 
 def test_base_exists():
@@ -138,4 +138,100 @@ def test_adversarial_positions_stay_sorted(seed):
     for _ in range(300):
         anchor = rng.choice(live)
         live.append(order.insert_after(anchor))
+    order.check()
+
+
+# ----------------------------------------------------------------------
+# Seeded stress: interleaved inserts/deletes vs a naive list reference
+
+
+def test_seeded_random_interleaving_matches_reference():
+    """Long seeded interleaving of insert_after (in short monotone runs,
+    like re-execution) and deletes, checked against a plain Python list
+    mirror and the structural invariant checker at intervals."""
+    rng = random.Random(20260806)
+    order = Order()
+    reference = [order.base]
+    for step in range(4000):
+        if rng.random() < 0.35 and len(reference) > 1:
+            index = rng.randrange(1, len(reference))
+            order.delete(reference.pop(index))
+        else:
+            index = rng.randrange(len(reference))
+            anchor = reference[index]
+            for _ in range(rng.randrange(1, 8)):
+                anchor = order.insert_after(anchor)
+                index += 1
+                reference.insert(index, anchor)
+        if step % 500 == 0:
+            order.check()
+            assert reference == list(order)
+    order.check()
+    assert reference == list(order)
+    keys = [s.key for s in reference]
+    assert keys == sorted(keys)
+    assert len(set(keys)) == len(keys)
+    stats = order.stats()
+    assert stats["live_stamps"] == len(reference) == order.n_live
+    # Two-level structure: the stamps are spread over many buckets, each
+    # within capacity, and the dead ones went through the free-list.
+    assert stats["buckets"] >= len(reference) // (BUCKET_CAPACITY + 1)
+    bucket = order._first_bucket
+    while bucket is not None:
+        assert 0 <= bucket.count <= BUCKET_CAPACITY
+        bucket = bucket.next
+    assert stats["stamps_reused"] > 0
+
+
+def test_forced_relabel_density_same_point():
+    """Repeated insertion at one point is the labeling worst case: it
+    forces local respaces (and bucket splits) constantly.  The structure
+    must stay totally ordered, every relabel must bump the epoch, and the
+    relabel count must stay amortized sub-linear in the insert count."""
+    order = Order()
+    anchor = order.insert_after(order.base)
+    end = order.insert_after(anchor)
+    inserted = [order.insert_after(anchor) for _ in range(2000)]
+    order.check()
+    stats = order.stats()
+    assert stats["relabels"] > 50  # the pattern really forces relabels
+    assert stats["relabels"] < 2000  # ... but amortization keeps them rare
+    assert stats["epoch"] == stats["relabels"]
+    # Later inserts land closer to the anchor: reverse creation order.
+    keys = [s.key for s in reversed(inserted)]
+    assert keys == sorted(keys)
+    assert anchor.key < keys[0] and keys[-1] < end.key
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_delete_range_matches_per_stamp_deletes(seed):
+    """Bulk delete_range(a, b) must leave exactly the state that per-stamp
+    deletes of the strict interior would: same survivors, same liveness
+    flags, same counts, valid structure."""
+    rng = random.Random(seed)
+    order = Order()
+    reference = [order.base]
+    for _ in range(rng.randrange(2, 120)):
+        index = rng.randrange(len(reference))
+        reference.insert(index + 1, order.insert_after(reference[index]))
+    i = rng.randrange(len(reference))
+    open_ended = rng.random() < 0.3
+    if open_ended:
+        j, b = len(reference), None
+    else:
+        j = rng.randrange(i, len(reference))
+        b = reference[j]
+    interior = reference[i + 1 : j]
+    order.delete_range(reference[i], b)
+    for stamp in interior:
+        assert not stamp.live
+        assert stamp.owner is None
+    survivors = reference[: i + 1] + reference[max(j, i + 1) :]
+    assert list(order) == survivors
+    assert order.n_live == len(survivors)
+    order.check()
+    # Deleting an empty range is a no-op.
+    order.delete_range(reference[i], b)
+    assert list(order) == survivors
     order.check()

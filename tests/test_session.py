@@ -285,22 +285,3 @@ def test_default_backend_deprecated():
 
     with pytest.deprecated_call():
         default_backend()
-
-
-def test_testing_module_shims_deprecated():
-    from repro import testing
-
-    with pytest.deprecated_call():
-        testing.verify_app("map", n=8, changes=1, seed=0)
-    with pytest.deprecated_call():
-        testing.oracle_app("map", n=8, changes=1, seed=0)
-
-
-def test_bench_runner_measure_app_deprecated():
-    from repro.bench.runner import measure_app
-
-    with pytest.deprecated_call():
-        row = measure_app(
-            REGISTRY["map"], 8, prop_samples=1, seed=0, skip_conventional=True
-        )
-    assert row.n == 8
