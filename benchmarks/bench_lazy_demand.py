@@ -1,0 +1,114 @@
+"""Demand-driven propagation vs eager propagation: k edits, one read.
+
+The laziness claim: when a host makes many edits but only observes a
+small part of the output, eager propagation pays for the whole dirty
+queue after every edit, while lazy mode only marks suspicion at edit
+time and, at the single read, re-executes just the dirty cone feeding
+the observed cell.  The scenario is msort with EDITS random edits and
+one read of the output's head cell:
+
+* eager regime: EDITS x (edit + full propagate), then peek the head --
+  the eager discipline must propagate after every edit to keep the
+  output consistent;
+* lazy regime: EDITS edits (suspect marking included in the timed
+  section), then one ``Session.get(head)`` demand.
+
+Most edits land in cells the head's cone never touches, so the lazy
+side must beat the eager side by at least 10x at n=256.
+
+``REPRO_LAZY_SIZES`` overrides the input sizes (e.g. "64" for a CI
+smoke run); the claim is only asserted at the defaults.
+"""
+
+import os
+import random
+import time
+
+from repro.api import Session
+from repro.apps import REGISTRY
+from repro.bench import format_series
+
+from _util import emit, once
+
+_SIZES_ENV = os.environ.get("REPRO_LAZY_SIZES")
+SIZES = [int(s) for s in (_SIZES_ENV or "64 128 256").split()]
+_SMOKE = _SIZES_ENV is not None
+
+EDITS = 32
+ATTEMPTS = 5
+
+
+def _fresh(n, mode, seed=3):
+    app = REGISTRY["msort"]
+    rng = random.Random(seed)
+    session = Session(app, mode=mode)
+    output = session.run(data=app.make_data(n, rng))
+    return app, rng, session, output
+
+
+def _eager_time(n):
+    """Seconds for EDITS edit+propagate rounds plus the head read."""
+    app, rng, session, output = _fresh(n, "eager")
+    started = time.perf_counter()
+    for step in range(EDITS):
+        app.apply_change(session.handle, rng, step)
+        session.propagate()
+    head = output.peek()
+    elapsed = time.perf_counter() - started
+    assert head is not None
+    return elapsed
+
+
+def _lazy_time(n):
+    """Seconds for EDITS edits (suspect marking and all) plus one
+    demand of the head cell; also returns how much work the demand did
+    and how much it deferred."""
+    app, rng, session, output = _fresh(n, "lazy")
+    meter = session.engine.meter
+    started = time.perf_counter()
+    for step in range(EDITS):
+        app.apply_change(session.handle, rng, step)
+    head = session.get(output)
+    elapsed = time.perf_counter() - started
+    assert head is not None
+    return elapsed, meter.edges_reexecuted, meter.demand_deferred
+
+
+def test_lazy_demand_msort(benchmark, capsys):
+    def run():
+        eager = [
+            min(_eager_time(n) for _ in range(ATTEMPTS)) for n in SIZES
+        ]
+        lazy, reexec, deferred = [], [], []
+        for n in SIZES:
+            samples = [_lazy_time(n) for _ in range(ATTEMPTS)]
+            lazy.append(min(s[0] for s in samples))
+            reexec.append(samples[0][1])
+            deferred.append(samples[0][2])
+        return eager, lazy, reexec, deferred
+
+    eager, lazy, reexec, deferred = once(benchmark, run)
+
+    speedups = [e / l for e, l in zip(eager, lazy)]
+    series = {
+        f"{EDITS} eager edit+prop rounds (s)": eager,
+        f"{EDITS} edits + 1 head demand (s)": lazy,
+        "lazy speedup": speedups,
+        "reads re-executed by demand": reexec,
+        "queue entries deferred": deferred,
+    }
+    text = format_series(
+        f"Lazy demand: msort, {EDITS} edits then one head read, "
+        f"eager vs demand-driven",
+        SIZES,
+        series,
+    )
+
+    if not _SMOKE:
+        at256 = SIZES.index(256)
+        assert speedups[at256] >= 10.0, (
+            f"lazy demand lost its 10x edge at n=256: "
+            f"{speedups[at256]:.2f}x"
+        )
+
+    emit(capsys, "Lazy demand", text)

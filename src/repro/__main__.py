@@ -7,7 +7,7 @@ Usage::
     python -m repro compile program.lml --dump-conventional
     python -m repro compile program.lml --no-optimize --dump
     python -m repro compile program.lml --counts   # mod/read/write/memo
-    python -m repro verify <app> [-n N] [--changes K]   # Section 4.3 check
+    python -m repro verify <app> [-n N] [--changes K] [--mode lazy]
     python -m repro trace <app> [-n N] [--changes K] [--out DIR]
     python -m repro chaos <app> [-n N] [--site S] [--mode M]  # fault inject
     python -m repro profile <app> [-n N] [--changes K]  # engine hot-path profile
@@ -97,8 +97,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             seed=args.seed,
             backend=args.backend,
             batch=args.batch,
+            mode=args.mode,
         )
-    except VerificationError as exc:
+    except (ValueError, VerificationError) as exc:
         print(f"FAILED: {exc}", file=sys.stderr)
         return 1
     print(f"OK: {result}")
@@ -221,6 +222,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             modes=modes,
             changes=args.changes,
             seed=args.seed,
+            propagation=args.propagation,
         )
     except (ChaosError, InvariantViolation) as exc:
         print(f"FAILED: {exc}", file=sys.stderr)
@@ -297,6 +299,12 @@ def main(argv=None) -> int:
         "--batch", type=int, default=1,
         help="coalesce this many changes per propagation pass (default 1)",
     )
+    p_verify.add_argument(
+        "--mode", choices=["eager", "lazy"], default="eager",
+        help="propagation discipline: eager drains the whole dirty queue "
+             "per change; lazy demands the output instead, re-executing "
+             "only the dirty work that feeds it (default eager)",
+    )
     p_verify.set_defaults(fn=_cmd_verify)
 
     p_trace = sub.add_parser(
@@ -352,6 +360,11 @@ def main(argv=None) -> int:
         "--backend", choices=["interp", "compiled"], default=None,
         help="self-adjusting execution backend (default: $REPRO_BACKEND, "
              "else interp)",
+    )
+    p_chaos.add_argument(
+        "--propagation", choices=["eager", "lazy"], default="eager",
+        help="run the sweep on eager propagations or on lazy demand "
+             "walks (default eager)",
     )
     p_chaos.set_defaults(fn=_cmd_chaos)
 

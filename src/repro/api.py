@@ -84,12 +84,17 @@ class PropagateStats:
     dirty-queue entries conclusively popped (the difference is stale
     entries skipped without work); ``seconds`` is wall time.
 
-    ``path`` reports which recovery route ran: ``"propagate"`` for a
-    normal pass, ``"rollback"`` when a failed re-execution was undone
-    back to the last-good state (``undone`` edits reverted, ``restaged``
-    of them left staged for a later propagate), ``"rebuild"`` when the
-    session fell back to a from-scratch re-run.  On a recovery path
-    ``error`` holds the exception that triggered it.
+    ``path`` reports which route ran: ``"propagate"`` for a normal eager
+    pass, ``"demand"`` for a lazy :meth:`Session.demand` walk,
+    ``"rollback"`` when a failed re-execution was undone back to the
+    last-good state (``undone`` edits reverted, ``restaged`` of them left
+    staged for a later propagate), ``"rebuild"`` when the session fell
+    back to a from-scratch re-run.  On a recovery path ``error`` holds
+    the exception that triggered it.
+
+    ``demanded`` / ``skipped_clean`` are filled by demand walks: the
+    number of modifiables demanded and how many of those were served with
+    zero propagation work because they were not suspect.
     """
 
     reexecuted: int
@@ -98,9 +103,18 @@ class PropagateStats:
     path: str = "propagate"
     undone: int = 0
     restaged: int = 0
+    demanded: int = 0
+    skipped_clean: int = 0
     error: Optional[BaseException] = None
 
     def __str__(self) -> str:
+        if self.path == "demand":
+            return (
+                f"demanded in {self.seconds:.6f}s: {self.demanded} "
+                f"modifiable(s) walked ({self.skipped_clean} already clean), "
+                f"{self.reexecuted} reads re-executed, {self.drained} queue "
+                f"entries drained"
+            )
         if self.path == "rollback":
             return (
                 f"rolled back in {self.seconds:.6f}s: {self.undone} edits "
@@ -134,6 +148,19 @@ class Session:
     lets several sessions share one engine (or supply a pre-instrumented
     one); ``hook`` attaches an observability hook
     (:class:`repro.obs.events.TraceHook`) before anything runs.
+
+    ``mode`` selects the propagation discipline:
+
+    * ``"eager"`` (default) -- :meth:`propagate` drains the whole dirty
+      queue in timestamp order; reads of the output are plain peeks.
+    * ``"lazy"`` -- edits only mark the affected part of the dependence
+      graph *suspect*; work happens when a value is *demanded*
+      (:meth:`get` / :meth:`demand`), and only the dirty cone feeding the
+      demanded modifiable re-executes.  :meth:`propagate` still works and
+      flushes everything.
+
+    When an ``engine`` is supplied its mode wins; asking for
+    ``mode="lazy"`` with an eager engine is an error.
     """
 
     def __init__(
@@ -146,7 +173,15 @@ class Session:
         coarse: bool = False,
         engine: Optional[Engine] = None,
         hook: Optional[Any] = None,
+        mode: str = "eager",
     ) -> None:
+        if mode not in ("eager", "lazy"):
+            raise ValueError(f'mode must be "eager" or "lazy", got {mode!r}')
+        if engine is not None and mode == "lazy" and not engine.lazy:
+            raise ValueError(
+                'mode="lazy" conflicts with the supplied eager engine; '
+                'construct it with Engine(mode="lazy")'
+            )
         self.backend = resolve_backend(backend)
         self.app = None
         if isinstance(app, CompiledProgram):
@@ -176,7 +211,8 @@ class Session:
                     memoize=memoize, optimize_flag=optimize, coarse=coarse
                 )
         self.options = self.program.options
-        self.engine = engine if engine is not None else Engine()
+        self.engine = engine if engine is not None else Engine(mode=mode)
+        self.mode = self.engine.mode
         if hook is not None:
             self.engine.attach_hook(hook)
         self.instance = None
@@ -184,6 +220,7 @@ class Session:
         self.input_value: Any = _UNSET
         self.output: Any = None
         self.propagations = 0
+        self.demands = 0
         self.rebuilds = 0
 
     # -- running --------------------------------------------------------
@@ -342,6 +379,172 @@ class Session:
             seconds=seconds,
         )
 
+    def get(
+        self,
+        mod: Modifiable,
+        *,
+        budget: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> Any:
+        """Return the up-to-date value of one modifiable.
+
+        In lazy mode this is the demand entry point: only the dirty
+        subgraph feeding ``mod`` re-executes (zero work when ``mod`` is
+        not suspect).  In eager mode it is a plain peek -- the caller is
+        expected to have propagated already.
+        """
+        if self.mode == "lazy":
+            return self.engine.demand(mod, budget=budget, deadline=deadline)
+        return mod.peek()
+
+    def demand(
+        self,
+        target: Any = _UNSET,
+        *,
+        budget: Optional[int] = None,
+        deadline: Optional[float] = None,
+        on_error: str = "raise",
+    ) -> PropagateStats:
+        """Bring ``target`` (default: the session's output) fully up to
+        date; return :class:`PropagateStats` with ``path="demand"``.
+
+        Unlike :meth:`get`, which demands a single modifiable, this walks
+        the whole *value* -- every modifiable reachable through
+        constructor values and tuples is demanded, so reading the result
+        back afterwards observes no stale cell.  Dirty work that feeds
+        nothing in ``target`` stays queued for a later demand or
+        propagate.
+
+        ``budget`` / ``deadline`` bound the combined walk the same way
+        they bound :meth:`propagate`; ``on_error`` supports the same
+        ``"raise"`` / ``"rollback"`` / ``"rebuild"`` recovery policies.
+        Requires ``mode="lazy"``.
+        """
+        if on_error not in ("raise", "rollback", "rebuild"):
+            raise ValueError(
+                f'on_error must be "raise", "rollback" or "rebuild", '
+                f"got {on_error!r}"
+            )
+        if self.mode != "lazy":
+            raise ValueError('demand() requires Session(mode="lazy")')
+        if target is _UNSET:
+            if self.output is None:
+                raise ValueError(
+                    "no output to demand: run() first or pass a target"
+                )
+            target = self.output
+        meter = self.engine.meter
+        drained_before = meter.queue_drained
+        reexec_before = meter.edges_reexecuted
+        demands_before = meter.demands
+        clean_before = meter.demands_clean
+        started = time.perf_counter()
+        try:
+            self._demand_value(target, budget, deadline)
+        except (ReexecutionError, EnginePoisonedError) as exc:
+            if on_error == "raise":
+                raise
+            if on_error == "rollback":
+                if isinstance(exc, EnginePoisonedError) or not exc.consistent:
+                    raise
+                undone, recovery_reexecuted, restaged = self.engine.rollback()
+                self.demands += 1
+                return PropagateStats(
+                    reexecuted=recovery_reexecuted,
+                    drained=meter.queue_drained - drained_before,
+                    seconds=time.perf_counter() - started,
+                    path="rollback",
+                    undone=undone,
+                    restaged=restaged,
+                    error=exc,
+                )
+            self.rebuild()
+            self.demands += 1
+            return PropagateStats(
+                reexecuted=0,
+                drained=0,
+                seconds=time.perf_counter() - started,
+                path="rebuild",
+                error=exc,
+            )
+        self.demands += 1
+        return PropagateStats(
+            reexecuted=meter.edges_reexecuted - reexec_before,
+            drained=meter.queue_drained - drained_before,
+            seconds=time.perf_counter() - started,
+            path="demand",
+            demanded=meter.demands - demands_before,
+            skipped_clean=meter.demands_clean - clean_before,
+        )
+
+    def _demand_value(
+        self, value: Any, budget: Optional[int], deadline: Optional[float]
+    ) -> None:
+        """Demand every modifiable reachable from ``value``.
+
+        Iterative walk over the runtime value grammar -- the same one
+        :func:`repro.interp.values.deep_read` reads back (modifiables,
+        constructor values, tuples, ref cells; both backends share the
+        representation).  A shared ``budget``/``deadline`` spans all the
+        :meth:`Engine.demand` calls it makes.
+
+        One pass is not enough: demanding a later modifiable can
+        re-execute *shared* feeders and re-dirty one visited (clean)
+        earlier in the same pass -- msort's merge cells share sublists,
+        so cell 50's demand can stale cells 0..49 again.  The walk
+        therefore repeats until a whole pass re-executes nothing, which
+        proves every reachable modifiable was clean when visited.  Extra
+        passes over a consistent value are cheap: a clean demand is the
+        O(1) fast path.
+        """
+        from repro.interp.values import ConValue, RefCell
+
+        engine = self.engine
+        meter = engine.meter
+        reexec_base = meter.edges_reexecuted
+        deadline_at = (
+            None if deadline is None else time.monotonic() + deadline
+        )
+        while True:
+            pass_base = meter.edges_reexecuted
+            # Interning can share constructor subtrees; dedup every
+            # container by identity so each pass is linear in the live
+            # DAG, not the tree.
+            seen = set()
+            stack = [value]
+            while stack:
+                v = stack.pop()
+                if isinstance(v, (Modifiable, ConValue, tuple, RefCell)):
+                    if id(v) in seen:
+                        continue
+                    seen.add(id(v))
+                if isinstance(v, Modifiable):
+                    remaining_budget = None
+                    if budget is not None:
+                        spent = meter.edges_reexecuted - reexec_base
+                        remaining_budget = max(budget - spent, 0)
+                    remaining_deadline = None
+                    if deadline_at is not None:
+                        remaining_deadline = max(
+                            deadline_at - time.monotonic(), 0.0
+                        )
+                    stack.append(
+                        engine.demand(
+                            v,
+                            budget=remaining_budget,
+                            deadline=remaining_deadline,
+                        )
+                    )
+                elif isinstance(v, ConValue):
+                    if v.arg is not None:
+                        stack.append(v.arg)
+                elif isinstance(v, tuple):
+                    stack.extend(v)
+                elif isinstance(v, RefCell):
+                    stack.append(v.value)
+            if meter.edges_reexecuted == pass_base:
+                return
+
     def rebuild(self) -> Any:
         """From-scratch fallback: re-run on the current input data.
 
@@ -366,7 +569,7 @@ class Session:
                 "input (run with data=...)"
             )
         data = self.app.handle_data(self.handle)
-        self.engine = Engine()
+        self.engine = Engine(mode=self.mode)
         self.instance = None
         self.handle = None
         self.input_value = _UNSET
@@ -477,6 +680,7 @@ def verify_app(
     check_conventional: bool = True,
     backend: Optional[str] = None,
     batch: int = 1,
+    mode: str = "eager",
 ) -> VerifyResult:
     """Run the Section 4.3 random-change verification for one application.
 
@@ -484,8 +688,16 @@ def verify_app(
     ``backend`` resolves via :func:`resolve_backend`.  ``batch`` > 1
     coalesces that many random changes per propagation through
     :meth:`Session.batch` (the output is re-verified after each batch).
+    ``mode="lazy"`` updates via :meth:`Session.demand` after each change
+    instead of a full propagation (incompatible with ``batch`` > 1:
+    batch scopes propagate eagerly at exit).
     """
     app = _resolve_app(app)
+    if mode == "lazy" and batch > 1:
+        raise ValueError(
+            "batch > 1 is incompatible with mode='lazy': a batch scope "
+            "propagates eagerly when it closes"
+        )
     rng = random.Random(seed)
     session = Session(
         app,
@@ -493,6 +705,7 @@ def verify_app(
         optimize=optimize_flag,
         memoize=memoize,
         coarse=coarse,
+        mode=mode,
     )
     data = app.make_data(n, rng)
 
@@ -522,7 +735,7 @@ def verify_app(
         if group == 1:
             app.apply_change(session.handle, rng, step)
             step += 1
-            stats = session.propagate()
+            stats = session.demand() if mode == "lazy" else session.propagate()
         else:
             drained_before = session.engine.meter.queue_drained
             with session.batch() as b:
@@ -578,6 +791,7 @@ def oracle_app(
     check_invariants: bool = True,
     check_reference: bool = True,
     backend: Optional[str] = None,
+    mode: str = "eager",
 ) -> OracleResult:
     """From-scratch-consistency oracle for one application.
 
@@ -587,6 +801,9 @@ def oracle_app(
     input data -- the property the consistency theorems actually state.
     With ``check_invariants`` (default), an
     :class:`repro.obs.invariants.InvariantChecker` rides along.
+    ``mode="lazy"`` replaces each eager propagation with a demand of the
+    full output (:meth:`Session.demand`), exercising the dirty-marking /
+    demand-walk discipline against the same oracle.
     """
     app = _resolve_app(app)
     rng = random.Random(seed)
@@ -603,6 +820,7 @@ def oracle_app(
         memoize=memoize,
         coarse=coarse,
         hook=hook,
+        mode=mode,
     )
     data = app.make_data(n, rng)
     output = session.run(data=data)
@@ -619,7 +837,10 @@ def oracle_app(
     reexecuted = 0
     for step in range(changes):
         app.apply_change(session.handle, rng, step)
-        reexecuted += session.propagate().reexecuted
+        if mode == "lazy":
+            reexecuted += session.demand().reexecuted
+        else:
+            reexecuted += session.propagate().reexecuted
         got = app.readback(output)
 
         # The oracle: a fresh run of the same program over the current data.

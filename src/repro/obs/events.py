@@ -25,6 +25,7 @@ class TraceEvent(NamedTuple):
         mod-create  read-start  read-end  write  impwrite  change
         memo-hit    memo-miss   splice    discard
         reexec      propagate-begin       propagate-end
+        dirty-mark  demand-begin          demand-end
         batch-begin batch-end   trace-compact
         reexec-abort poison     rollback
     """
@@ -97,6 +98,23 @@ class TraceHook:
         (:class:`repro.sac.exceptions.PropagationBudgetExceeded`); the next
         resuming propagation emits its own begin/end pair.
         """
+
+    # -- lazy (demand-driven) propagation -------------------------------------
+    def on_dirty_mark(self, mod: Any) -> None:
+        """Lazy mode: an edit marked ``mod`` suspect (its value may now be
+        stale; a demand reaching it will re-execute its dirty feeders)."""
+
+    def on_demand_begin(self, mod: Any, queued: int) -> None:
+        """A demand walk for ``mod`` started with ``queued`` queue entries.
+        Also emitted (immediately followed by the end event) when the
+        demand is served clean, with zero work."""
+
+    def on_demand_end(self, mod: Any, reexecuted: int) -> None:
+        """The demand walk finished (``reexecuted`` edges re-run within
+        the demanded cone).  Unlike ``propagate-end``, the dirty queue may
+        legitimately be non-empty here: edits outside the demanded cone
+        stay staged.  Not emitted when the walk is cut short by a budget
+        or deadline."""
 
     # -- failure and recovery -------------------------------------------------
     def on_reexec_abort(self, edge: Any, exc: BaseException, consistent: bool) -> None:
@@ -187,6 +205,18 @@ class FanoutHook(TraceHook):
     def on_propagate_end(self, reexecuted):
         for h in self.hooks:
             h.on_propagate_end(reexecuted)
+
+    def on_dirty_mark(self, mod):
+        for h in self.hooks:
+            h.on_dirty_mark(mod)
+
+    def on_demand_begin(self, mod, queued):
+        for h in self.hooks:
+            h.on_demand_begin(mod, queued)
+
+    def on_demand_end(self, mod, reexecuted):
+        for h in self.hooks:
+            h.on_demand_end(mod, reexecuted)
 
     def on_reexec_abort(self, edge, exc, consistent):
         for h in self.hooks:
@@ -332,6 +362,15 @@ class EventLog(TraceHook):
 
     def on_propagate_end(self, reexecuted):
         self._emit("propagate-end", reexecuted=reexecuted)
+
+    def on_dirty_mark(self, mod):
+        self._emit("dirty-mark", mod=self._mod_name(mod))
+
+    def on_demand_begin(self, mod, queued):
+        self._emit("demand-begin", mod=self._mod_name(mod), queued=queued)
+
+    def on_demand_end(self, mod, reexecuted):
+        self._emit("demand-end", mod=self._mod_name(mod), reexecuted=reexecuted)
 
     def on_reexec_abort(self, edge, exc, consistent):
         self._emit(

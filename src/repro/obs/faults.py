@@ -233,6 +233,7 @@ def chaos_app(
     seed: int = 0,
     positions: Optional[Sequence[int]] = None,
     check_invariants: bool = True,
+    propagation: str = "eager",
 ) -> ChaosResult:
     """Fault-inject one app on one backend and prove it recovers.
 
@@ -247,6 +248,12 @@ def chaos_app(
     oracle) and the app's reference function, with the trace passing the
     structural invariant check.
 
+    ``propagation="lazy"`` runs the whole sweep on lazy sessions: each
+    change is followed by a full-output demand
+    (``Session.demand(on_error=mode)``) instead of an eager propagation,
+    so faults fire *inside demand walks* -- the injection window keys on
+    ``engine.propagating``, which a demand pass also sets.
+
     Returns a :class:`ChaosResult`; raises :class:`ChaosError` on any
     divergence.  Deterministic in ``seed``.
     """
@@ -259,16 +266,24 @@ def chaos_app(
     for site in sites:
         if site not in SITES:
             raise ValueError(f"unknown site {site!r}")
+    if propagation not in ("eager", "lazy"):
+        raise ValueError(
+            f'propagation must be "eager" or "lazy", got {propagation!r}'
+        )
+    lazy = propagation == "lazy"
 
     # Probe: enumerate the injectable positions over all propagations.
     rng = random.Random(seed)
     data = app.make_data(n, rng)
     counter = SiteCounter(during="propagate")
-    probe = Session(app, backend=backend, hook=counter)
+    probe = Session(app, backend=backend, hook=counter, mode=propagation)
     probe.run(data=data)
     for step in range(changes):
         app.apply_change(probe.handle, rng, step)
-        probe.propagate()
+        if lazy:
+            probe.demand()
+        else:
+            probe.propagate()
     counts = dict(counter.counts)
     resolved_backend = probe.backend
 
@@ -285,18 +300,29 @@ def chaos_app(
                 checker = InvariantChecker() if check_invariants else None
                 injector = FaultInjector(site, at=at)
                 hooks: List[TraceHook] = [h for h in (checker, injector) if h]
-                session = Session(app, backend=backend, hook=FanoutHook(hooks))
+                session = Session(
+                    app,
+                    backend=backend,
+                    hook=FanoutHook(hooks),
+                    mode=propagation,
+                )
                 session.run(data=data)
 
                 for step in range(changes):
                     app.apply_change(session.handle, rng, step)
-                    stats = session.propagate(on_error=mode)
-                    if stats.path != "propagate":
+                    if lazy:
+                        stats = session.demand(on_error=mode)
+                    else:
+                        stats = session.propagate(on_error=mode)
+                    if stats.path not in ("propagate", "demand"):
                         fired += 1
                     if stats.path == "rollback":
                         # Rollback left the edit re-staged; the fault was
                         # one-shot, so applying it now succeeds.
-                        session.propagate()
+                        if lazy:
+                            session.demand()
+                        else:
+                            session.propagate()
 
                 scenario = (
                     f"{app.name} [{resolved_backend}] site={site} at={at} "
@@ -319,6 +345,17 @@ def chaos_app(
                         f"chaos {scenario}: output diverges from reference\n"
                         f"  recovered: {got!r}\n  expected:  {expected!r}"
                     )
+                if lazy:
+                    # A full-output demand may leave work that feeds
+                    # nothing in the output queued; flush it and require
+                    # the flush to land on a fully clean trace.  The
+                    # fault under test targets the demand walks, so
+                    # disarm before flushing (a one-shot fault whose
+                    # position was deferred past every demand would
+                    # otherwise fire here instead).
+                    check_trace(session.engine, expect_empty_queue=False)
+                    injector.armed = False
+                    session.propagate()
                 check_trace(session.engine, expect_empty_queue=True)
                 if checker is not None:
                     invariant_checks += checker.total_checks()

@@ -18,6 +18,10 @@ checkable in one walk of the timestamp order:
    harmless dead entries), every dirty live edge in the trace is queued,
    and -- when no order relabel is pending -- every live entry's key
    snapshot agrees with its edge's current start key.
+5. **Suspicion covers dirtiness** (lazy engines only) -- every modifiable
+   in the upward reader-closure of a dirty live edge's recorded
+   destination is suspect, so a demand can never fast-path a modifiable
+   that still has stale feeders anywhere below it.
 
 :func:`check_trace` performs these structural checks on a quiescent
 engine.  :class:`InvariantChecker` is a :class:`~repro.obs.events.TraceHook`
@@ -168,6 +172,27 @@ def check_trace(
             if id(edge) not in queued_ids:
                 raise InvariantViolation(f"dirty live edge {edge!r} is not queued")
 
+    # 5. Lazy engines: suspicion must cover dirtiness -- not just the
+    # edge's own destination, but everything upward-reachable from it
+    # through live readers -- or a demand could serve a stale value
+    # without re-executing the dirty feeder below it.
+    if getattr(engine, "lazy", False):
+        visited = set()
+        stack = [e.dest for e in dirty_live if e.dest is not None]
+        while stack:
+            dest = stack.pop()
+            if id(dest) in visited:
+                continue
+            visited.add(id(dest))
+            if not dest.suspect:
+                raise InvariantViolation(
+                    f"{dest!r} is fed (transitively) by a dirty live edge "
+                    f"but is not marked suspect"
+                )
+            for r in dest.readers:
+                if not r.dead and r.dest is not None and id(r.dest) not in visited:
+                    stack.append(r.dest)
+
     return TraceCheckReport(stamps, reads, memos, max_depth, len(queue))
 
 
@@ -194,10 +219,12 @@ class InvariantChecker(TraceHook):
             "read_nesting": 0,
             "full_trace": 0,
             "abort_trace": 0,
+            "demand_trace": 0,
         }
         self.last_report: Optional[TraceCheckReport] = None
         self._last_popped: Any = None
         self._open_reads: list = []
+        self._in_demand = False
 
     def total_checks(self) -> int:
         return sum(self.checks.values())
@@ -224,14 +251,19 @@ class InvariantChecker(TraceHook):
         self.checks["splice_containment"] += 1
 
     def on_reexec(self, edge: Any) -> None:
-        last = self._last_popped
-        if last is not None and edge.start.label < last.label:
-            raise InvariantViolation(
-                f"dirty queue popped out of timestamp order: "
-                f"{edge.start.label} after {last.label}"
-            )
-        self._last_popped = edge.start
-        self.checks["queue_order"] += 1
+        # A demand pass legitimately revisits earlier timestamps: entries
+        # set aside as irrelevant are re-tested after every re-execution,
+        # and one that became relevant pops behind the cursor.  Strict
+        # pop-order monotonicity therefore only holds for eager passes.
+        if not self._in_demand:
+            last = self._last_popped
+            if last is not None and edge.start.label < last.label:
+                raise InvariantViolation(
+                    f"dirty queue popped out of timestamp order: "
+                    f"{edge.start.label} after {last.label}"
+                )
+            self._last_popped = edge.start
+            self.checks["queue_order"] += 1
         # Each re-execution resets the reader's local nesting context.
         self._open_reads.clear()
 
@@ -251,6 +283,24 @@ class InvariantChecker(TraceHook):
     def on_propagate_begin(self, queued: int) -> None:
         self._last_popped = None
         self._open_reads.clear()
+        self._in_demand = False
+
+    def on_demand_begin(self, mod: Any, queued: int) -> None:
+        self._last_popped = None
+        self._open_reads.clear()
+        self._in_demand = True
+
+    def on_demand_end(self, mod: Any, reexecuted: int) -> None:
+        """After a demand walk the trace must be structurally whole and
+        quiescent, but -- unlike after a full propagation -- the queue may
+        still hold dirty edges outside the demanded cone."""
+        self._in_demand = False
+        self._last_popped = None
+        if self.check_every_propagation:
+            self.last_report = check_trace(
+                self.engine, expect_quiescent=True, expect_empty_queue=False
+            )
+            self.checks["demand_trace"] += 1
 
     def on_propagate_end(self, reexecuted: int) -> None:
         self._last_popped = None

@@ -115,6 +115,28 @@ def _values_equal(a: Any, b: Any) -> bool:
     return True
 
 
+class _DemandStaleRead(Exception):
+    """Internal control flow for demand drains (never user-visible).
+
+    A demand pass defers dirty reads outside the demanded cone, so a
+    re-executed reader can reach a modifiable whose pending feeders were
+    set aside -- a *stale* one.  Reading it anyway is hazardous: with
+    ``keyed_mod`` identity recycling the stale structure can be *cyclic*,
+    and a reader following the loop recurses to the interpreter limit
+    instead of converging through re-dirtying.  :meth:`Engine.read`
+    raises this when a suspect modifiable with no current reader path to
+    the demand target is about to be read (and, as a backstop, when any
+    modifiable is re-entered :data:`Engine.CYCLE_READ_DEPTH` reads deep);
+    the drain undoes the partial re-execution transactionally, widens the
+    relevance set so the stale feeders run first, and retries in
+    timestamp order -- degrading to a full propagation if hazards exceed
+    :data:`Engine.DEMAND_HAZARD_CAP`.
+    """
+
+    def __init__(self, mod: "Modifiable") -> None:
+        self.mod = mod
+
+
 class Engine:
     """One self-adjusting computation: a trace plus a change queue.
 
@@ -137,10 +159,33 @@ class Engine:
     EDGE_POOL_CAP = 8192
     MEMO_POOL_CAP = 8192
 
-    def __init__(self) -> None:
+    #: how many reads deep the *same* modifiable may be re-entered during
+    #: a demand drain before the engine concludes the reader is chasing
+    #: stale cyclic structure and unwinds it (see
+    #: :class:`_DemandStaleRead`).  Honest programs recurse through a
+    #: *different* cell per read, so any small value works; 8 keeps a
+    #: false positive implausible.
+    CYCLE_READ_DEPTH = 8
+    #: how many stale-read hazards one demand drain may unwind before it
+    #: stops trusting relevance filtering and degrades to a full
+    #: propagation (each unwind rebuilds a cone from scratch, so past
+    #: this point the full pass is the cheaper sound option).
+    DEMAND_HAZARD_CAP = 32
+
+    def __init__(self, *, mode: str = "eager") -> None:
         import os
         import sys
 
+        if mode not in ("eager", "lazy"):
+            raise ValueError(f'mode must be "eager" or "lazy", got {mode!r}')
+        #: propagation mode.  ``"eager"`` (default): ``propagate`` drains
+        #: the whole dirty queue.  ``"lazy"``: edits additionally mark the
+        #: *suspect* cone (writer -> dependent reads -> enclosing mod
+        #: destinations) so :meth:`demand` can re-execute only the dirty
+        #: subgraph feeding one demanded output; a full ``propagate``
+        #: still works and clears every suspect bit.
+        self.mode = mode
+        self.lazy = mode == "lazy"
         limit = self.RECURSION_LIMIT
         env_limit = os.environ.get("REPRO_RECURSION_LIMIT")
         if env_limit:
@@ -174,6 +219,34 @@ class Engine:
         self.meter = Meter()
         self._mod_depth = 0
         self._reexec_depth = 0
+        #: stack of enclosing ``mod`` destinations; the top is recorded on
+        #: every read edge as its ``dest`` (the DDG node the read feeds).
+        #: Maintained unconditionally -- it is two list operations per mod
+        #: -- so a session can be switched to lazy inspection tooling
+        #: without re-running, and so eager and lazy traces stay identical.
+        self._dest_stack: List[Optional[Modifiable]] = []
+        #: lazy mode: every modifiable whose suspect bit is currently set
+        #: (for bulk clearing after a full propagation).
+        self._suspect_mods: set = set()
+        #: set on the first *in-run* imperative write (``:=``).  Imperative
+        #: writes can reach modifiables outside their reader's destination
+        #: cone, which demand's relevance filter cannot see before the
+        #: reader runs; once one is observed, :meth:`demand` degrades to a
+        #: full propagation (still correct, no longer lazy).
+        self._has_imperative = False
+        #: non-None exactly while a demand drain is re-executing: the
+        #: the active demand drain's relevance memo (None outside demand
+        #: drains), consulted by :meth:`read` to refuse reads of
+        #: possibly-stale modifiables (see :class:`_DemandStaleRead`).
+        self._drain_feeds: Optional[dict] = None
+        self._drain_target: Optional[Modifiable] = None
+        #: generation for negative relevance verdicts (see :meth:`_feeds`);
+        #: starts at 2 so a stored generation can never equal ``True``.
+        self._drain_gen = 2
+        #: id -> nesting count of modifiables currently being read inside
+        #: the demand drain (cycle backstop).
+        self._demand_reads: dict = {}
+        self._demand_degrade = False
         self.propagating = False
         #: open ``batch()`` scopes; while positive, edits accumulate in the
         #: dirty queue and propagation runs once at the outermost exit.
@@ -343,9 +416,11 @@ class Engine:
         self.meter.mods_created += 1
         if self.hook is not None:
             self.hook.on_mod_create(dest, False, False)
+        dest_stack = self._dest_stack
         if self._mod_depth == 0 and self._reexec_depth == 0:
             checkpoint = self.now
             self._mod_depth += 1
+            dest_stack.append(dest)
             try:
                 comp(dest)
                 if dest.value is UNWRITTEN:
@@ -355,16 +430,19 @@ class Engine:
                 raise
             finally:
                 self._mod_depth -= 1
+                dest_stack.pop()
         else:
             # Nested / propagation-time mods are the hot case: no
             # transaction checkpoint (propagate() owns recovery there).
             self._mod_depth += 1
+            dest_stack.append(dest)
             try:
                 comp(dest)
                 if dest.value is UNWRITTEN:
                     raise UnwrittenModError("mod body finished without writing")
             finally:
                 self._mod_depth -= 1
+                dest_stack.pop()
         return dest
 
     def read(self, mod: Modifiable, reader: Callable[[Any], None]) -> None:
@@ -378,10 +456,28 @@ class Engine:
         value = mod.value
         if value is UNWRITTEN:
             raise UnwrittenModError("read of an unwritten modifiable")
+        drain_feeds = self._drain_feeds
+        if drain_feeds is not None:
+            # Demand-drain hazard checks (see :class:`_DemandStaleRead`).
+            # A suspect modifiable outside the demand's relevance cone may
+            # be arbitrarily stale -- and stale structure can be *cyclic*
+            # (keyed_mod identity recycling), in which case following it
+            # diverges rather than converging through re-dirtying.  Refuse
+            # the read and let the drain widen the cone so the feeders run
+            # first.  The depth count is the backstop for a reader that
+            # slipped past the refusal and is chasing a loop anyway.
+            if mod.suspect and not self._feeds(
+                mod, self._drain_target, drain_feeds
+            ):
+                raise _DemandStaleRead(mod)
+            if self._demand_reads.get(id(mod), 0) >= self.CYCLE_READ_DEPTH:
+                raise _DemandStaleRead(mod)
         # Hottest engine primitive: _advance() is inlined and the meter is
         # fetched once (two stamps + two counters per read add up).
         insert_after = self._insert_after
         start = self.now = insert_after(self.now)
+        dest_stack = self._dest_stack
+        dest = dest_stack[-1] if dest_stack else None
         pool = self._edge_pool
         if pool:
             edge = pool.pop()
@@ -389,11 +485,12 @@ class Engine:
             edge.reader = reader
             edge.start = start
             edge.end = None
+            edge.dest = dest
             edge.dirty = False
             edge.dead = False
             self.edges_reused += 1
         else:
-            edge = ReadEdge(mod, reader, start)
+            edge = ReadEdge(mod, reader, start, dest)
         start.owner = edge
         mod.readers.add(edge)
         meter = self.meter
@@ -402,7 +499,24 @@ class Engine:
         hook = self.hook
         if hook is not None:
             hook.on_read_start(edge)
-        reader(value)
+        if drain_feeds is None:
+            reader(value)
+        else:
+            # Depth-count this read so the cycle backstop above can spot a
+            # reader chasing its own tail through stale structure.  Every
+            # mod is counted, not just suspect ones: a stale loop can pass
+            # through recycled cells that sit on no dirty dest chain.
+            reads = self._demand_reads
+            rkey = id(mod)
+            reads[rkey] = reads.get(rkey, 0) + 1
+            try:
+                reader(value)
+            finally:
+                depth = reads[rkey] - 1
+                if depth:
+                    reads[rkey] = depth
+                else:
+                    del reads[rkey]
         edge.end = self.now = insert_after(self.now)
         if hook is not None:
             hook.on_read_end(edge)
@@ -440,6 +554,12 @@ class Engine:
                 self.hook.on_impwrite(dest, value, False, 0)
             return
         inside_run = self._mod_depth > 0 or self._reexec_depth > 0
+        if inside_run:
+            # An in-run imperative write can reach modifiables outside its
+            # reader's destination cone, which lazy demand's relevance
+            # filter cannot anticipate; record it so :meth:`demand`
+            # degrades to a full propagation from here on.
+            self._has_imperative = True
         if (
             self._journal_enabled
             and not inside_run
@@ -451,6 +571,7 @@ class Engine:
         dest.value = value
         self.meter.changed_writes += 1
         now_key = self.now.key
+        lazy = self.lazy
         dirtied = 0
         for edge in list(dest.readers):
             if edge.dead or edge.dirty:
@@ -459,18 +580,101 @@ class Engine:
                 edge.dirty = True
                 self._enqueue(edge)
                 dirtied += 1
+                if lazy:
+                    self._mark_suspect(edge.dest)
         if self.hook is not None:
             self.hook.on_impwrite(dest, value, True, dirtied)
 
     def _dirty_readers(self, mod: Modifiable) -> int:
         dirtied = 0
+        lazy = self.lazy
         # Dirtying never mutates the reader set, so no defensive copy.
         for edge in mod.readers:
             if not edge.dead and not edge.dirty:
                 edge.dirty = True
                 self._enqueue(edge)
                 dirtied += 1
+                if lazy:
+                    # Invariant: a dirty live edge's destination chain is
+                    # suspect.  An already-dirty edge was marked when it
+                    # became dirty, and demand recomputes suspicion from
+                    # the still-queued edges when it completes, so marking
+                    # on the clean->dirty transition suffices.
+                    self._mark_suspect(edge.dest)
         return dirtied
+
+    def _mark_suspect(self, mod: Optional[Modifiable]) -> None:
+        """Mark ``mod`` and everything downstream of it suspect (lazy mode).
+
+        Follows reader edges to their enclosing destinations, stopping at
+        already-marked nodes, so a burst of edits costs time proportional
+        to the newly suspect region rather than edits x depth.
+        """
+        if mod is None or mod.suspect:
+            return
+        suspect_mods = self._suspect_mods
+        meter = self.meter
+        hook = self.hook
+        stack = [mod]
+        pop = stack.pop
+        while stack:
+            d = pop()
+            if d.suspect:
+                continue
+            d.suspect = True
+            suspect_mods.add(d)
+            meter.suspect_marks += 1
+            if hook is not None:
+                hook.on_dirty_mark(d)
+            for edge in d.readers:
+                if not edge.dead:
+                    dest = edge.dest
+                    if dest is not None and not dest.suspect:
+                        stack.append(dest)
+
+    def _refresh_suspects(self) -> None:
+        """Recompute the suspect set from the queue (after a demand pass).
+
+        Suspicion is sound only while it covers the upward reader-closure
+        of every dirty live edge's destination.  A demand pass cannot
+        simply clear the destinations it proved to feed its target: a mod
+        can feed the target *and* still have a second, deferred dirty
+        feeder whose cone was irrelevant to this demand -- clearing it
+        would let a later demand fast-path a stale value.  So on
+        completion the suspect set is recomputed exactly: the closure of
+        the dests still queued dirty.  (A ``None`` dest feeds everything,
+        so it pins the whole current set.)
+        """
+        roots = []
+        for _key, _seq, edge in self.queue:
+            if edge.dead or not edge.dirty:
+                continue
+            if edge.dest is None:
+                return  # feeds everything: no suspicion can clear
+            roots.append(edge.dest)
+        closure: dict = {}
+        stack = roots
+        pop = stack.pop
+        while stack:
+            d = pop()
+            if id(d) in closure:
+                continue
+            closure[id(d)] = d
+            for edge in d.readers:
+                if not edge.dead:
+                    dest = edge.dest
+                    if dest is not None and id(dest) not in closure:
+                        stack.append(dest)
+        for d in self._suspect_mods:
+            if id(d) not in closure:
+                d.suspect = False
+        kept = set(closure.values())
+        for d in kept:
+            # A re-execution may have built a fresh reader chain over a
+            # deferred dirty dest; its mods were clean when marked-on-dirty
+            # ran, so (re)assert the bit for the whole closure.
+            d.suspect = True
+        self._suspect_mods = kept
 
     def keyed_mod(self, key: Hashable, comp: Callable[[Modifiable], None]) -> Modifiable:
         """``mod`` with *keyed destination allocation* (AFL's "unsafe"
@@ -523,6 +727,7 @@ class Engine:
         stamp = self._advance()
         self.alloc_table[key] = (dest, stamp, stamp.gen)
         self._mod_depth += 1
+        self._dest_stack.append(dest)
         try:
             comp(dest)
             if dest.value is UNWRITTEN:
@@ -533,6 +738,7 @@ class Engine:
             raise
         finally:
             self._mod_depth -= 1
+            self._dest_stack.pop()
         return dest
 
     # ------------------------------------------------------------------
@@ -733,13 +939,165 @@ class Engine:
         hook = self.hook
         if hook is not None:
             hook.on_propagate_begin(len(self.queue))
+        try:
+            reexecuted = self._drain(budget, deadline, None, None)
+        finally:
+            self.propagating = False
+        # A complete pass leaves the outputs consistent with all inputs:
+        # this is the new last-good state, so the rollback journal resets
+        # and (in lazy mode) every suspect bit clears.
+        self._edit_log = []
+        if self._suspect_mods:
+            for d in self._suspect_mods:
+                d.suspect = False
+            self._suspect_mods.clear()
+        if hook is not None:
+            hook.on_propagate_end(reexecuted)
+        if self._compaction_due():
+            self.compact()
+        return reexecuted
+
+    def demand(
+        self,
+        mod: Modifiable,
+        *,
+        budget: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> Any:
+        """Bring one modifiable up to date and return its value (lazy mode).
+
+        The demand-driven half of ``mode="lazy"``: re-executes, in
+        timestamp order, exactly the dirty reads whose enclosing
+        destination chain feeds ``mod``; everything else stays dirty (its
+        cone suspect) for a later demand or :meth:`propagate`.  A
+        modifiable whose suspect bit is clear is served with zero
+        propagation work -- that is the many-edits-few-reads win.
+
+        ``budget`` / ``deadline`` behave as in :meth:`propagate`: on
+        overrun the call raises :class:`PropagationBudgetExceeded` between
+        re-executions, with all remaining work still queued *and every
+        suspect bit still set*, so an interrupted demand can never cause a
+        later one to serve a stale value.
+
+        Programs that performed in-run imperative writes (``:=``) degrade
+        to a full :meth:`propagate`: an imperative write can reach
+        modifiables outside its reader's destination cone, which the
+        relevance filter cannot see before the reader runs.  This keeps
+        demand sound for the full language; the pure fragment (every
+        registered benchmark app) gets the real demand-driven walk.
+        """
+        self._check_usable()
+        if not self.lazy:
+            raise PropagationError(
+                'demand requires an engine in lazy mode (Engine(mode="lazy"))'
+            )
+        if self._batch_depth:
+            raise PropagationError("demand called inside an open batch()")
+        if self.propagating:
+            raise PropagationError("demand is not reentrant with propagation")
+        if mod.value is UNWRITTEN:
+            raise UnwrittenModError("demand of an unwritten modifiable")
+        meter = self.meter
+        meter.demands += 1
+        if self._has_imperative:
+            self.propagate(budget=budget, deadline=deadline)
+            return mod.value
+        hook = self.hook
+        if not mod.suspect:
+            meter.demands_clean += 1
+            if hook is not None:
+                hook.on_demand_begin(mod, len(self.queue))
+                hook.on_demand_end(mod, 0)
+            return mod.value
+        self.propagating = True
+        if hook is not None:
+            hook.on_demand_begin(mod, len(self.queue))
+        started = None if deadline is None else time.monotonic()
+        feeds: dict = {mod: True}
+        try:
+            reexecuted = self._drain(budget, deadline, mod, feeds)
+        finally:
+            self.propagating = False
+        if self._demand_degrade:
+            # A cycle hazard fired (see _DemandStaleRead): relevance
+            # filtering cannot finish this demand soundly, so fall back to
+            # one full pass under whatever budget/deadline remains.
+            self._demand_degrade = False
+            left_b = None if budget is None else max(budget - reexecuted, 0)
+            left_d = (
+                None
+                if deadline is None
+                else max(deadline - (time.monotonic() - started), 0.0)
+            )
+            reexecuted += self.propagate(budget=left_b, deadline=left_d)
+        # Suspicion cannot be cleared from the feeds verdicts: a mod can
+        # feed the target *and* retain a second, deferred dirty feeder.
+        # Recompute the suspect set exactly from what is still queued.
+        self._refresh_suspects()
+        if not self.queue:
+            # Nothing dirty anywhere, so this demand was in fact a
+            # complete pass: the new last-good state, and the rollback
+            # journal resets exactly as after a full propagation.
+            self._edit_log = []
+        if hook is not None:
+            hook.on_demand_end(mod, reexecuted)
+        if self._compaction_due():
+            self.compact()
+        return mod.value
+
+    def _drain(
+        self,
+        budget: Optional[int],
+        deadline: Optional[float],
+        target: Optional[Modifiable],
+        feeds: Optional[dict],
+    ) -> int:
+        """The propagation loop shared by :meth:`propagate` and
+        :meth:`demand`.
+
+        Pops dirty edges in timestamp order and re-executes them
+        transactionally.  With a ``target`` (a demand pass), entries whose
+        destination chain does not currently feed the target are set aside
+        instead of re-executed.  Because a re-execution can rewire the
+        trace -- a branch flip creating a fresh read of a previously
+        irrelevant (and stale) modifiable -- the pass runs in *rounds*:
+        when the queue exhausts with re-executions having happened since
+        the last round, the set-aside entries are pushed back and the
+        cached negative reachability verdicts dropped, so every survivor
+        is re-tested against the final trace (positive verdicts can only
+        become conservative, so they are kept).  The fixpoint -- a round
+        that re-executes nothing -- leaves only genuinely irrelevant
+        entries deferred.  The caller owns ``self.propagating`` and the
+        begin/end hook events.
+        """
+        hook = self.hook
         deadline_at = None if deadline is None else time.monotonic() + deadline
         meter = self.meter
         order = self.order
         queue = self.queue
+        dest_stack = self._dest_stack
         reexecuted = 0
+        prev_round = 0
+        hazards = 0
+        stash: List[Tuple[int, int, ReadEdge]] = []
+        if target is not None:
+            self._drain_feeds = feeds
+            self._drain_target = target
+            self._demand_reads = {}
         try:
-            while queue:
+            while True:
+                if not queue:
+                    if target is None or not stash or reexecuted == prev_round:
+                        break
+                    # End of a round with re-executions behind it: they
+                    # may have rewired the trace so that a set-aside
+                    # edge now feeds the target.  Push the stash back,
+                    # drop the stale negative verdicts, and re-test;
+                    # stop at the fixpoint round that defers everything.
+                    prev_round = reexecuted
+                    self._restash(stash)
+                    self._drain_gen += 1
+                    continue
                 # Re-executed readers insert stamps, which can relabel; a
                 # pending epoch change invalidates every key snapshot in
                 # the heap, so re-key before trusting the heap order.
@@ -750,7 +1108,7 @@ class Engine:
                     meter.queue_drained += 1
                     if (
                         edge.dead
-                        and self.hook is None
+                        and hook is None
                         and len(self._edge_pool) < self.EDGE_POOL_CAP
                     ):
                         # A discarded edge leaves the queue for good here;
@@ -759,42 +1117,121 @@ class Engine:
                         edge.end = None
                         self._edge_pool.append(edge)
                     continue
+                if target is not None and not self._feeds(edge.dest, target, feeds):
+                    # Dirty but not feeding the demanded output: set the
+                    # entry aside, still dirty, still suspect upstream.
+                    stash.append((entry_key, entry_seq, edge))
+                    meter.demand_deferred += 1
+                    continue
                 if budget is not None and reexecuted >= budget:
                     heapq.heappush(queue, (entry_key, entry_seq, edge))
                     raise PropagationBudgetExceeded(
                         f"propagation budget of {budget} re-execution(s) "
-                        f"exhausted with {len(queue)} queue entries left",
+                        f"exhausted with {len(queue) + len(stash)} queue "
+                        f"entries left",
                         reexecuted=reexecuted,
-                        pending=len(queue),
+                        pending=len(queue) + len(stash),
                     )
                 if deadline_at is not None and time.monotonic() >= deadline_at:
                     heapq.heappush(queue, (entry_key, entry_seq, edge))
                     raise PropagationBudgetExceeded(
                         f"propagation deadline of {deadline:g}s exceeded "
-                        f"with {len(queue)} queue entries left",
+                        f"with {len(queue) + len(stash)} queue entries left",
                         reexecuted=reexecuted,
-                        pending=len(queue),
+                        pending=len(queue) + len(stash),
                     )
                 meter.queue_drained += 1
-                edge.dirty = False
                 assert edge.end is not None
+                if target is not None:
+                    # Pre-scan the edge's old interval for suspect
+                    # modifiables outside the relevance cone.  The reader
+                    # consumed them last time, so it will very likely read
+                    # them again; widening the cone up front lets their
+                    # feeders (earlier timestamps) run first, so the
+                    # re-execution sees fresh values instead of reading
+                    # stale ones that must then be fixed up by an extra
+                    # re-dirty round -- and instead of ever entering stale
+                    # cyclic structure, which would trip the
+                    # _DemandStaleRead backstop and throw the whole
+                    # partial re-execution away.
+                    widened = False
+                    node = edge.start.next
+                    interval_end = edge.end
+                    while node is not None and node is not interval_end:
+                        owner = node.owner
+                        if (
+                            type(owner) is ReadEdge
+                            and not owner.dead
+                            and owner.mod is not None
+                            and owner.mod.suspect
+                            and feeds.get(owner.mod) is not True
+                            and not self._feeds(owner.mod, target, feeds)
+                        ):
+                            feeds[owner.mod] = True
+                            widened = True
+                        node = node.next
+                    if widened:
+                        self._drain_gen += 1
+                        if stash:
+                            self._restash(stash)
+                        heapq.heappush(queue, (entry_key, entry_seq, edge))
+                        continue
+                edge.dirty = False
                 if hook is not None:
                     hook.on_reexec(edge)
                 saved_now, saved_limit = self.now, self.reuse_limit
                 self.now = edge.start
                 self.reuse_limit = edge.end
                 self._reexec_depth += 1
+                dest_stack.append(edge.dest)
                 try:
                     try:
                         edge.reader(edge.mod.value)
                     finally:
                         self._reexec_depth -= 1
+                        dest_stack.pop()
                     # Discard whatever old trace was neither re-created
                     # nor spliced.  Inside the protected region: skipping
                     # this splice-out would silently corrupt the DDG, so a
                     # failure here must go through the same abort path.
                     self._delete_range(self.now, edge.end)
                 except BaseException as exc:
+                    if isinstance(exc, _DemandStaleRead):
+                        # The reader is chasing a stale loop.  Widen the
+                        # cone to the looping modifiable and to every
+                        # suspect modifiable the not-yet-consumed rest of
+                        # the old interval still names (the retry will
+                        # read them again), unwind transactionally, and
+                        # retry with the feeders scheduled first.  Each
+                        # hazard grows the monotone positive set, so this
+                        # terminates; if hazards keep firing anyway, give
+                        # up on relevance filtering and finish as a full
+                        # propagation.
+                        meter.demand_hazards += 1
+                        hazards += 1
+                        feeds[exc.mod] = True
+                        node = self.now.next
+                        while node is not None and node is not edge.end:
+                            owner = node.owner
+                            if (
+                                type(owner) is ReadEdge
+                                and not owner.dead
+                                and owner.mod is not None
+                                and owner.mod.suspect
+                            ):
+                                feeds[owner.mod] = True
+                            node = node.next
+                        if not self._unwind_reexec(
+                            edge, exc, saved_now, saved_limit,
+                            keep_remainder=True,
+                        ):
+                            self._check_usable()  # poisoned: raises
+                        if hazards > self.DEMAND_HAZARD_CAP:
+                            self._demand_degrade = True
+                            break
+                        self._drain_gen += 1
+                        self._restash(stash)
+                        continue
                     wrapped = self._abort_reexec(
                         edge, exc, saved_now, saved_limit, reexecuted
                     )
@@ -805,15 +1242,129 @@ class Engine:
                 reexecuted += 1
                 meter.edges_reexecuted += 1
         finally:
-            self.propagating = False
-        # A complete pass leaves the outputs consistent with all inputs:
-        # this is the new last-good state, so the rollback journal resets.
-        self._edit_log = []
-        if hook is not None:
-            hook.on_propagate_end(reexecuted)
-        if self._compaction_due():
-            self.compact()
+            if target is not None:
+                self._drain_feeds = None
+                self._drain_target = None
+                self._demand_reads = {}
+            if stash:
+                self._restash(stash)
         return reexecuted
+
+    def _restash(self, stash: List[Tuple[int, int, ReadEdge]]) -> None:
+        """Push set-aside demand entries back onto the dirty queue.
+
+        Keys are re-snapshotted (a re-execution in between may have
+        relabelled stamps); original tiebreaks are kept so equal keys
+        still pop in their dirtying order.
+        """
+        if self.order.epoch != self._queue_epoch:
+            self._rekey_queue()
+        queue = self.queue
+        for _key, seq, edge in stash:
+            heapq.heappush(queue, (edge.start.key, seq, edge))
+        if len(queue) > self._queue_peak:
+            self._queue_peak = len(queue)
+        stash.clear()
+
+    def _feeds(
+        self, start: Optional[Modifiable], target: Modifiable, memo: dict
+    ) -> bool:
+        """Whether ``start``'s value can flow into ``target`` through the
+        current trace, following reader edges to their enclosing
+        destinations.
+
+        ``None`` (a read with no recorded destination) is conservatively
+        treated as feeding everything.  ``memo`` caches verdicts for one
+        demand pass; the search is bounded by the suspect region, because
+        edit-time marking walked the same reader->destination relation.
+
+        Positive verdicts are ``True`` and permanent (a re-execution can
+        only make them conservative).  Negative verdicts are stored as
+        the drain generation (``self._drain_gen``) they were computed in:
+        bumping the generation -- after a round restart, a widening, or a
+        hazard unwind rewires relevance -- invalidates every negative at
+        once without sweeping the memo.
+        """
+        if start is None or start is target:
+            return True
+        gen = self._drain_gen
+        cached = memo.get(start)
+        if cached is not None:
+            if cached is True:
+                return True
+            if cached == gen:
+                return False
+        # Iterative memoized DFS.  ``path`` holds the open frames; every
+        # frame reaches the node under exploration, so one hit marks the
+        # whole path True at once.
+        path: List[Tuple[Modifiable, Any]] = [(start, iter(start.readers))]
+        on_path = {start}
+        while path:
+            node, readers = path[-1]
+            advanced = False
+            for edge in readers:
+                if edge.dead:
+                    continue
+                dest = edge.dest
+                if dest is None or dest is target or memo.get(dest) is True:
+                    for frame, _readers in path:
+                        memo[frame] = True
+                    return True
+                cached = memo.get(dest)
+                if (
+                    (cached is None or (cached is not True and cached != gen))
+                    and dest not in on_path
+                ):
+                    path.append((dest, iter(dest.readers)))
+                    on_path.add(dest)
+                    advanced = True
+                    break
+            if not advanced:
+                memo[node] = gen
+                on_path.discard(node)
+                path.pop()
+        return False
+
+    def _unwind_reexec(
+        self,
+        edge: ReadEdge,
+        exc: BaseException,
+        saved_now: Stamp,
+        saved_limit: Optional[Stamp],
+        keep_remainder: bool = False,
+    ) -> bool:
+        """Splice out one interrupted re-execution and restage it.
+
+        The partial new trace goes, the cursor and reuse zone are
+        restored, and the edge is re-queued dirty so the undone work
+        stays staged.  By default the unreused old trace goes too (a
+        *failed* reader may have corrupted anything it touched);
+        ``keep_remainder`` preserves it for a stale-read hazard unwind --
+        the reader itself was fine, only scheduled too early, so the
+        retry can keep memo-splicing the untouched rest of its old
+        sub-trace instead of rebuilding the whole cone from scratch.
+        Returns True on success; on a cleanup failure the engine is
+        poisoned and False returned.
+        """
+        try:
+            if keep_remainder:
+                # Everything from the interval start through the cursor is
+                # partial new trace (with the reused splices it swallowed);
+                # self.now.next starts the well-formed old remainder.
+                self._delete_range(edge.start, self.now.next)
+            else:
+                self._delete_range(edge.start, edge.end)
+            self.now, self.reuse_limit = saved_now, saved_limit
+            if not edge.dead and not edge.dirty:
+                edge.dirty = True
+                self._enqueue(edge)
+            return True
+        except BaseException as cleanup_exc:
+            self.poison(
+                f"abort cleanup after a failed re-execution raised "
+                f"{cleanup_exc!r} (original reader error: {exc!r})"
+            )
+            return False
 
     def _abort_reexec(
         self,
@@ -825,29 +1376,14 @@ class Engine:
     ) -> Optional[ReexecutionError]:
         """Transactional abort of one failed re-execution.
 
-        Splices the edge's whole interval out (partial new trace and
-        unreused old trace alike), restores the cursor and reuse zone, and
-        re-queues the edge as dirty so the failed work stays staged.  If
-        the cleanup itself fails the engine is poisoned instead.
-
-        Returns the typed :class:`ReexecutionError` to raise, or None when
-        ``exc`` is not an :class:`Exception` (KeyboardInterrupt and
-        friends): those are cleaned up after but re-raised unchanged.
+        :meth:`_unwind_reexec` does the splice-out and restaging; this
+        wrapper owns the abort accounting and constructs the typed
+        :class:`ReexecutionError` to raise -- None when ``exc`` is not an
+        :class:`Exception` (KeyboardInterrupt and friends): those are
+        cleaned up after but re-raised unchanged.
         """
         self.meter.reexec_aborts += 1
-        consistent = True
-        try:
-            self._delete_range(edge.start, edge.end)
-            self.now, self.reuse_limit = saved_now, saved_limit
-            if not edge.dead and not edge.dirty:
-                edge.dirty = True
-                self._enqueue(edge)
-        except BaseException as cleanup_exc:
-            consistent = False
-            self.poison(
-                f"abort cleanup after a failed re-execution raised "
-                f"{cleanup_exc!r} (original reader error: {exc!r})"
-            )
+        consistent = self._unwind_reexec(edge, exc, saved_now, saved_limit)
         if self.hook is not None:
             self.hook.on_reexec_abort(edge, exc, consistent)
         if not isinstance(exc, Exception):
@@ -1077,6 +1613,7 @@ class Engine:
                         owner.mod.readers.discard(owner)
                         owner.mod = None
                         owner.reader = None
+                        owner.dest = None
                         meter.live_edges -= 1
                         if not owner.dirty and len(edge_pool) < edge_cap:
                             owner.start = None

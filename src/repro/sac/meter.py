@@ -46,6 +46,20 @@ class Meter:
     #: failed initial runs whose partial trace was truncated back to the
     #: pre-run checkpoint (transactional ``mod`` / ``Session.run``).
     run_aborts: int = 0
+    #: lazy mode (``Engine(mode="lazy")``): demand calls served, demand
+    #: calls answered without any propagation work (the demanded
+    #: modifiable was not suspect), suspect bits set by edit-time dirty
+    #: marking, dirty-queue entries set aside by a demand pass because
+    #: they do not feed the demanded output, and stale-read hazards a
+    #: demand drain unwound (a re-execution reached a possibly-stale
+    #: modifiable outside the relevance cone; the drain widened the cone
+    #: and retried, or degraded to a full pass on a cycle).  All five stay
+    #: zero on eager engines, so eager meter pins are unaffected.
+    demands: int = 0
+    demands_clean: int = 0
+    suspect_marks: int = 0
+    demand_deferred: int = 0
+    demand_hazards: int = 0
     #: trace-compaction passes and the table entries they reclaimed.
     compactions: int = 0
     memo_entries_compacted: int = 0

@@ -30,13 +30,21 @@ class Modifiable:
         value: current contents (or :data:`UNWRITTEN`).
         readers: set of live :class:`repro.sac.trace.ReadEdge` objects that
             observed this modifiable.
+        suspect: lazy-mode dirty bit.  Under ``Engine(mode="lazy")`` an
+            edit marks every modifiable whose value *may* now be stale --
+            the edited one's readers' destinations, transitively -- and
+            :meth:`repro.sac.engine.Engine.demand` clears the bit once the
+            demanded cone is clean again.  A modifiable with a clear bit
+            can be served without any propagation work.  Eager engines
+            never set it.
     """
 
-    __slots__ = ("value", "readers")
+    __slots__ = ("value", "readers", "suspect")
 
     def __init__(self, value: Any = UNWRITTEN) -> None:
         self.value = value
         self.readers: Set[Any] = set()
+        self.suspect = False
 
     @property
     def written(self) -> bool:

@@ -33,15 +33,30 @@ class ReadEdge:
     changes, the edge becomes *dirty* and is queued; change propagation
     re-executes the closure within its interval, discarding whatever part of
     the old sub-trace is not reused through memoization.
+
+    ``dest`` is the innermost enclosing ``mod`` destination at the time the
+    read ran: the modifiable this read's re-execution ultimately writes.
+    It is what lazy (demand-driven) propagation walks to decide whether a
+    dirty edge feeds a demanded output (see ``Engine.demand``); eager
+    propagation never looks at it.  ``None`` means the read ran with no
+    enclosing destination on record, which demand treats as "feeds
+    everything" (always sound, possibly eager).
     """
 
-    __slots__ = ("mod", "reader", "start", "end", "dirty", "dead")
+    __slots__ = ("mod", "reader", "start", "end", "dest", "dirty", "dead")
 
-    def __init__(self, mod: Any, reader: Callable[[Any], None], start: Stamp) -> None:
+    def __init__(
+        self,
+        mod: Any,
+        reader: Callable[[Any], None],
+        start: Stamp,
+        dest: Any = None,
+    ) -> None:
         self.mod = mod
         self.reader = reader
         self.start: Optional[Stamp] = start
         self.end: Optional[Stamp] = None
+        self.dest = dest
         self.dirty = False
         self.dead = False
 
@@ -61,6 +76,7 @@ class ReadEdge:
         self.mod.readers.discard(self)
         self.mod = None
         self.reader = None
+        self.dest = None
         engine.meter.live_edges -= 1
         if not self.dirty and engine.hook is None:
             pool = engine._edge_pool

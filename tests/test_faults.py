@@ -233,3 +233,39 @@ def test_chaos_recovers_every_app(name, backend):
     )
     assert result.scenarios > 0
     assert result.invariant_checks > 0
+
+
+# ----------------------------------------------------------------------
+# Chaos under lazy demand walks
+
+#: The lazy sweep multiplies scenarios the same way, so it runs on a
+#: representative subset: keyed sharing (msort), cutoffs (filter), and a
+#: matrix app whose output is a tuple-of-mods structure (mat-add).
+LAZY_CHAOS_APPS = ["filter", "msort", "mat-add"]
+
+
+@pytest.mark.parametrize("backend", ["interp", "compiled"])
+@pytest.mark.parametrize("name", LAZY_CHAOS_APPS)
+def test_chaos_recovers_under_lazy_demand(name, backend):
+    """Faults planted inside demand walks (the injection window keys on
+    ``engine.propagating``, which demand also sets) must recover through
+    ``Session.demand(on_error=...)`` to the from-scratch oracle's output,
+    with the suspicion-closure invariant holding throughout."""
+    result = chaos_app(
+        REGISTRY[name],
+        SIZES[name],
+        backend=backend,
+        changes=2,
+        seed=SEEDS.get(name, 0),
+        positions=POSITIONS.get(name),
+        propagation="lazy",
+    )
+    assert isinstance(result, ChaosResult)
+    assert result.scenarios > 0
+    assert result.fired >= 1
+    assert result.invariant_checks > 0
+
+
+def test_chaos_rejects_unknown_propagation():
+    with pytest.raises(ValueError):
+        chaos_app(REGISTRY["map"], 8, propagation="sometimes")

@@ -1,0 +1,482 @@
+"""Demand-driven (lazy) propagation: differential grid, metamorphic
+properties, and regression pins.
+
+Lazy mode (``Session(mode="lazy")`` / ``Engine(mode="lazy")``) replaces
+the eager drain-everything discipline with *suspect marking* at edit time
+and a restricted drain at demand time: only dirty reads whose destination
+chain feeds the demanded modifiable re-execute.  The correctness contract
+is threefold, and each part gets its own section here:
+
+1. **Differential**: for every registered app, on both backends, a lazy
+   session demanding its output after each change produces exactly the
+   eager session's outputs and the from-scratch oracle's outputs.
+2. **Metamorphic / meter-exact**: a burst of edits followed by one demand
+   equals per-edit eager propagation; a second demand of the same output
+   re-executes *nothing* (meter deltas are zero); dirty work in a cone
+   nobody demands runs zero user code.
+3. **Regression**: the suspect-clearing bug class -- a mod that both
+   feeds the demanded target and retains a second, deferred dirty feeder
+   must stay suspect, or a later demand fast-paths a stale value.  Pinned
+   at the exact msort scenario that exposed it and at unit scale.
+"""
+
+import random
+
+import pytest
+
+from repro.api import Session, oracle_app, values_close, verify_app
+from repro.apps import REGISTRY
+from repro.obs.invariants import InvariantChecker, check_trace
+from repro.sac.engine import Engine
+from repro.sac.exceptions import PropagationBudgetExceeded, PropagationError
+
+BACKENDS = ["interp", "compiled"]
+
+#: Same shape as test_backends_differential.APP_SIZES: per-app input size
+#: and change count, small because the grid runs every app twice per test.
+APP_SIZES = {
+    "map": (16, 6),
+    "filter": (16, 6),
+    "reverse": (16, 6),
+    "split": (16, 6),
+    "qsort": (16, 6),
+    "msort": (16, 6),
+    "vec-reduce": (16, 6),
+    "vec-mult": (16, 6),
+    "mat-vec-mult": (6, 4),
+    "mat-add": (6, 4),
+    "transpose": (6, 4),
+    "mat-mult": (4, 4),
+    "block-mat-mult": (8, 3),
+    "raytracer": (4, 2),
+}
+
+#: A representative subset for the more expensive property tests: list
+#: apps with real sharing (msort's keyed spine, qsort's partitions), a
+#: cutoff-heavy app (filter), and a matrix app (tuple-structured output).
+PROPERTY_APPS = ["filter", "qsort", "msort", "vec-mult", "mat-add"]
+
+
+# ----------------------------------------------------------------------
+# 1. The differential grid
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", sorted(APP_SIZES))
+def test_lazy_consistent_with_from_scratch(name, backend):
+    """Per change: demand the full output, compare against a fresh
+    session on the current data and the reference function, with the
+    invariant checker (including the suspicion-closure check) riding
+    along."""
+    n, changes = APP_SIZES[name]
+    oracle_app(name, n, changes, mode="lazy", backend=backend)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", sorted(APP_SIZES))
+def test_lazy_matches_eager_stepwise(name, backend):
+    """Twin sessions, identical change streams: after every change the
+    lazy session's demanded output equals the eager session's propagated
+    output."""
+    app = REGISTRY[name]
+    n, changes = APP_SIZES[name]
+    rng_e, rng_l = random.Random(11), random.Random(11)
+    eager = Session(app, backend=backend)
+    lazy = Session(app, backend=backend, mode="lazy")
+    out_e = eager.run(data=app.make_data(n, rng_e))
+    out_l = lazy.run(data=app.make_data(n, rng_l))
+    assert values_close(app.readback(out_e), app.readback(out_l))
+    for step in range(changes):
+        app.apply_change(eager.handle, rng_e, step)
+        app.apply_change(lazy.handle, rng_l, step)
+        eager.propagate()
+        stats = lazy.demand()
+        assert stats.path == "demand"
+        assert values_close(app.readback(out_e), app.readback(out_l)), (
+            f"{name} [{backend}]: lazy output diverges from eager "
+            f"after change {step}"
+        )
+
+
+@pytest.mark.parametrize("name", PROPERTY_APPS)
+def test_lazy_meter_parity_between_backends(name):
+    """Both backends call the engine identically, so a lazy trail's meter
+    snapshots (including the demand counters) must be identical too."""
+    n, changes = APP_SIZES[name]
+
+    def trail(backend):
+        app = REGISTRY[name]
+        rng = random.Random(5)
+        session = Session(app, backend=backend, mode="lazy")
+        out = session.run(data=app.make_data(n, rng))
+        snaps = [session.engine.meter.snapshot()]
+        for step in range(changes):
+            app.apply_change(session.handle, rng, step)
+            session.demand()
+            snaps.append((app.readback(out), session.engine.meter.snapshot()))
+        return snaps
+
+    assert trail("interp") == trail("compiled")
+
+
+def test_verify_app_lazy_mode():
+    result = verify_app("msort", 16, 6, mode="lazy")
+    assert result.changes == 6
+
+
+# ----------------------------------------------------------------------
+# 2. Metamorphic properties and meter-exact laziness
+
+
+@pytest.mark.parametrize("name", PROPERTY_APPS)
+def test_demand_after_edit_burst_matches_eager(name):
+    """N edits then ONE demand == N alternating edit/propagate rounds."""
+    app = REGISTRY[name]
+    n, changes = APP_SIZES[name]
+    rng_e, rng_l = random.Random(23), random.Random(23)
+    eager = Session(app)
+    lazy = Session(app, mode="lazy")
+    out_e = eager.run(data=app.make_data(n, rng_e))
+    out_l = lazy.run(data=app.make_data(n, rng_l))
+    for step in range(changes):
+        app.apply_change(eager.handle, rng_e, step)
+        eager.propagate()
+        app.apply_change(lazy.handle, rng_l, step)
+    lazy.demand()
+    assert values_close(app.readback(out_e), app.readback(out_l))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", PROPERTY_APPS)
+def test_second_demand_is_free(name, backend):
+    """Demanding an already-demanded output does zero propagation work:
+    no re-executions, no queue drains, every walked mod already clean."""
+    app = REGISTRY[name]
+    n, changes = APP_SIZES[name]
+    rng = random.Random(3)
+    session = Session(app, backend=backend, mode="lazy")
+    session.run(data=app.make_data(n, rng))
+    for step in range(changes):
+        app.apply_change(session.handle, rng, step)
+    session.demand()
+
+    meter = session.engine.meter
+    before = meter.snapshot()
+    stats = session.demand()
+    after = meter.snapshot()
+    assert stats.reexecuted == 0
+    assert stats.drained == 0
+    assert stats.skipped_clean == stats.demanded
+    assert after["edges_reexecuted"] == before["edges_reexecuted"]
+    assert after["queue_drained"] == before["queue_drained"]
+    assert (
+        after["demands_clean"] - before["demands_clean"] == stats.demanded
+    )
+
+
+def _cone(engine, source, label, calls):
+    """One modifiable computed from ``source``; counts reader runs."""
+
+    def comp(dest):
+        def reader(v):
+            calls[label] = calls.get(label, 0) + 1
+            engine.write(dest, v * 10)
+
+        engine.read(source, reader)
+
+    return engine.mod(comp)
+
+
+def test_undemanded_cone_does_zero_work():
+    """Two independent cones; demanding one must not run the other's
+    reader, and its dirty edge stays queued and suspect for later."""
+    engine = Engine(mode="lazy")
+    calls = {}
+    x1, x2 = engine.make_input(1), engine.make_input(2)
+    y1 = _cone(engine, x1, "y1", calls)
+    y2 = _cone(engine, x2, "y2", calls)
+    engine.change(x1, 5)
+    engine.change(x2, 7)
+
+    assert engine.demand(y1) == 50
+    assert calls == {"y1": 2, "y2": 1}  # y2 ran only in the initial run
+    assert len(engine.queue) == 1  # y2's edge deferred, not dropped
+    assert engine.meter.demand_deferred >= 1
+    assert y2.suspect and not y1.suspect
+    check_trace(engine)  # closure invariant holds mid-laziness
+
+    assert engine.demand(y2) == 70
+    assert calls["y2"] == 2
+    assert not engine.queue
+    check_trace(engine, expect_empty_queue=True)
+
+
+def test_demand_counters_stay_zero_on_eager_engines():
+    engine = Engine()
+    m = engine.make_input(3)
+    engine.change(m, 4)
+    engine.propagate()
+    snap = engine.meter.snapshot()
+    assert snap["demands"] == 0
+    assert snap["demands_clean"] == 0
+    assert snap["suspect_marks"] == 0
+    assert snap["demand_deferred"] == 0
+
+
+def test_demand_requires_lazy_engine_and_session():
+    engine = Engine()
+    m = engine.make_input(1)
+    with pytest.raises(PropagationError):
+        engine.demand(m)
+    with pytest.raises(ValueError):
+        Session("map").demand()
+    with pytest.raises(ValueError):
+        Session("map", engine=Engine(), mode="lazy")
+    with pytest.raises(ValueError):
+        Session("map", mode="sometimes")
+    with pytest.raises(ValueError):
+        verify_app("map", 8, 2, mode="lazy", batch=2)
+
+
+def test_session_adopts_engine_mode():
+    lazy_engine = Engine(mode="lazy")
+    session = Session("map", engine=lazy_engine)
+    assert session.mode == "lazy"
+
+
+def test_session_get_peeks_in_eager_mode():
+    session = Session("map")
+    rng = random.Random(0)
+    out = session.run(data=session.app.make_data(8, rng))
+    assert session.get(out) is out.peek()
+
+
+def test_full_propagate_clears_all_suspicion():
+    engine = Engine(mode="lazy")
+    calls = {}
+    x = engine.make_input(1)
+    y = _cone(engine, x, "y", calls)
+    engine.change(x, 2)
+    assert y.suspect
+    engine.propagate()
+    assert not y.suspect
+    assert not engine._suspect_mods
+    assert engine.demand(y) == 20
+    assert engine.meter.demands_clean == 1
+
+
+# ----------------------------------------------------------------------
+# 3. Regressions: the suspect-clearing bug class
+
+
+def test_sibling_cone_stays_suspect_after_partial_demand():
+    """Regression (exact scenario): msort, 16 elements, 4 random edits,
+    then a full-output demand.  Demanding the head cells first used to
+    clear suspicion -- via the feeds-True verdicts -- on tail cells that
+    were *also* fed by a dirty edge deferred as irrelevant to the head,
+    so the tail cells served stale values.  The suspect set must instead
+    be recomputed from what is still queued."""
+    app = REGISTRY["msort"]
+    session = Session(app, mode="lazy", hook=InvariantChecker())
+    out = session.run(data=app.make_data(16, random.Random(0)))
+    rng = random.Random(1)
+    for step in range(4):
+        app.apply_change(session.handle, rng, step)
+    session.demand()
+    got = app.readback(out)
+    expected = app.reference(app.handle_data(session.handle))
+    assert got == expected, f"stale cell served: {got} != {expected}"
+    # And nothing is left half-marked: a second demand is free...
+    stats = session.demand()
+    assert stats.reexecuted == 0 and stats.skipped_clean == stats.demanded
+    # ...while any genuinely deferred work still satisfies the closure
+    # invariant (check_trace validates it for lazy engines).
+    check_trace(session.engine)
+
+
+def test_mod_feeding_target_with_second_dirty_feeder_stays_suspect():
+    """Unit-scale pin of the same class: ``top`` reads both ``left`` and
+    ``right``.  Demand ``left`` (relevant cone only); ``top`` feeds
+    ``left``'s demand nothing, but it must STAY suspect because
+    ``right``'s edit is still queued -- otherwise demanding ``top`` next
+    would fast-path a stale sum."""
+    engine = Engine(mode="lazy")
+    xl, xr = engine.make_input(1), engine.make_input(100)
+    calls = {}
+    left = _cone(engine, xl, "left", calls)
+    right = _cone(engine, xr, "right", calls)
+
+    def top_comp(dest):
+        def read_left(lv):
+            engine.read(right, lambda rv: engine.write(dest, lv + rv))
+
+        engine.read(left, read_left)
+
+    top = engine.mod(top_comp)
+    assert top.value == 1010
+
+    engine.change(xl, 2)
+    engine.change(xr, 200)
+    assert engine.demand(left) == 20
+    # right's edit was irrelevant to left's cone and stayed queued; every
+    # mod it transitively feeds (right, top) must still be suspect.
+    assert right.suspect and top.suspect
+    assert engine.demand(top) == 2020
+    assert not engine.queue
+    check_trace(engine, expect_empty_queue=True)
+
+
+def test_write_cutoff_clears_remarked_node_on_demand():
+    """Clean-but-remarked: an edit marks the whole chain suspect, the
+    re-execution write cuts off (equal value), so nothing above actually
+    re-runs -- and the demand must *unmark* the chain rather than leave
+    it permanently suspect (or worse, serve a stale value later)."""
+    engine = Engine(mode="lazy")
+    x = engine.make_input(5)
+
+    def abs_comp(dest):
+        engine.read(x, lambda v: engine.write(dest, abs(v)))
+
+    y = engine.mod(abs_comp)
+    calls = {}
+    top = _cone(engine, y, "top", calls)
+    assert engine.demand(top) == 50
+    assert calls["top"] == 1
+
+    engine.change(x, -5)  # |x| unchanged: the write will cut off
+    assert top.suspect
+    assert engine.demand(top) == 50
+    assert calls["top"] == 1  # cutoff: top's reader never re-ran
+    assert not top.suspect and not y.suspect  # suspicion fully recomputed
+    check_trace(engine, expect_empty_queue=True)
+
+    # A->B->A editing: values must track every flip, including back.
+    engine.change(x, -7)
+    assert engine.demand(top) == 70
+    engine.change(x, 5)
+    assert engine.demand(top) == 50
+    assert calls["top"] == 3
+    check_trace(engine, expect_empty_queue=True)
+
+
+def test_budget_interrupted_demand_keeps_suspicion_and_resumes():
+    """An interrupted demand must leave every suspect bit set: clearing
+    on the abort path would let the *next* demand fast-path a value the
+    interrupted walk never got to recompute."""
+    engine = Engine(mode="lazy")
+    x = engine.make_input(1)
+
+    def mid_comp(dest):
+        engine.read(x, lambda v: engine.write(dest, v + 1))
+
+    mid = engine.mod(mid_comp)
+    calls = {}
+    top = _cone(engine, mid, "top", calls)
+    assert engine.demand(top) == 20
+
+    engine.change(x, 10)
+    with pytest.raises(PropagationBudgetExceeded):
+        engine.demand(top, budget=1)  # two re-executions needed
+    assert top.suspect  # interruption may not clear anything
+    assert engine.demand(top) == 110  # resumes and completes
+    assert not top.suspect
+    check_trace(engine, expect_empty_queue=True)
+
+
+def test_imperative_write_degrades_demand_to_propagate():
+    """In-run ``impwrite`` can dirty reads outside any destination cone,
+    so a demand on such an engine must flush everything (still correct,
+    no longer lazy) -- including cones nobody demanded."""
+    engine = Engine(mode="lazy")
+    x = engine.make_input(1)
+    calls = {}
+    other_x = engine.make_input(5)
+    other = _cone(engine, other_x, "other", calls)
+
+    def comp(dest):
+        engine.read(x, lambda v: engine.impwrite(dest, v + 1))
+
+    y = engine.mod(comp)
+    assert engine._has_imperative
+    engine.change(x, 10)
+    engine.change(other_x, 6)
+    assert engine.demand(y) == 11
+    assert not engine.queue  # full propagation: other's cone flushed too
+    assert calls["other"] == 2
+    check_trace(engine, expect_empty_queue=True)
+
+
+def test_deep_demand_burst_converges_on_shared_feeders():
+    """32-edit burst at n=128: ``Session.demand`` must iterate its value
+    walk to a fixpoint.  Demanding a later output cell re-executes merge
+    feeders *shared* with earlier cells and can re-dirty a cell the walk
+    already visited clean; a single pass over the value grammar is not a
+    consistency proof."""
+    app = REGISTRY["msort"]
+    rng_e, rng_l = random.Random(3), random.Random(3)
+    eager = Session(app)
+    lazy = Session(app, mode="lazy")
+    out_e = eager.run(data=app.make_data(128, rng_e))
+    out_l = lazy.run(data=app.make_data(128, rng_l))
+    for step in range(32):
+        app.apply_change(eager.handle, rng_e, step)
+        eager.propagate()
+        app.apply_change(lazy.handle, rng_l, step)
+    lazy.demand()
+    assert values_close(app.readback(out_e), app.readback(out_l))
+    again = lazy.demand()
+    assert again.reexecuted == 0 and again.drained == 0
+    check_trace(lazy.engine)
+
+
+def test_get_is_a_shallow_force():
+    """``Session.get`` forces ONE modifiable (Adapton-style): the value
+    it returns is consistent, but inner cells it points to may stay lazy
+    until demanded themselves -- ``Session.demand`` catches them up."""
+    app = REGISTRY["msort"]
+    rng = random.Random(3)
+    session = Session(app, mode="lazy")
+    output = session.run(data=app.make_data(64, rng))
+    for step in range(16):
+        app.apply_change(session.handle, rng, step)
+    head = session.get(output)
+    assert head is not None
+    assert not output.suspect  # the forced cell itself is consistent
+    check_trace(session.engine)  # ... and the trace is sound mid-laziness
+    session.demand()  # deep walk: now the whole output is current
+    assert not session.engine.queue or all(
+        e.dead for _, _, e in session.engine.queue
+    )
+
+
+def test_demand_unwinds_stale_reads_outside_the_cone():
+    """Regression: a demand drain must never let a re-executed reader
+    follow possibly-stale structure outside the relevance cone.
+
+    Before the hazard check this exact scenario -- msort, a 16-edit
+    burst, then one head-only force -- sent a re-executed reader into a
+    stale *cyclic* list left behind by ``keyed_mod`` identity recycling
+    in a deferred region, and the reader recursed to the interpreter
+    limit (a multi-minute ``RecursionReexecutionError``).  ``Engine.read``
+    now refuses such reads; the drain unwinds the edge transactionally,
+    widens the cone, and retries in timestamp order.  Pin that the hazard
+    path actually runs here, that it is metered, and that the result
+    still matches the eager oracle exactly.
+    """
+    app = REGISTRY["msort"]
+    rng_e, rng_l = random.Random(3), random.Random(3)
+    eager = Session(app)
+    lazy = Session(app, mode="lazy")
+    out_e = eager.run(data=app.make_data(64, rng_e))
+    out_l = lazy.run(data=app.make_data(64, rng_l))
+    for step in range(16):
+        app.apply_change(eager.handle, rng_e, step)
+        eager.propagate()
+        app.apply_change(lazy.handle, rng_l, step)
+    lazy.get(out_l)
+    # The widen-and-retry path must have fired -- this pins the scenario
+    # as a live reproducer, not a vacuous pass.
+    assert lazy.engine.meter.demand_hazards > 0
+    check_trace(lazy.engine)  # every unwind left the trace whole
+    lazy.demand()
+    assert values_close(app.readback(out_e), app.readback(out_l))
