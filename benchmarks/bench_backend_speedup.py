@@ -1,17 +1,20 @@
-"""Backend speedup: the closure-compilation backend vs the interpreter.
+"""Backend speedup: the compiled backends vs the interpreter.
 
-Both backends drive the *same* engine through the same primitive sequence
-(the differential test suite asserts meter-exact equivalence), so any
-timing difference is pure dispatch cost: AST ``isinstance`` ladders and
-``Env`` dict chains on the interpreter side vs staged closures and
-slot-indexed frames on the compiled side.
+All three backends drive the *same* engine through the same primitive
+sequence (the differential test suite asserts meter-exact equivalence),
+so any timing difference is pure dispatch cost: AST ``isinstance``
+ladders and ``Env`` dict chains on the interpreter side, vs staged
+closures and slot-indexed frames (``compiled``), vs flat instruction
+sequences under an explicit control stack (``stack``).
 
-Claims checked at the default sizes: the compiled backend's initial msort
-run is at least 1.4x faster at n=64, and change propagation is never
-slower.  (The edge was ~2.3x before the engine hot-path overhaul; the
-interpreter's operator-table primitive dispatch and inlined variable
-lookups closed part of the gap from below, which is the desired outcome --
-the absolute times of *both* backends dropped.)
+Claims checked at the default sizes: the compiled backend's initial
+msort run is at least 1.4x faster at n=64 and neither compiled backend's
+change propagation is ever slower than the interpreter's.  (The stack
+backend's instruction dispatch avoids the recursive backends' Python
+call/return churn entirely, and on this workload it edges out even the
+closure backend on both run and propagation; its headline feature --
+recursion-free deep workloads -- is measured by
+``bench_deep_recursion.py``.)
 ``REPRO_BACKEND_SIZES`` overrides the sizes (e.g. "32 64" for a CI smoke
 run); the claims are only asserted at the defaults.
 ``REPRO_BENCH_REPEAT`` overrides the number of timing attempts per
@@ -24,6 +27,7 @@ import os
 
 from repro.apps import REGISTRY
 from repro.api import measure_app
+from repro.backends import BACKENDS
 from repro.bench import format_series
 
 from _util import bench_repeat, emit, format_spread_rows, once
@@ -54,51 +58,59 @@ def _measure(backend):
 
 def test_backend_speedup_msort(benchmark, capsys):
     def run():
-        return _measure("interp"), _measure("compiled")
+        return {b: _measure(b) for b in BACKENDS}
 
-    (interp_rows, interp_runs, interp_props), (
-        compiled_rows,
-        compiled_runs,
-        compiled_props,
-    ) = once(benchmark, run)
+    measured = once(benchmark, run)
+    interp_rows, interp_runs, interp_props = measured["interp"]
 
     # Identical engine work: the speedup is dispatch-only, by construction.
-    for i, c in zip(interp_rows, compiled_rows):
-        assert i.mods_created == c.mods_created
-        assert i.trace_size == c.trace_size
+    for backend in BACKENDS:
+        for i, c in zip(interp_rows, measured[backend][0]):
+            assert i.mods_created == c.mods_created
+            assert i.trace_size == c.trace_size
 
-    series = {
-        "interp run (s)": [min(s) for s in interp_runs],
-        "compiled run (s)": [min(s) for s in compiled_runs],
-        "run speedup": [
-            min(i) / min(c) for i, c in zip(interp_runs, compiled_runs)
-        ],
-        "interp prop (s)": [min(s) for s in interp_props],
-        "compiled prop (s)": [min(s) for s in compiled_props],
-        "prop speedup": [
-            min(i) / min(c) for i, c in zip(interp_props, compiled_props)
-        ],
-    }
+    series = {"interp run (s)": [min(s) for s in interp_runs]}
+    for backend in BACKENDS:
+        if backend == "interp":
+            continue
+        runs, props = measured[backend][1], measured[backend][2]
+        series[f"{backend} run (s)"] = [min(s) for s in runs]
+        series[f"{backend} run speedup"] = [
+            min(i) / min(c) for i, c in zip(interp_runs, runs)
+        ]
+    series["interp prop (s)"] = [min(s) for s in interp_props]
+    for backend in BACKENDS:
+        if backend == "interp":
+            continue
+        props = measured[backend][2]
+        series[f"{backend} prop (s)"] = [min(s) for s in props]
+        series[f"{backend} prop speedup"] = [
+            min(i) / min(c) for i, c in zip(interp_props, props)
+        ]
     text = format_series(
-        "Backend speedup: msort, interp vs closure-compiled", SIZES, series
+        "Backend speedup: msort, interp vs compiled vs stack", SIZES, series
     )
 
     spread_rows = {}
     for i, n in enumerate(SIZES):
-        spread_rows[f"interp prop n={n}"] = interp_props[i]
-        spread_rows[f"compiled prop n={n}"] = compiled_props[i]
+        for backend in BACKENDS:
+            spread_rows[f"{backend} prop n={n}"] = measured[backend][2][i]
     text += "\n\n" + format_spread_rows(
         f"Timing spread over {ATTEMPTS} attempt(s)", spread_rows
     )
 
     if not _SMOKE:
         at64 = SIZES.index(64)
-        assert series["run speedup"][at64] >= 1.4, (
+        assert series["compiled run speedup"][at64] >= 1.4, (
             "compiled backend lost its initial-run edge at n=64: "
-            f"{series['run speedup'][at64]:.2f}x"
+            f"{series['compiled run speedup'][at64]:.2f}x"
         )
-        assert all(s >= 1.0 for s in series["prop speedup"]), (
-            f"compiled propagation slower than interp: {series['prop speedup']}"
-        )
+        for backend in BACKENDS:
+            if backend == "interp":
+                continue
+            speedups = series[f"{backend} prop speedup"]
+            assert all(s >= 1.0 for s in speedups), (
+                f"{backend} propagation slower than interp: {speedups}"
+            )
 
     emit(capsys, "Backend speedup", text)

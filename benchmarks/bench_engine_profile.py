@@ -1,12 +1,12 @@
-"""Engine hot-path profile of msort on both backends, as a checked-in
+"""Engine hot-path profile of msort on every backend, as a checked-in
 artifact.
 
 This runs the ``python -m repro profile`` harness
 (:func:`repro.obs.profile.profile_app`) for the merge-sort benchmark on
-the interpreter and the closure-compilation backend and saves the reports
-side by side.  The per-phase meter columns of the two reports must be
-identical (the backends drive the same engine primitive sequence); the
-wall-clock columns are where the dispatch cost shows.  The order /
+each registered backend and saves the reports side by side.  The
+per-phase meter columns of the reports must be identical (the backends
+drive the same engine primitive sequence); the wall-clock columns are
+where the dispatch cost shows.  The order /
 queue / pool statistics document the engine data-structure behaviour --
 relabel counts, queue rekeys, free-list reuse -- at a realistic size.
 
@@ -15,6 +15,7 @@ relabel counts, queue rekeys, free-list reuse -- at a realistic size.
 
 import os
 
+from repro.backends import BACKENDS
 from repro.obs.profile import profile_app
 
 from _util import emit, once
@@ -29,17 +30,18 @@ def test_engine_profile_msort(benchmark, capsys):
             profile_app(
                 "msort", n=N, changes=CHANGES, seed=1, backend=backend, top=8
             )
-            for backend in ("interp", "compiled")
+            for backend in BACKENDS
         ]
 
     reports = once(benchmark, run)
 
-    interp, compiled = reports
+    interp = reports[0]
     # Meter-exact backend parity, phase by phase.
-    for pi, pc in zip(interp.phases, compiled.phases):
-        assert pi.counters == pc.counters, (
-            f"phase {pi.name!r}: backend meter deltas diverge"
-        )
+    for other in reports[1:]:
+        for pi, pc in zip(interp.phases, other.phases):
+            assert pi.counters == pc.counters, (
+                f"phase {pi.name!r}: backend meter deltas diverge"
+            )
 
     text = "\n\n".join(report.format() for report in reports)
     emit(capsys, "Engine profile", text)

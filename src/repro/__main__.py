@@ -16,7 +16,7 @@ Usage::
 The ``verify`` subcommand runs the paper's random-change correctness
 protocol against one of the bundled benchmark applications.
 
-``verify`` and ``trace`` accept ``--backend {interp,compiled}`` to select
+``verify`` and ``trace`` accept ``--backend {interp,compiled,stack}`` to select
 the self-adjusting execution backend: the tree-walking interpreter or the
 closure-compilation backend (README "Backends").  The default comes from
 the ``REPRO_BACKEND`` environment variable (``interp`` if unset).
@@ -42,6 +42,8 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+
+from repro.backends import BACKENDS
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
@@ -290,7 +292,7 @@ def main(argv=None) -> int:
     p_verify.add_argument("--changes", type=int, default=10)
     p_verify.add_argument("--seed", type=int, default=0)
     p_verify.add_argument(
-        "--backend", choices=["interp", "compiled"], default=None,
+        "--backend", choices=list(BACKENDS), default=None,
         help="self-adjusting execution backend: the tree-walking "
              "interpreter or the closure-compilation backend "
              "(default: $REPRO_BACKEND, else interp)",
@@ -330,7 +332,7 @@ def main(argv=None) -> int:
     p_trace.add_argument("--no-check", action="store_true",
                          help="disable the trace invariant checker")
     p_trace.add_argument(
-        "--backend", choices=["interp", "compiled"], default=None,
+        "--backend", choices=list(BACKENDS), default=None,
         help="self-adjusting execution backend (default: $REPRO_BACKEND, "
              "else interp); both emit identical traces and events",
     )
@@ -357,7 +359,7 @@ def main(argv=None) -> int:
         help="recovery mode(s) to exercise (repeatable; default both)",
     )
     p_chaos.add_argument(
-        "--backend", choices=["interp", "compiled"], default=None,
+        "--backend", choices=list(BACKENDS), default=None,
         help="self-adjusting execution backend (default: $REPRO_BACKEND, "
              "else interp)",
     )
@@ -386,7 +388,7 @@ def main(argv=None) -> int:
                            help="attach an event log and report per-phase "
                                 "event counts (disables record pooling)")
     p_profile.add_argument(
-        "--backend", choices=["interp", "compiled"], default=None,
+        "--backend", choices=list(BACKENDS), default=None,
         help="self-adjusting execution backend (default: $REPRO_BACKEND, "
              "else interp)",
     )

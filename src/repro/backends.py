@@ -20,10 +20,13 @@ from __future__ import annotations
 import os
 from typing import Optional
 
-#: The two self-adjusting execution backends (README "Backends"):
-#: ``interp`` walks the translated SXML; ``compiled`` stages it into
-#: Python closures (:mod:`repro.compile`) for zero-dispatch execution.
-BACKENDS = ("interp", "compiled")
+#: The self-adjusting execution backends (README "Backends"): ``interp``
+#: walks the translated SXML; ``compiled`` stages it into Python closures
+#: (:mod:`repro.compile`) for zero-dispatch execution; ``stack`` flattens
+#: it into instruction sequences driven by an explicit control stack
+#: (:mod:`repro.compile.stackmachine`) for zero-recursion execution of
+#: deep workloads.
+BACKENDS = ("interp", "compiled", "stack")
 
 #: Environment variable consulted when no explicit backend is requested.
 BACKEND_ENV_VAR = "REPRO_BACKEND"

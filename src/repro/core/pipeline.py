@@ -91,10 +91,11 @@ class SelfAdjustingInstance:
     :meth:`propagate`.
 
     ``backend`` selects how the translated SXML executes: ``"interp"``
-    (the tree-walking interpreter) or ``"compiled"`` (the closure-
-    compilation backend, staged once at instance creation).  Both produce
-    identical outputs, traces, and meter counts; ``None`` defers to
-    :func:`repro.backends.resolve_backend`.
+    (the tree-walking interpreter), ``"compiled"`` (the closure-
+    compilation backend, staged once at instance creation), or ``"stack"``
+    (the flat stack-machine backend: recursion-free execution for deep
+    inputs).  All produce identical outputs, traces, and meter counts;
+    ``None`` defers to :func:`repro.backends.resolve_backend`.
     """
 
     def __init__(
@@ -112,6 +113,10 @@ class SelfAdjustingInstance:
             from repro.compile import CompiledSelfAdjusting
 
             self.interp = CompiledSelfAdjusting(self.engine)
+        elif self.backend == "stack":
+            from repro.compile.stackmachine import StackSelfAdjusting
+
+            self.interp = StackSelfAdjusting(self.engine)
         else:
             raise ValueError(
                 f"unknown backend {self.backend!r} (expected one of {BACKENDS})"

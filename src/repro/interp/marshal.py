@@ -70,10 +70,15 @@ class ModListInput:
         self.engine = engine
         self.nil = nil
         self.cons = cons
-        self.mods: List[Modifiable] = [engine.make_input(intern_con(nil))]
+        # Build back-to-front and reverse once: the obvious
+        # ``insert(0, ...)`` per element is O(n^2) and dominates marshal
+        # time for the deep-workload stress inputs (n ~ 1e5).
+        mods: List[Modifiable] = [engine.make_input(intern_con(nil))]
         for item in reversed(list(items)):
-            cell = intern_con(cons, (item, self.mods[0]))
-            self.mods.insert(0, engine.make_input(cell))
+            cell = intern_con(cons, (item, mods[-1]))
+            mods.append(engine.make_input(cell))
+        mods.reverse()
+        self.mods: List[Modifiable] = mods
 
     @property
     def head(self) -> Modifiable:

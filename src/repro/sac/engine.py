@@ -828,6 +828,242 @@ class Engine:
         return result
 
     # ------------------------------------------------------------------
+    # Split primitives (stack-machine backend)
+    #
+    # ``mod``/``read``/``memo`` above run their body synchronously: the
+    # engine calls back into the backend (``comp``/``reader``/``thunk``)
+    # and stamps the interval end after the callback returns, so every
+    # traced nesting level costs a live Python frame.  The stack-machine
+    # backend (:mod:`repro.compile.stackmachine`) replaces that host
+    # recursion with an explicit control stack, which requires the same
+    # protocols split into begin/end/abort halves it can interleave with
+    # its own dispatch.  Each half below mirrors its recursive original
+    # line for line -- same stamps in the same order, same meter
+    # increments, same hook emissions, same pooling, same demand-hazard
+    # checks -- and the differential grid in
+    # ``tests/test_backends_differential.py`` holds them to meter-exact
+    # equality.  When editing ``mod``/``read``/``memo``, edit these too.
+
+    def read_begin(
+        self, mod: Modifiable, reader: Callable[[Any], None]
+    ) -> Tuple[ReadEdge, Any]:
+        """First half of :meth:`read`: register the edge, return its value.
+
+        Performs everything :meth:`read` does up to (but excluding) the
+        ``reader(value)`` callback: hazard checks, start stamp, edge
+        allocation and registration, meters, hooks, and the demand-drain
+        depth count.  The caller must execute the reader body itself and
+        finish with :meth:`read_end` (success) or :meth:`read_abort`
+        (exception unwinding).
+        """
+        if self._mod_depth == 0 and self._reexec_depth == 0:
+            raise ReadOutsideModError("read outside the scope of any mod")
+        value = mod.value
+        if value is UNWRITTEN:
+            raise UnwrittenModError("read of an unwritten modifiable")
+        drain_feeds = self._drain_feeds
+        if drain_feeds is not None:
+            if mod.suspect and not self._feeds(
+                mod, self._drain_target, drain_feeds
+            ):
+                raise _DemandStaleRead(mod)
+            if self._demand_reads.get(id(mod), 0) >= self.CYCLE_READ_DEPTH:
+                raise _DemandStaleRead(mod)
+        start = self.now = self._insert_after(self.now)
+        dest_stack = self._dest_stack
+        dest = dest_stack[-1] if dest_stack else None
+        pool = self._edge_pool
+        if pool:
+            edge = pool.pop()
+            edge.mod = mod
+            edge.reader = reader
+            edge.start = start
+            edge.end = None
+            edge.dest = dest
+            edge.dirty = False
+            edge.dead = False
+            self.edges_reused += 1
+        else:
+            edge = ReadEdge(mod, reader, start, dest)
+        start.owner = edge
+        mod.readers.add(edge)
+        meter = self.meter
+        meter.reads_executed += 1
+        meter.live_edges += 1
+        if self.hook is not None:
+            self.hook.on_read_start(edge)
+        if drain_feeds is not None:
+            reads = self._demand_reads
+            rkey = id(mod)
+            reads[rkey] = reads.get(rkey, 0) + 1
+        return edge, value
+
+    def read_end(self, edge: ReadEdge) -> None:
+        """Second half of :meth:`read`: the reader body completed normally."""
+        if self._drain_feeds is not None:
+            reads = self._demand_reads
+            rkey = id(edge.mod)
+            depth = reads[rkey] - 1
+            if depth:
+                reads[rkey] = depth
+            else:
+                del reads[rkey]
+        edge.end = self.now = self._insert_after(self.now)
+        if self.hook is not None:
+            self.hook.on_read_end(edge)
+
+    def read_abort(self, edge: ReadEdge) -> None:
+        """Unwind half of :meth:`read`: the reader body raised.
+
+        Mirrors the recursive ``read``'s ``finally`` when the reader
+        raises: only the demand-drain depth count is released -- no end
+        stamp, no hook.  Trace surgery is owned by the enclosing
+        transaction (outermost :meth:`mod` truncation or
+        ``_unwind_reexec``), exactly as for the recursive backends.
+        """
+        if self._drain_feeds is not None:
+            reads = self._demand_reads
+            rkey = id(edge.mod)
+            depth = reads.get(rkey, 0) - 1
+            if depth > 0:
+                reads[rkey] = depth
+            elif depth == 0:
+                del reads[rkey]
+
+    def mod_begin(self) -> Tuple[Modifiable, Optional[Stamp]]:
+        """First half of :meth:`mod`: allocate the destination.
+
+        Returns ``(dest, checkpoint)``; ``checkpoint`` is non-None exactly
+        when this is an *outermost* mod (no enclosing mod, not inside
+        propagation), in which case the caller must pass it back to
+        :meth:`mod_abort` so a failed body truncates the partial trace.
+        """
+        if self._poison is not None:
+            self._check_usable()
+        dest = Modifiable()
+        self.meter.mods_created += 1
+        if self.hook is not None:
+            self.hook.on_mod_create(dest, False, False)
+        checkpoint = (
+            self.now
+            if self._mod_depth == 0 and self._reexec_depth == 0
+            else None
+        )
+        self._mod_depth += 1
+        self._dest_stack.append(dest)
+        return dest, checkpoint
+
+    def mod_end(
+        self, dest: Modifiable, checkpoint: Optional[Stamp]
+    ) -> None:
+        """Second half of :meth:`mod`: the body completed normally."""
+        if dest.value is UNWRITTEN:
+            # Same order as the recursive original: the outermost
+            # transaction truncates (``except``) before the depth/dest
+            # bookkeeping unwinds (``finally``).
+            if checkpoint is not None:
+                self.truncate_after(checkpoint)
+            self._mod_depth -= 1
+            self._dest_stack.pop()
+            raise UnwrittenModError("mod body finished without writing")
+        self._mod_depth -= 1
+        self._dest_stack.pop()
+
+    def mod_abort(
+        self, dest: Modifiable, checkpoint: Optional[Stamp]
+    ) -> None:
+        """Unwind half of :meth:`mod`: the body raised."""
+        if checkpoint is not None:
+            self.truncate_after(checkpoint)
+        self._mod_depth -= 1
+        self._dest_stack.pop()
+
+    def memo_probe(
+        self, key: Hashable
+    ) -> Tuple[bool, Any, Optional[MemoEntry]]:
+        """First half of :meth:`memo`: look up ``key``, splice on a hit.
+
+        Returns ``(True, result, None)`` on a hit (the old sub-trace is
+        already spliced in) or ``(False, None, entry)`` on a miss, in
+        which case the caller must run the thunk body and finish with
+        :meth:`memo_commit`.  If the body raises, no cleanup call is
+        needed: the entry's open interval is reclaimed by the enclosing
+        transaction's truncation, as in the recursive original.
+        """
+        self._check_usable()
+        entries = self.memo_table.get(key)
+        if entries is not None:
+            hit: Optional[MemoEntry] = None
+            limit = self.reuse_limit
+            dead = 0
+            if limit is not None:
+                now_key = self.now.key
+                limit_key = limit.key
+                for entry in entries:
+                    if entry.dead:
+                        dead += 1
+                    elif (
+                        hit is None
+                        and now_key < entry.start.key
+                        and entry.end is not None
+                        and entry.end.key <= limit_key
+                    ):
+                        hit = entry
+            else:
+                for entry in entries:
+                    if entry.dead:
+                        dead += 1
+            if dead:
+                live = [e for e in entries if not e.dead]
+                self._dead_memo_entries -= dead
+                if live:
+                    self.memo_table[key] = live
+                else:
+                    del self.memo_table[key]
+                if self.hook is None:
+                    pool = self._memo_pool
+                    cap = self.MEMO_POOL_CAP
+                    for entry in entries:
+                        if entry.dead and len(pool) < cap:
+                            entry.key = None
+                            entry.start = None
+                            entry.end = None
+                            pool.append(entry)
+            if hit is not None:
+                if self.hook is not None:
+                    self.hook.on_memo_hit(hit)
+                self._delete_range(self.now, hit.start)
+                self.now = hit.end
+                self.meter.memo_hits += 1
+                if self.hook is not None:
+                    self.hook.on_splice(hit)
+                return True, hit.result, None
+        self.meter.memo_misses += 1
+        if self.hook is not None:
+            self.hook.on_memo_miss(key)
+        start = self.now = self._insert_after(self.now)
+        pool = self._memo_pool
+        if pool:
+            entry = pool.pop()
+            entry.key = key
+            entry.result = None
+            entry.start = start
+            entry.end = None
+            entry.dead = False
+            self.memo_entries_reused += 1
+        else:
+            entry = MemoEntry(key, start)
+        start.owner = entry
+        self.meter.live_memo_entries += 1
+        return False, None, entry
+
+    def memo_commit(self, entry: MemoEntry, result: Any) -> None:
+        """Second half of :meth:`memo`: record the thunk's result."""
+        entry.end = self.now = self._insert_after(self.now)
+        entry.result = result
+        self.memo_table.setdefault(entry.key, []).append(entry)
+
+    # ------------------------------------------------------------------
     # Changes and propagation
 
     def change(self, mod: Modifiable, value: Any) -> int:
@@ -1392,10 +1628,11 @@ class Engine:
         if isinstance(exc, RecursionError):
             return RecursionReexecutionError(
                 f"re-execution of {edge!r} overflowed the interpreter "
-                f"stack; self-adjusting readers nest one Python frame per "
-                f"traced cell, so deep inputs need a recursion limit above "
+                f"stack; the interp/compiled backends nest one Python "
+                f"frame per traced cell, so deep inputs need the "
+                f'recursion-free backend="stack", a recursion limit above '
                 f"the current {self.recursion_limit} (set "
-                f"REPRO_RECURSION_LIMIT) or a smaller input",
+                f"REPRO_RECURSION_LIMIT), or a smaller input",
                 edge=edge,
                 original=exc,
                 consistent=consistent,

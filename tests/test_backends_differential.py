@@ -1,17 +1,20 @@
-"""Backend equivalence: interpreter vs closure-compilation backend.
+"""Backend equivalence: interpreter vs closure-compilation vs stack machine.
 
-The closure-compilation backend (:mod:`repro.compile.closures`) promises
-more than equal outputs: it calls the engine's ``mod``/``read``/``write``/
-``memo``/``impwrite`` primitives in *exactly* the same sequence as the
-tree-walking interpreter, with equal memo keys and equal written values.
-If that holds, the meter counters -- mods created, reads executed, writes,
-cutoff hits, memo hits and misses, edges re-executed, live trace sizes --
-must be *identical* at every point of every run.
+The compiled backends (:mod:`repro.compile.closures` and
+:mod:`repro.compile.stackmachine`) promise more than equal outputs: they
+call the engine's ``mod``/``read``/``write``/``memo``/``impwrite``
+primitives in *exactly* the same sequence as the tree-walking interpreter,
+with equal memo keys and equal written values.  (The stack machine drives
+the split ``*_begin``/``*_end`` halves of those primitives, which must
+interleave to the identical protocol.)  If that holds, the meter counters
+-- mods created, reads executed, writes, cutoff hits, memo hits and
+misses, edges re-executed, live trace sizes -- must be *identical* at
+every point of every run.
 
 These tests assert exactly that: for every registered application, across
-the optimize x memoize grid, the two backends produce identical outputs
-AND identical meter snapshots after the initial run and after every one of
-a series of seeded incremental changes.
+the optimize x memoize grid, all registered backends produce identical
+outputs AND identical meter snapshots after the initial run and after
+every one of a series of seeded incremental changes.
 """
 
 import random
@@ -19,11 +22,12 @@ import random
 import pytest
 
 from repro.apps import REGISTRY
+from repro.backends import BACKENDS
 from repro.sac.engine import Engine
 
 #: Per-app input size and change count, kept small: the grid below runs
-#: every case twice (once per backend).  block-mat-mult needs n to be a
-#: multiple of its block size (8); mat-mult is O(n^3).
+#: every case once per backend.  block-mat-mult needs n to be a multiple
+#: of its block size (8); mat-mult is O(n^3).
 APP_SIZES = {
     "map": (16, 6),
     "filter": (16, 6),
@@ -74,20 +78,24 @@ def run_trail(app, n, changes, backend, *, memoize=True, optimize_flag=True,
 
 def assert_backends_agree(app, n, changes, **kwargs):
     interp = run_trail(app, n, changes, "interp", **kwargs)
-    compiled = run_trail(app, n, changes, "compiled", **kwargs)
-    for step, ((out_i, meter_i), (out_c, meter_c)) in enumerate(
-        zip(interp, compiled)
-    ):
-        # Outputs must be identical -- both backends perform the same
-        # arithmetic in the same order, so even floats match bit-for-bit.
-        assert out_i == out_c, (
-            f"{app.name}: outputs diverge at step {step}\n"
-            f"  interp:   {out_i!r}\n  compiled: {out_c!r}"
-        )
-        assert meter_i == meter_c, (
-            f"{app.name}: meters diverge at step {step}\n"
-            f"  interp:   {meter_i!r}\n  compiled: {meter_c!r}"
-        )
+    for backend in BACKENDS:
+        if backend == "interp":
+            continue
+        other = run_trail(app, n, changes, backend, **kwargs)
+        for step, ((out_i, meter_i), (out_c, meter_c)) in enumerate(
+            zip(interp, other)
+        ):
+            # Outputs must be identical -- all backends perform the same
+            # arithmetic in the same order, so even floats match
+            # bit-for-bit.
+            assert out_i == out_c, (
+                f"{app.name}: outputs diverge at step {step}\n"
+                f"  interp: {out_i!r}\n  {backend}: {out_c!r}"
+            )
+            assert meter_i == meter_c, (
+                f"{app.name}: meters diverge at step {step}\n"
+                f"  interp: {meter_i!r}\n  {backend}: {meter_c!r}"
+            )
 
 
 @pytest.mark.parametrize("name", sorted(APP_SIZES))

@@ -59,7 +59,7 @@ def _drive(app, n, *, backend, batch, seed=31):
     return app.readback(output), session.trace_size(), session.handle
 
 
-@pytest.mark.parametrize("backend", ["interp", "compiled"])
+@pytest.mark.parametrize("backend", ["interp", "compiled", "stack"])
 @pytest.mark.parametrize("name", sorted(REGISTRY))
 def test_batched_equals_sequential(name, backend):
     """k single-edit propagations == one k-edit batch, for every app."""
@@ -76,7 +76,7 @@ def test_batched_equals_sequential(name, backend):
     assert values_close(seq_out, app.reference(app.handle_data(seq_handle)))
 
 
-@pytest.mark.parametrize("backend", ["interp", "compiled"])
+@pytest.mark.parametrize("backend", ["interp", "compiled", "stack"])
 def test_batched_propagation_does_less_work(backend):
     """A k-edit batch re-executes no more reads than k sequential passes
     (and strictly fewer when edited cells share readers up the spine)."""

@@ -62,7 +62,7 @@ def test_resolve_backend_precedence(monkeypatch):
     # ... and an empty variable counts as unset.
     monkeypatch.setenv("REPRO_BACKEND", "")
     assert resolve_backend() == "interp"
-    assert set(BACKENDS) == {"interp", "compiled"}
+    assert set(BACKENDS) == {"interp", "compiled", "stack"}
 
 
 def test_default_backend_shim_warns(monkeypatch):

@@ -207,7 +207,7 @@ def test_event_log_records_abort_and_rollback_and_poison():
 # The chaos suite
 
 
-@pytest.mark.parametrize("backend", ["interp", "compiled"])
+@pytest.mark.parametrize("backend", ["interp", "compiled", "stack"])
 @pytest.mark.parametrize("name", sorted(REGISTRY))
 def test_chaos_recovers_every_app(name, backend):
     result = chaos_app(
@@ -244,7 +244,7 @@ def test_chaos_recovers_every_app(name, backend):
 LAZY_CHAOS_APPS = ["filter", "msort", "mat-add"]
 
 
-@pytest.mark.parametrize("backend", ["interp", "compiled"])
+@pytest.mark.parametrize("backend", ["interp", "compiled", "stack"])
 @pytest.mark.parametrize("name", LAZY_CHAOS_APPS)
 def test_chaos_recovers_under_lazy_demand(name, backend):
     """Faults planted inside demand walks (the injection window keys on

@@ -30,7 +30,7 @@ from repro.obs.invariants import InvariantChecker, check_trace
 from repro.sac.engine import Engine
 from repro.sac.exceptions import PropagationBudgetExceeded, PropagationError
 
-BACKENDS = ["interp", "compiled"]
+BACKENDS = ["interp", "compiled", "stack"]
 
 #: Same shape as test_backends_differential.APP_SIZES: per-app input size
 #: and change count, small because the grid runs every app twice per test.

@@ -482,7 +482,7 @@ def _staged_session(app, backend, *, n=24, seed=3):
     return session
 
 
-@pytest.mark.parametrize("backend", ["interp", "compiled"])
+@pytest.mark.parametrize("backend", ["interp", "compiled", "stack"])
 def test_deadline_interrupt_then_resume_matches_uninterrupted(backend):
     app = REGISTRY["msort"]
     interrupted = _staged_session(app, backend)
@@ -500,7 +500,7 @@ def test_deadline_interrupt_then_resume_matches_uninterrupted(backend):
     check_trace(interrupted.engine, expect_quiescent=True, expect_empty_queue=True)
 
 
-@pytest.mark.parametrize("backend", ["interp", "compiled"])
+@pytest.mark.parametrize("backend", ["interp", "compiled", "stack"])
 def test_budget_single_step_resume_loop_matches_uninterrupted(backend):
     app = REGISTRY["msort"]
     interrupted = _staged_session(app, backend)

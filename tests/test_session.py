@@ -107,7 +107,7 @@ def test_session_backend_explicit_beats_env(monkeypatch):
 
 def test_session_backends_agree():
     outs = []
-    for backend in ("interp", "compiled"):
+    for backend in ("interp", "compiled", "stack"):
         session = Session("msort", backend=backend)
         out = session.run(data=[4, 2, 7, 1])
         outs.append(session.app.readback(out))
