@@ -49,7 +49,7 @@ def _sequential_time(n):
     app, rng, session = _run_and_edit(n)
     total = 0.0
     for step in range(EDITS):
-        app.apply_change(session.handle, rng, step)
+        app.apply_change(session.input_handle, rng, step)
         total += session.propagate().seconds
     return total
 
@@ -62,7 +62,7 @@ def _batched_time(n):
     """
     app, rng, session = _run_and_edit(n)
     for step in range(EDITS):
-        app.apply_change(session.handle, rng, step)
+        app.apply_change(session.input_handle, rng, step)
     return session.propagate().seconds
 
 
@@ -76,10 +76,10 @@ def _space_growth():
     for _round in range(ROUNDS):
         with session.batch():
             for _ in range(4):
-                app.apply_change(session.handle, rng, step)
+                app.apply_change(session.input_handle, rng, step)
                 step += 1
     fresh = Session(app)
-    fresh.run(data=app.handle_data(session.handle))
+    fresh.run(data=app.handle_data(session.input_handle))
     return session.trace_size() / fresh.trace_size(), session.trace_size()
 
 

@@ -40,7 +40,7 @@ def _staged_session(n, *, hook=None, seed=7):
     rng = random.Random(seed)
     session = Session(app, hook=hook)
     session.run(data=app.make_data(n, rng))
-    app.apply_change(session.handle, rng, 0)
+    app.apply_change(session.input_handle, rng, 0)
     return app, session
 
 
@@ -58,7 +58,7 @@ def _rollback_time(n):
     # Converge afterwards (untimed) and sanity-check the recovery.
     session.propagate()
     assert app.readback(session.output) == app.reference(
-        app.handle_data(session.handle)
+        app.handle_data(session.input_handle)
     )
     return stats.seconds
 
@@ -71,7 +71,7 @@ def _rebuild_time(n):
     stats = session.propagate(on_error="rebuild")
     assert stats.path == "rebuild", "fault did not fire"
     assert app.readback(session.output) == app.reference(
-        app.handle_data(session.handle)
+        app.handle_data(session.input_handle)
     )
     return stats.seconds
 

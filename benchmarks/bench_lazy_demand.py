@@ -51,7 +51,7 @@ def _eager_time(n):
     app, rng, session, output = _fresh(n, "eager")
     started = time.perf_counter()
     for step in range(EDITS):
-        app.apply_change(session.handle, rng, step)
+        app.apply_change(session.input_handle, rng, step)
         session.propagate()
     head = output.peek()
     elapsed = time.perf_counter() - started
@@ -67,7 +67,7 @@ def _lazy_time(n):
     meter = session.engine.meter
     started = time.perf_counter()
     for step in range(EDITS):
-        app.apply_change(session.handle, rng, step)
+        app.apply_change(session.input_handle, rng, step)
     head = session.get(output)
     elapsed = time.perf_counter() - started
     assert head is not None

@@ -68,7 +68,7 @@ def many_edits_one_read(n: int = 128, edits: int = 32) -> None:
         output = session.run(data=app.make_data(n, rng))
         started = time.perf_counter()
         for step in range(edits):
-            app.apply_change(session.handle, rng, step)
+            app.apply_change(session.input_handle, rng, step)
             if mode == "eager":
                 session.propagate()  # eager: consistent after EVERY edit
         head = session.get(output)  # lazy: the one head demand happens here

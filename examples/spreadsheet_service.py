@@ -1,0 +1,103 @@
+"""A spreadsheet *service*: many documents, one incremental server.
+
+``examples/spreadsheet.py`` builds one spreadsheet on one engine.  This
+example runs the multi-tenant version: a :class:`repro.server.SessionPool`
+hosts one incremental session per client document inside a single asyncio
+process, reachable over the newline-delimited JSON frame protocol.  N
+concurrent clients each open their own vec-reduce sheet (a column of
+cells folded to a total), fire random cell edits and reads, and every
+sheet's final total is checked against the from-scratch oracle
+(``tree_sum`` over the sheet's current data).
+
+Along the way one unlucky sheet has a fault planted in its engine
+mid-propagation -- the pool rolls just that document back (re-staging its
+edits) while every other sheet keeps serving, which is the whole point
+of per-session containment.
+
+Run:  python examples/spreadsheet_service.py
+"""
+
+import asyncio
+import random
+
+from repro.api import values_close
+from repro.apps.vectors import tree_sum
+from repro.obs.faults import FaultInjector
+from repro.server import Client, SessionPool, serve
+
+CLIENTS = 8
+CELLS = 32
+EDITS = 12
+
+
+async def spreadsheet_client(host: str, port: int, idx: int) -> tuple:
+    """One tenant: open a sheet, edit cells, occasionally read the total."""
+    client = await Client.connect(host, port)
+    doc = f"sheet-{idx}"
+    info = await client.open(doc, app="vec-reduce", n=CELLS, seed=idx)
+    assert info["cells"] == CELLS
+
+    rng = random.Random(100 + idx)
+    reads = 0
+    for _ in range(EDITS):
+        cell = f"cell:{rng.randrange(CELLS)}"
+        await client.edit(doc, cell, round(rng.uniform(-5, 5), 2))
+        if rng.random() < 0.4:
+            await client.get(doc, "out")  # demand just this sheet's total
+            reads += 1
+
+    total = await client.get(doc, "out")
+    stats = await client.stats(doc)
+    await client.close()
+    return doc, total, stats, reads
+
+
+async def main() -> None:
+    pool = SessionPool(mode="lazy", slice_budget=64, on_error="rollback")
+    server = await serve(pool)
+    host, port = server.sockets[0].getsockname()[:2]
+    print(f"spreadsheet service on {host}:{port} -- {CLIENTS} tenants\n")
+
+    tasks = [
+        asyncio.create_task(spreadsheet_client(host, port, i))
+        for i in range(CLIENTS)
+    ]
+    # Once the sheets exist, sabotage one of them: the next propagation
+    # over sheet-3 will blow up partway through a read.
+    while "sheet-3" not in pool.docs:
+        await asyncio.sleep(0)
+    pool.docs["sheet-3"].session.engine.attach_hook(
+        FaultInjector("read", at=2, during="propagate")
+    )
+
+    results = await asyncio.gather(*tasks)
+
+    print(f"{'sheet':<10} {'total':>12} {'edits':>6} {'reads':>6} "
+          f"{'rollbacks':>10} {'oracle':>8}")
+    for doc, total, stats, reads in sorted(results):
+        session = pool.docs[doc].session
+        expected = tree_sum(session.app.handle_data(session.input_handle))
+        ok = values_close(total, expected)
+        assert ok, f"{doc} diverged from its oracle"
+        print(
+            f"{doc:<10} {total:>12.2f} {stats['edits']:>6} {reads:>6} "
+            f"{stats['rollbacks']:>10} {'ok':>8}"
+        )
+
+    snap = pool.stats()
+    victim = pool.docs["sheet-3"]
+    print(
+        f"\npool: {snap['documents']} documents, {snap['failed']} failed; "
+        f"sheet-3 recovered via {victim.rollbacks} rollback(s) "
+        f"+ {victim.rebuilds} rebuild(s), siblings untouched"
+    )
+    assert snap["failed"] == 0
+    assert victim.rollbacks + victim.rebuilds >= 1
+
+    server.close()
+    await server.wait_closed()
+    await pool.stop()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

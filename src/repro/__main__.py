@@ -143,10 +143,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         if checker is not None:
             check_trace(engine)
         for step in range(args.changes):
-            app.apply_change(session.handle, rng, step)
+            app.apply_change(session.input_handle, rng, step)
             session.propagate()
         got = app.readback(output)
-        expected = app.reference(app.handle_data(session.handle))
+        expected = app.reference(app.handle_data(session.input_handle))
         if not values_close(got, expected):
             raise VerificationError(
                 f"output diverges from reference\n"
@@ -261,6 +261,48 @@ def _cmd_apps(_args: argparse.Namespace) -> int:
     for name in sorted(REGISTRY):
         print(name)
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.server import SessionPool, serve
+
+    async def run() -> int:
+        pool = SessionPool(
+            mode=args.mode,
+            backend=args.backend,
+            slice_budget=args.slice_budget,
+            on_error=args.on_error,
+            max_sessions=args.max_sessions,
+        )
+        if args.unix:
+            server = await serve(pool, path=args.unix)
+            where = args.unix
+        else:
+            server = await serve(pool, host=args.host, port=args.port)
+            sock = server.sockets[0].getsockname()
+            where = f"{sock[0]}:{sock[1]}"
+        print(
+            f"serving session pool on {where} "
+            f"(mode={args.mode}, slice_budget={args.slice_budget}, "
+            f"on_error={args.on_error})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            server.close()
+            await server.wait_closed()
+            await pool.stop()
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
 
 
 def main(argv=None) -> int:
@@ -396,6 +438,28 @@ def main(argv=None) -> int:
 
     p_apps = sub.add_parser("apps", help="list the bundled benchmark apps")
     p_apps.set_defaults(fn=_cmd_apps)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve a pool of incremental sessions over JSON frames "
+        "(TCP or unix socket)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7777)
+    p_serve.add_argument("--unix", default=None, metavar="PATH",
+                         help="serve on a unix socket instead of TCP")
+    p_serve.add_argument("--mode", choices=["eager", "lazy"], default="lazy",
+                         help="default propagation mode for opened documents")
+    p_serve.add_argument("--backend", default=None,
+                         help="engine backend (default: $REPRO_BACKEND/interp)")
+    p_serve.add_argument("--slice-budget", type=int, default=256,
+                         help="re-executions per fair-scheduling slice")
+    p_serve.add_argument("--on-error",
+                         choices=["raise", "rollback", "rebuild"],
+                         default="rollback",
+                         help="per-document recovery policy")
+    p_serve.add_argument("--max-sessions", type=int, default=1024)
+    p_serve.set_defaults(fn=_cmd_serve)
 
     args = parser.parse_args(argv)
     try:

@@ -2,7 +2,7 @@
 
 Everything a host needs to run an LML program incrementally used to be
 scattered over three modules with three backend-selection mechanisms
-(``App.instance``, the old ``repro.testing.verify_app``,
+(``App.instance``, the old ``repro.testing.verify_app``, the removed
 ``CompiledProgram.self_adjusting_instance``).  :class:`Session` is now the
 single entry point::
 
@@ -44,7 +44,7 @@ import math
 import random
 import time
 from dataclasses import dataclass
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.backends import BACKENDS, resolve_backend
 from repro.core.pipeline import CompiledProgram, compile_program
@@ -216,12 +216,18 @@ class Session:
         if hook is not None:
             self.engine.attach_hook(hook)
         self.instance = None
-        self.handle = None
+        self.input_handle = None
         self.input_value: Any = _UNSET
         self.output: Any = None
         self.propagations = 0
         self.demands = 0
         self.rebuilds = 0
+        # Wire-addressable handle layer (see :meth:`handle`): stable
+        # string names for modifiables, so out-of-process callers can
+        # address cells without holding engine objects.
+        self._handles: Dict[str, Modifiable] = {}
+        self._handle_names: Dict[int, str] = {}
+        self._handle_seq = 0
 
     # -- running --------------------------------------------------------
 
@@ -237,7 +243,7 @@ class Session:
 
         For an app-backed session, ``data`` is plain Python input; the
         app's marshaller builds the runtime input and the change *handle*
-        (exposed as :attr:`handle`).  Splitting preparation from
+        (exposed as :attr:`input_handle`).  Splitting preparation from
         :meth:`run` keeps input construction and backend staging out of
         timed sections, as the paper's methodology requires.
         """
@@ -247,7 +253,7 @@ class Session:
                 raise ValueError(
                     "data= requires an app-backed Session; pass input_value="
                 )
-            self.input_value, self.handle = self.app.make_sa_input(
+            self.input_value, self.input_handle = self.app.make_sa_input(
                 self.engine, data
             )
         elif input_value is not _UNSET:
@@ -260,7 +266,7 @@ class Session:
         ``input_value`` is a runtime input (a modifiable, constructor
         value, tuple, ...); ``data`` is plain Python input for an
         app-backed session (marshalled via the app, setting
-        :attr:`handle`).  With neither, runs on whatever a previous
+        :attr:`input_handle`).  With neither, runs on whatever a previous
         :meth:`prepare` staged.  May be called again with a new input to
         grow the same trace (each run extends the engine's timeline).
         """
@@ -283,14 +289,15 @@ class Session:
 
     # -- edits and propagation ------------------------------------------
 
-    def edit(self, mod: Modifiable, value: Any) -> int:
+    def edit(self, mod: Union[str, Modifiable], value: Any) -> int:
         """Stage one input edit; return the number of reads it dirtied.
 
-        Nothing re-executes until :meth:`propagate` (or the enclosing
-        :meth:`batch` scope closes).  A return of 0 means the new value
-        compared equal and the edit cut off immediately.
+        ``mod`` is a modifiable or a handle string bound via
+        :meth:`handle`.  Nothing re-executes until :meth:`propagate` (or
+        the enclosing :meth:`batch` scope closes).  A return of 0 means
+        the new value compared equal and the edit cut off immediately.
         """
-        return self.engine.change(mod, value)
+        return self.engine.change(self.resolve(mod), value)
 
     def batch(
         self,
@@ -303,6 +310,11 @@ class Session:
         See :meth:`repro.sac.engine.Engine.batch`: edits inside the scope
         coalesce, and a read that observed several edited inputs
         re-executes once instead of once per edit.
+
+        Under ``mode="lazy"`` the scope stages its edits without a
+        closing propagation -- the drain is deferred to the next
+        :meth:`get` / :meth:`demand`, which still re-executes each
+        affected read once for the whole batch.
         """
         return self.engine.batch(budget=budget, deadline=deadline)
 
@@ -381,18 +393,20 @@ class Session:
 
     def get(
         self,
-        mod: Modifiable,
+        mod: Union[str, Modifiable],
         *,
         budget: Optional[int] = None,
         deadline: Optional[float] = None,
     ) -> Any:
         """Return the up-to-date value of one modifiable.
 
-        In lazy mode this is the demand entry point: only the dirty
-        subgraph feeding ``mod`` re-executes (zero work when ``mod`` is
-        not suspect).  In eager mode it is a plain peek -- the caller is
-        expected to have propagated already.
+        ``mod`` is a modifiable or a handle string bound via
+        :meth:`handle`.  In lazy mode this is the demand entry point:
+        only the dirty subgraph feeding ``mod`` re-executes (zero work
+        when ``mod`` is not suspect).  In eager mode it is a plain peek
+        -- the caller is expected to have propagated already.
         """
+        mod = self.resolve(mod)
         if self.mode == "lazy":
             return self.engine.demand(mod, budget=budget, deadline=deadline)
         return mod.peek()
@@ -415,6 +429,12 @@ class Session:
         nothing in ``target`` stays queued for a later demand or
         propagate.
 
+        ``target`` may also be a handle string (see :meth:`handle`) or a
+        list of targets (values, modifiables, handle strings): all of
+        them are brought up to date in *one* reachability-filtered drain
+        -- shared feeders re-execute once, not once per target -- which
+        is how a server serves a batch of reads in a single pass.
+
         ``budget`` / ``deadline`` bound the combined walk the same way
         they bound :meth:`propagate`; ``on_error`` supports the same
         ``"raise"`` / ``"rollback"`` / ``"rebuild"`` recovery policies.
@@ -433,6 +453,12 @@ class Session:
                     "no output to demand: run() first or pass a target"
                 )
             target = self.output
+        elif isinstance(target, str):
+            target = self.resolve(target)
+        elif isinstance(target, (list, tuple)):
+            target = tuple(
+                self.resolve(t) if isinstance(t, str) else t for t in target
+            )
         meter = self.engine.meter
         drained_before = meter.queue_drained
         reexec_before = meter.edges_reexecuted
@@ -496,6 +522,12 @@ class Session:
         proves every reachable modifiable was clean when visited.  Extra
         passes over a consistent value are cheap: a clean demand is the
         O(1) fast path.
+
+        Within a pass, modifiables discovered at the same container depth
+        form a *frontier* demanded in one multi-target
+        :meth:`Engine.demand` call -- one reachability-filtered drain
+        serves the whole level, so siblings (a tuple of outputs, a
+        vector's cells) never pay per-target drain overhead.
         """
         from repro.interp.values import ConValue, RefCell
 
@@ -512,13 +544,24 @@ class Session:
             # DAG, not the tree.
             seen = set()
             stack = [value]
-            while stack:
-                v = stack.pop()
-                if isinstance(v, (Modifiable, ConValue, tuple, RefCell)):
-                    if id(v) in seen:
-                        continue
-                    seen.add(id(v))
-                if isinstance(v, Modifiable):
+            frontier: List[Modifiable] = []
+            while stack or frontier:
+                while stack:
+                    v = stack.pop()
+                    if isinstance(v, (Modifiable, ConValue, tuple, RefCell)):
+                        if id(v) in seen:
+                            continue
+                        seen.add(id(v))
+                    if isinstance(v, Modifiable):
+                        frontier.append(v)
+                    elif isinstance(v, ConValue):
+                        if v.arg is not None:
+                            stack.append(v.arg)
+                    elif isinstance(v, tuple):
+                        stack.extend(v)
+                    elif isinstance(v, RefCell):
+                        stack.append(v.value)
+                if frontier:
                     remaining_budget = None
                     if budget is not None:
                         spent = meter.edges_reexecuted - reexec_base
@@ -528,27 +571,22 @@ class Session:
                         remaining_deadline = max(
                             deadline_at - time.monotonic(), 0.0
                         )
-                    stack.append(
+                    stack.extend(
                         engine.demand(
-                            v,
+                            frontier,
                             budget=remaining_budget,
                             deadline=remaining_deadline,
                         )
                     )
-                elif isinstance(v, ConValue):
-                    if v.arg is not None:
-                        stack.append(v.arg)
-                elif isinstance(v, tuple):
-                    stack.extend(v)
-                elif isinstance(v, RefCell):
-                    stack.append(v.value)
+                    frontier = []
             if meter.edges_reexecuted == pass_base:
                 return
 
     def rebuild(self) -> Any:
         """From-scratch fallback: re-run on the current input data.
 
-        Marshals the data currently held by :attr:`handle` into a *fresh*
+        Marshals the data currently held by :attr:`input_handle` into a
+        *fresh*
         engine, re-runs the program, and swaps the new engine, instance,
         handle and output into this session -- the incremental trace is
         abandoned, which is always safe (self-adjusting semantics
@@ -563,16 +601,20 @@ class Session:
         ``run(data=...)``/``prepare(data)`` (the handle is what lets the
         session reconstruct the current input).
         """
-        if self.app is None or self.handle is None:
+        if self.app is None or self.input_handle is None:
             raise ValueError(
                 "rebuild() requires an app-backed session with marshalled "
                 "input (run with data=...)"
             )
-        data = self.app.handle_data(self.handle)
+        data = self.app.handle_data(self.input_handle)
         self.engine = Engine(mode=self.mode)
         self.instance = None
-        self.handle = None
+        self.input_handle = None
         self.input_value = _UNSET
+        # Every modifiable the old engine owned is dead; handle names do
+        # not carry over (the caller re-binds against the fresh input).
+        self._handles.clear()
+        self._handle_names.clear()
         self.rebuilds += 1
         return self.run(data=data)
 
@@ -592,6 +634,70 @@ class Session:
     def make_input(self, value: Any) -> Modifiable:
         """Create one input modifiable on this session's engine."""
         return self.engine.make_input(value)
+
+    # -- handles: wire-addressable names for modifiables ----------------
+
+    def handle(self, mod: Modifiable, name: Optional[str] = None) -> str:
+        """Bind ``mod`` to a stable string handle and return it.
+
+        The handle layer is what lets a :class:`Session` be driven from
+        outside the process (see ``repro.server``): a handle is a plain
+        serializable string that :meth:`edit`, :meth:`get` and
+        :meth:`demand` accept anywhere they accept a
+        :class:`~repro.sac.modifiable.Modifiable`.
+
+        Binding is idempotent: a modifiable already bound returns its
+        existing handle (an explicit conflicting ``name`` is an error).
+        Without ``name`` a fresh ``"mod:<k>"`` name is generated.
+        Handles do not survive :meth:`rebuild` -- a rebuild replaces the
+        engine and every modifiable in it, so the registry is cleared and
+        the caller re-binds against the fresh input handle.
+        """
+        if not isinstance(mod, Modifiable):
+            raise TypeError(
+                f"handle() binds a Modifiable, got {type(mod).__name__}"
+            )
+        existing = self._handle_names.get(id(mod))
+        if existing is not None:
+            if name is not None and name != existing:
+                raise ValueError(
+                    f"modifiable is already bound to handle {existing!r}"
+                )
+            return existing
+        if name is None:
+            name = f"mod:{self._handle_seq}"
+            self._handle_seq += 1
+        elif name in self._handles:
+            if self._handles[name] is not mod:
+                raise ValueError(
+                    f"handle {name!r} is already bound to a different "
+                    f"modifiable"
+                )
+            return name
+        self._handles[name] = mod
+        self._handle_names[id(mod)] = name
+        return name
+
+    def resolve(self, ref: Union[str, Modifiable]) -> Modifiable:
+        """Return the modifiable a handle names (modifiables pass through).
+
+        Raises :class:`KeyError` for an unknown handle string.
+        """
+        if isinstance(ref, Modifiable):
+            return ref
+        if not isinstance(ref, str):
+            raise TypeError(
+                f"resolve() takes a handle string or a Modifiable, got "
+                f"{type(ref).__name__}"
+            )
+        try:
+            return self._handles[ref]
+        except KeyError:
+            raise KeyError(f"unknown handle {ref!r}") from None
+
+    def handles(self) -> Dict[str, Modifiable]:
+        """A snapshot of the current handle registry (name -> modifiable)."""
+        return dict(self._handles)
 
     # -- metering -------------------------------------------------------
 
@@ -689,15 +795,11 @@ def verify_app(
     coalesces that many random changes per propagation through
     :meth:`Session.batch` (the output is re-verified after each batch).
     ``mode="lazy"`` updates via :meth:`Session.demand` after each change
-    instead of a full propagation (incompatible with ``batch`` > 1:
-    batch scopes propagate eagerly at exit).
+    instead of a full propagation; combined with ``batch`` > 1 the batch
+    scope stages the edits and the following demand drains them all in
+    one reachability-filtered pass.
     """
     app = _resolve_app(app)
-    if mode == "lazy" and batch > 1:
-        raise ValueError(
-            "batch > 1 is incompatible with mode='lazy': a batch scope "
-            "propagates eagerly when it closes"
-        )
     rng = random.Random(seed)
     session = Session(
         app,
@@ -733,24 +835,29 @@ def verify_app(
     while step < changes:
         group = min(batch, changes - step)
         if group == 1:
-            app.apply_change(session.handle, rng, step)
+            app.apply_change(session.input_handle, rng, step)
             step += 1
             stats = session.demand() if mode == "lazy" else session.propagate()
         else:
             drained_before = session.engine.meter.queue_drained
             with session.batch() as b:
                 for _ in range(group):
-                    app.apply_change(session.handle, rng, step)
+                    app.apply_change(session.input_handle, rng, step)
                     step += 1
-            stats = PropagateStats(
-                b.reexecuted,
-                session.engine.meter.queue_drained - drained_before,
-                0.0,
-            )
+            if mode == "lazy":
+                # Lazy batches defer the drain; the demand below is what
+                # actually re-executes (once per affected read).
+                stats = session.demand()
+            else:
+                stats = PropagateStats(
+                    b.reexecuted,
+                    session.engine.meter.queue_drained - drained_before,
+                    0.0,
+                )
         reexecuted += stats.reexecuted
         drained += stats.drained
         got = app.readback(output)
-        expected = app.reference(app.handle_data(session.handle))
+        expected = app.reference(app.handle_data(session.input_handle))
         if not values_close(got, expected):
             raise VerificationError(
                 f"{app.name}: output diverges after change {step - 1}\n"
@@ -836,7 +943,7 @@ def oracle_app(
 
     reexecuted = 0
     for step in range(changes):
-        app.apply_change(session.handle, rng, step)
+        app.apply_change(session.input_handle, rng, step)
         if mode == "lazy":
             reexecuted += session.demand().reexecuted
         else:
@@ -844,7 +951,7 @@ def oracle_app(
         got = app.readback(output)
 
         # The oracle: a fresh run of the same program over the current data.
-        current = app.handle_data(session.handle)
+        current = app.handle_data(session.input_handle)
         scratch = Session(session.program, backend=session.backend)
         scratch.app = app
         scratch_out = app.readback(scratch.run(data=current))
@@ -942,7 +1049,7 @@ def measure_app(
     while step < prop_samples:
         group = min(batch, prop_samples - step)
         if group == 1:
-            app.apply_change(session.handle, rng, step)
+            app.apply_change(session.input_handle, rng, step)
             step += 1
             prop_total += _timed(engine.propagate, gc_enabled)
         else:
@@ -951,7 +1058,7 @@ def measure_app(
                 nonlocal step
                 with session.batch():
                     for _ in range(group):
-                        app.apply_change(session.handle, rng, step)
+                        app.apply_change(session.input_handle, rng, step)
                         step += 1
 
             prop_total += _timed(one_batch, gc_enabled)

@@ -23,7 +23,6 @@ Compiler options mirror the paper's evaluation axes:
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -54,21 +53,6 @@ class CompilerOptions:
     optimize: bool = True
     coarse: bool = False
     main: str = "main"
-
-
-def default_backend() -> str:
-    """Deprecated: use :func:`repro.backends.resolve_backend` instead.
-
-    Kept as a shim for external callers; backend selection now has a
-    single resolution path (explicit flag > ``$REPRO_BACKEND`` > default).
-    """
-    warnings.warn(
-        "repro.core.pipeline.default_backend is deprecated; use "
-        "repro.backends.resolve_backend",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return resolve_backend(None)
 
 
 class ConventionalInstance:
@@ -156,19 +140,6 @@ class CompiledProgram:
         """Internal instance factory; the public surface is
         :class:`repro.api.Session`."""
         return SelfAdjustingInstance(self, engine, backend=backend)
-
-    def self_adjusting_instance(
-        self, engine: Optional[Engine] = None, backend: Optional[str] = None
-    ) -> SelfAdjustingInstance:
-        """Deprecated: drive the program through :class:`repro.api.Session`
-        (``Session(program, backend=..., engine=...)``) instead."""
-        warnings.warn(
-            "CompiledProgram.self_adjusting_instance is deprecated; use "
-            "repro.api.Session",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self._self_adjusting_instance(engine, backend=backend)
 
     # -- inspection --------------------------------------------------------
 

@@ -279,7 +279,7 @@ def chaos_app(
     probe = Session(app, backend=backend, hook=counter, mode=propagation)
     probe.run(data=data)
     for step in range(changes):
-        app.apply_change(probe.handle, rng, step)
+        app.apply_change(probe.input_handle, rng, step)
         if lazy:
             probe.demand()
         else:
@@ -309,7 +309,7 @@ def chaos_app(
                 session.run(data=data)
 
                 for step in range(changes):
-                    app.apply_change(session.handle, rng, step)
+                    app.apply_change(session.input_handle, rng, step)
                     if lazy:
                         stats = session.demand(on_error=mode)
                     else:
@@ -328,7 +328,7 @@ def chaos_app(
                     f"{app.name} [{resolved_backend}] site={site} at={at} "
                     f"mode={mode} seed={seed}"
                 )
-                current = app.handle_data(session.handle)
+                current = app.handle_data(session.input_handle)
                 got = app.readback(session.output)
                 scratch = Session(session.program, backend=session.backend)
                 scratch.app = app

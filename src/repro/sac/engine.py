@@ -30,7 +30,7 @@ from __future__ import annotations
 import heapq
 import math
 import time
-from typing import Any, Callable, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.sac.exceptions import (
     EnginePoisonedError,
@@ -239,7 +239,6 @@ class Engine:
         #: drains), consulted by :meth:`read` to refuse reads of
         #: possibly-stale modifiables (see :class:`_DemandStaleRead`).
         self._drain_feeds: Optional[dict] = None
-        self._drain_target: Optional[Modifiable] = None
         #: generation for negative relevance verdicts (see :meth:`_feeds`);
         #: starts at 2 so a stored generation can never equal ``True``.
         self._drain_gen = 2
@@ -466,9 +465,7 @@ class Engine:
             # the read and let the drain widen the cone so the feeders run
             # first.  The depth count is the backstop for a reader that
             # slipped past the refusal and is chasing a loop anyway.
-            if mod.suspect and not self._feeds(
-                mod, self._drain_target, drain_feeds
-            ):
+            if mod.suspect and not self._feeds(mod, drain_feeds):
                 raise _DemandStaleRead(mod)
             if self._demand_reads.get(id(mod), 0) >= self.CYCLE_READ_DEPTH:
                 raise _DemandStaleRead(mod)
@@ -863,9 +860,7 @@ class Engine:
             raise UnwrittenModError("read of an unwritten modifiable")
         drain_feeds = self._drain_feeds
         if drain_feeds is not None:
-            if mod.suspect and not self._feeds(
-                mod, self._drain_target, drain_feeds
-            ):
+            if mod.suspect and not self._feeds(mod, drain_feeds):
                 raise _DemandStaleRead(mod)
             if self._demand_reads.get(id(mod), 0) >= self.CYCLE_READ_DEPTH:
                 raise _DemandStaleRead(mod)
@@ -1117,6 +1112,11 @@ class Engine:
         body raises, nothing is propagated (the dirty queue keeps the edits
         staged, so a later ``propagate`` still applies them).  ``budget``
         and ``deadline`` are forwarded to the closing :meth:`propagate`.
+
+        On a lazy engine (``mode="lazy"``) the scope stages its edits
+        without a closing propagation -- the drain is deferred to the next
+        :meth:`demand` / :meth:`propagate`, where any budget/deadline
+        applies.  ``b.reexecuted`` is then 0 by construction.
         """
         return Batch(self, budget=budget, deadline=deadline)
 
@@ -1176,7 +1176,7 @@ class Engine:
         if hook is not None:
             hook.on_propagate_begin(len(self.queue))
         try:
-            reexecuted = self._drain(budget, deadline, None, None)
+            reexecuted = self._drain(budget, deadline, False, None)
         finally:
             self.propagating = False
         # A complete pass leaves the outputs consistent with all inputs:
@@ -1195,19 +1195,27 @@ class Engine:
 
     def demand(
         self,
-        mod: Modifiable,
+        mod: Union[Modifiable, Sequence[Modifiable]],
         *,
         budget: Optional[int] = None,
         deadline: Optional[float] = None,
     ) -> Any:
-        """Bring one modifiable up to date and return its value (lazy mode).
+        """Bring modifiable(s) up to date and return the value(s) (lazy mode).
 
         The demand-driven half of ``mode="lazy"``: re-executes, in
         timestamp order, exactly the dirty reads whose enclosing
-        destination chain feeds ``mod``; everything else stays dirty (its
-        cone suspect) for a later demand or :meth:`propagate`.  A
-        modifiable whose suspect bit is clear is served with zero
-        propagation work -- that is the many-edits-few-reads win.
+        destination chain feeds the demanded target(s); everything else
+        stays dirty (its cone suspect) for a later demand or
+        :meth:`propagate`.  A modifiable whose suspect bit is clear is
+        served with zero propagation work -- that is the
+        many-edits-few-reads win.
+
+        ``mod`` may be a single :class:`Modifiable` (returns its value) or
+        a sequence of them (returns a list of values, in order).  A
+        multi-target demand drains all targets in *one*
+        reachability-filtered pass: the relevance cone is seeded with
+        every target, so shared feeders re-execute once instead of once
+        per target and one timestamp sweep serves the whole read batch.
 
         ``budget`` / ``deadline`` behave as in :meth:`propagate`: on
         overrun the call raises :class:`PropagationBudgetExceeded` between
@@ -1231,27 +1239,45 @@ class Engine:
             raise PropagationError("demand called inside an open batch()")
         if self.propagating:
             raise PropagationError("demand is not reentrant with propagation")
-        if mod.value is UNWRITTEN:
-            raise UnwrittenModError("demand of an unwritten modifiable")
+        single = isinstance(mod, Modifiable)
+        targets: Tuple[Modifiable, ...] = (mod,) if single else tuple(mod)
+        if not targets:
+            raise PropagationError("demand of an empty target sequence")
+        for t in targets:
+            if not isinstance(t, Modifiable):
+                raise TypeError(
+                    f"demand target must be a Modifiable, got {type(t).__name__}"
+                )
+            if t.value is UNWRITTEN:
+                raise UnwrittenModError("demand of an unwritten modifiable")
         meter = self.meter
-        meter.demands += 1
+        meter.demands += len(targets)
         if self._has_imperative:
             self.propagate(budget=budget, deadline=deadline)
-            return mod.value
+            if single:
+                return targets[0].value
+            return [t.value for t in targets]
         hook = self.hook
-        if not mod.suspect:
-            meter.demands_clean += 1
+        suspect = [t for t in targets if t.suspect]
+        meter.demands_clean += len(targets) - len(suspect)
+        if not suspect:
             if hook is not None:
-                hook.on_demand_begin(mod, len(self.queue))
-                hook.on_demand_end(mod, 0)
-            return mod.value
+                for t in targets:
+                    hook.on_demand_begin(t, len(self.queue))
+                    hook.on_demand_end(t, 0)
+            if single:
+                return targets[0].value
+            return [t.value for t in targets]
         self.propagating = True
         if hook is not None:
-            hook.on_demand_begin(mod, len(self.queue))
+            for t in targets:
+                hook.on_demand_begin(t, len(self.queue))
         started = None if deadline is None else time.monotonic()
-        feeds: dict = {mod: True}
+        # Every target seeds the relevance memo positively, so the drain's
+        # _feeds checks treat "reaches any target" as relevant.
+        feeds: dict = {t: True for t in targets}
         try:
-            reexecuted = self._drain(budget, deadline, mod, feeds)
+            reexecuted = self._drain(budget, deadline, True, feeds)
         finally:
             self.propagating = False
         if self._demand_degrade:
@@ -1276,24 +1302,28 @@ class Engine:
             # journal resets exactly as after a full propagation.
             self._edit_log = []
         if hook is not None:
-            hook.on_demand_end(mod, reexecuted)
+            for t in targets:
+                hook.on_demand_end(t, reexecuted)
         if self._compaction_due():
             self.compact()
-        return mod.value
+        if single:
+            return targets[0].value
+        return [t.value for t in targets]
 
     def _drain(
         self,
         budget: Optional[int],
         deadline: Optional[float],
-        target: Optional[Modifiable],
+        demanding: bool,
         feeds: Optional[dict],
     ) -> int:
         """The propagation loop shared by :meth:`propagate` and
         :meth:`demand`.
 
         Pops dirty edges in timestamp order and re-executes them
-        transactionally.  With a ``target`` (a demand pass), entries whose
-        destination chain does not currently feed the target are set aside
+        transactionally.  With ``demanding`` set (a demand pass, the
+        targets seeded positively in ``feeds``), entries whose destination
+        chain does not currently feed a target are set aside
         instead of re-executed.  Because a re-execution can rewire the
         trace -- a branch flip creating a fresh read of a previously
         irrelevant (and stale) modifiable -- the pass runs in *rounds*:
@@ -1316,14 +1346,13 @@ class Engine:
         prev_round = 0
         hazards = 0
         stash: List[Tuple[int, int, ReadEdge]] = []
-        if target is not None:
+        if demanding:
             self._drain_feeds = feeds
-            self._drain_target = target
             self._demand_reads = {}
         try:
             while True:
                 if not queue:
-                    if target is None or not stash or reexecuted == prev_round:
+                    if not demanding or not stash or reexecuted == prev_round:
                         break
                     # End of a round with re-executions behind it: they
                     # may have rewired the trace so that a set-aside
@@ -1353,7 +1382,7 @@ class Engine:
                         edge.end = None
                         self._edge_pool.append(edge)
                     continue
-                if target is not None and not self._feeds(edge.dest, target, feeds):
+                if demanding and not self._feeds(edge.dest, feeds):
                     # Dirty but not feeding the demanded output: set the
                     # entry aside, still dirty, still suspect upstream.
                     stash.append((entry_key, entry_seq, edge))
@@ -1378,7 +1407,7 @@ class Engine:
                     )
                 meter.queue_drained += 1
                 assert edge.end is not None
-                if target is not None:
+                if demanding:
                     # Pre-scan the edge's old interval for suspect
                     # modifiables outside the relevance cone.  The reader
                     # consumed them last time, so it will very likely read
@@ -1401,7 +1430,7 @@ class Engine:
                             and owner.mod is not None
                             and owner.mod.suspect
                             and feeds.get(owner.mod) is not True
-                            and not self._feeds(owner.mod, target, feeds)
+                            and not self._feeds(owner.mod, feeds)
                         ):
                             feeds[owner.mod] = True
                             widened = True
@@ -1478,9 +1507,8 @@ class Engine:
                 reexecuted += 1
                 meter.edges_reexecuted += 1
         finally:
-            if target is not None:
+            if demanding:
                 self._drain_feeds = None
-                self._drain_target = None
                 self._demand_reads = {}
             if stash:
                 self._restash(stash)
@@ -1502,13 +1530,14 @@ class Engine:
             self._queue_peak = len(queue)
         stash.clear()
 
-    def _feeds(
-        self, start: Optional[Modifiable], target: Modifiable, memo: dict
-    ) -> bool:
-        """Whether ``start``'s value can flow into ``target`` through the
-        current trace, following reader edges to their enclosing
-        destinations.
+    def _feeds(self, start: Optional[Modifiable], memo: dict) -> bool:
+        """Whether ``start``'s value can flow into any demanded target
+        through the current trace, following reader edges to their
+        enclosing destinations.
 
+        The demand targets themselves are seeded ``True`` in ``memo``, so
+        "reaches a target" is simply "reaches a positive verdict"; one
+        memo serves single- and multi-target demands alike.
         ``None`` (a read with no recorded destination) is conservatively
         treated as feeding everything.  ``memo`` caches verdicts for one
         demand pass; the search is bounded by the suspect region, because
@@ -1521,7 +1550,7 @@ class Engine:
         hazard unwind rewires relevance -- invalidates every negative at
         once without sweeping the memo.
         """
-        if start is None or start is target:
+        if start is None:
             return True
         gen = self._drain_gen
         cached = memo.get(start)
@@ -1542,7 +1571,7 @@ class Engine:
                 if edge.dead:
                     continue
                 dest = edge.dest
-                if dest is None or dest is target or memo.get(dest) is True:
+                if dest is None or memo.get(dest) is True:
                     for frame, _readers in path:
                         memo[frame] = True
                     return True
@@ -1959,6 +1988,15 @@ class Batch:
             return False
         self.changed = engine._batch_changes
         engine.meter.batches += 1
+        if engine.lazy:
+            # A lazy engine has no closing propagation: the coalesced
+            # edits stay staged (dirty + suspect) for the next demand /
+            # get / propagate, which is where budget/deadline then apply.
+            # The batch scope is pure edit-coalescing under laziness.
+            self.reexecuted = 0
+            if engine.hook is not None:
+                engine.hook.on_batch_end(self.changed, 0)
+            return False
         try:
             self.reexecuted = engine.propagate(
                 budget=self.budget, deadline=self.deadline

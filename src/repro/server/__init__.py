@@ -1,0 +1,37 @@
+"""``repro.server``: many concurrent incremental sessions, one process.
+
+The service layer over :class:`repro.api.Session` (DESIGN.md Section 9):
+
+* :class:`~repro.server.pool.SessionPool` -- hosts one engine per client
+  document, drains them in fair budgeted slices, and contains faults
+  per-document (rollback, escalating to rebuild);
+* :class:`~repro.server.scheduler.FairScheduler` -- the round-robin ring
+  those slices run under;
+* :mod:`repro.server.protocol` -- newline-delimited JSON frames over
+  TCP / unix sockets (``serve``), plus the matching asyncio
+  :class:`~repro.server.protocol.Client`.
+
+Start one from the command line with ``python -m repro serve``.
+"""
+
+from repro.server.pool import (
+    DocError,
+    DocFailedError,
+    PooledDoc,
+    SessionPool,
+    UnknownDocError,
+)
+from repro.server.protocol import Client, ServerError, serve
+from repro.server.scheduler import FairScheduler
+
+__all__ = [
+    "Client",
+    "DocError",
+    "DocFailedError",
+    "FairScheduler",
+    "PooledDoc",
+    "ServerError",
+    "SessionPool",
+    "UnknownDocError",
+    "serve",
+]

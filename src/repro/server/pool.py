@@ -1,0 +1,544 @@
+"""`SessionPool`: hundreds of independent incremental sessions, one process.
+
+Each client *document* is a :class:`repro.api.Session` -- its own engine,
+trace, and handle namespace -- keyed by a document name.  The pool layers
+three things on top that a lone ``Session`` cannot provide:
+
+* **Admission + fair scheduling.**  Propagation is synchronous CPU work,
+  so the pool never drains one document to completion while others wait:
+  eager documents drain in ``propagate(budget=slice_budget)`` slices
+  under a round-robin :class:`~repro.server.scheduler.FairScheduler`,
+  lazy documents drain in equally sliced ``demand`` calls at read time,
+  and the loop yields between slices so every client's frames keep
+  flowing.
+* **Wire addressing.**  ``open`` binds every input cell to a stable
+  string handle (``"cell:<i>"``) plus ``"out"`` for the output, via the
+  :meth:`Session.handle` layer -- so edits and reads address cells by
+  serializable name, never by in-process object.
+* **Per-document recovery.**  A fault inside one document's propagation
+  is contained there: the pool rolls the document back
+  (``on_error="rollback"``), escalating to a from-scratch rebuild after
+  ``max_rollbacks`` consecutive rollbacks (or immediately under
+  ``on_error="rebuild"``), and marks the document failed only when no
+  recovery applies.  Sibling documents never see any of it -- their
+  engines share nothing but the event loop.
+
+The pool is asyncio-single-threaded: engine calls happen inline on the
+loop (no locks), and concurrency comes from interleaving slices, not
+threads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.api import Session
+from repro.sac.exceptions import (
+    EnginePoisonedError,
+    PropagationBudgetExceeded,
+    ReexecutionError,
+)
+
+__all__ = [
+    "DocError",
+    "DocFailedError",
+    "PooledDoc",
+    "SessionPool",
+    "UnknownDocError",
+]
+
+
+class DocError(Exception):
+    """Base class for per-document pool errors."""
+
+    def __init__(self, doc: str, message: str) -> None:
+        super().__init__(message)
+        self.doc = doc
+
+
+class UnknownDocError(DocError):
+    """The named document is not open in this pool."""
+
+    def __init__(self, doc: str) -> None:
+        super().__init__(doc, f"unknown document {doc!r}")
+
+
+class DocFailedError(DocError):
+    """The document faulted and no recovery policy applied."""
+
+    def __init__(self, doc: str, message: str) -> None:
+        super().__init__(doc, f"document {doc!r} failed: {message}")
+
+
+@dataclass
+class PooledDoc:
+    """One hosted document: a session plus pool-side accounting."""
+
+    name: str
+    session: Session
+    mode: str
+    cells: List[str] = field(default_factory=list)
+    out: Optional[str] = None
+    #: futures resolved when the document's staged edits are fully drained
+    waiters: List[asyncio.Future] = field(default_factory=list)
+    failed: bool = False
+    error: Optional[str] = None
+    edits: int = 0
+    batches: int = 0
+    reads: int = 0
+    drains: int = 0
+    slices: int = 0
+    rollbacks: int = 0
+    rebuilds: int = 0
+    faults: int = 0
+    consecutive_rollbacks: int = 0
+
+    def check_usable(self) -> None:
+        if self.failed:
+            raise DocFailedError(self.name, self.error or "unrecoverable fault")
+
+    def resolve_waiters(self, exc: Optional[BaseException] = None) -> None:
+        waiters, self.waiters = self.waiters, []
+        for fut in waiters:
+            if fut.done():
+                continue
+            if exc is None:
+                fut.set_result(None)
+            else:
+                fut.set_exception(exc)
+
+    def snapshot(self) -> dict:
+        return {
+            "doc": self.name,
+            "mode": self.mode,
+            "cells": len(self.cells),
+            "failed": self.failed,
+            "error": self.error,
+            "edits": self.edits,
+            "batches": self.batches,
+            "reads": self.reads,
+            "drains": self.drains,
+            "slices": self.slices,
+            "rollbacks": self.rollbacks,
+            "rebuilds": self.rebuilds,
+            "faults": self.faults,
+            "trace_size": self.session.engine.trace_size(),
+        }
+
+
+class SessionPool:
+    """Host many independent :class:`Session` documents in one process.
+
+    ``mode`` is the default propagation discipline for opened documents
+    (``"lazy"`` recommended for servers: edits ack immediately, reads
+    drive sliced demands).  ``slice_budget`` caps re-executions per
+    scheduling slice; ``on_error`` is the per-document recovery policy
+    (``"rollback"``, ``"rebuild"``, or ``"raise"`` to surface faults to
+    the caller); after ``max_rollbacks`` consecutive rollbacks on one
+    document the pool escalates it to a rebuild.
+    """
+
+    def __init__(
+        self,
+        *,
+        mode: str = "lazy",
+        backend: Optional[str] = None,
+        slice_budget: int = 256,
+        on_error: str = "rollback",
+        max_sessions: int = 1024,
+        max_rollbacks: int = 3,
+    ) -> None:
+        if on_error not in ("raise", "rollback", "rebuild"):
+            raise ValueError(
+                f'on_error must be "raise", "rollback" or "rebuild", '
+                f"got {on_error!r}"
+            )
+        if slice_budget < 1:
+            raise ValueError("slice_budget must be >= 1")
+        self.mode = mode
+        self.backend = backend
+        self.slice_budget = slice_budget
+        self.on_error = on_error
+        self.max_sessions = max_sessions
+        self.max_rollbacks = max_rollbacks
+        self.docs: Dict[str, PooledDoc] = {}
+        from repro.server.scheduler import FairScheduler
+
+        self.scheduler = FairScheduler()
+        self._pump_task: Optional[asyncio.Task] = None
+        self._running = False
+        self.opened = 0
+        self.closed = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> "SessionPool":
+        """Start the background drain pump (idempotent)."""
+        if self._pump_task is None or self._pump_task.done():
+            self._running = True
+            self._pump_task = asyncio.get_running_loop().create_task(
+                self._pump(), name="sessionpool-pump"
+            )
+        return self
+
+    async def stop(self) -> None:
+        """Stop the pump; open documents stay queryable synchronously."""
+        self._running = False
+        if self._pump_task is not None:
+            self.scheduler.kick()
+            self._pump_task.cancel()
+            try:
+                await self._pump_task
+            except asyncio.CancelledError:
+                pass
+            self._pump_task = None
+
+    # -- documents ------------------------------------------------------
+
+    def _doc(self, name: str) -> PooledDoc:
+        doc = self.docs.get(name)
+        if doc is None:
+            raise UnknownDocError(name)
+        return doc
+
+    def open(
+        self,
+        name: str,
+        *,
+        app: str = "vec-reduce",
+        n: int = 64,
+        seed: int = 0,
+        data: Optional[Sequence[Any]] = None,
+        mode: Optional[str] = None,
+        backend: Optional[str] = None,
+    ) -> dict:
+        """Open a document backed by a registered app; return its info.
+
+        Builds a fresh :class:`Session`, runs it on ``data`` (or
+        ``app.make_data(n, seed)``), and binds the wire handles: one
+        ``"cell:<i>"`` per addressable input cell, plus ``"out"`` when the
+        output is a single modifiable.
+        """
+        if name in self.docs:
+            raise DocError(name, f"document {name!r} is already open")
+        if len(self.docs) >= self.max_sessions:
+            raise DocError(
+                name, f"pool is full ({self.max_sessions} documents)"
+            )
+        doc_mode = mode or self.mode
+        session = Session(
+            app,
+            mode=doc_mode,
+            backend=backend if backend is not None else self.backend,
+        )
+        if data is None:
+            data = session.app.make_data(n, random.Random(seed))
+        value = session.run(data=data)
+        doc = PooledDoc(name=name, session=session, mode=doc_mode)
+        self._bind_handles(doc)
+        self.docs[name] = doc
+        self.opened += 1
+        return {
+            "doc": name,
+            "mode": doc_mode,
+            "backend": session.backend,
+            "cells": len(doc.cells),
+            "value": session.app.readback(value),
+        }
+
+    def adopt(
+        self,
+        name: str,
+        session: Session,
+        *,
+        cells: Sequence[Tuple[str, Any]] = (),
+        out: Any = None,
+    ) -> PooledDoc:
+        """Register an externally built session as a pool document.
+
+        ``cells`` is ``(handle_name, modifiable)`` pairs to bind;
+        ``out`` optionally binds ``"out"``.  This is the programmatic
+        escape hatch for sessions whose input shape the generic ``open``
+        marshaller does not know.
+        """
+        if name in self.docs:
+            raise DocError(name, f"document {name!r} is already open")
+        doc = PooledDoc(name=name, session=session, mode=session.mode)
+        for handle_name, mod in cells:
+            doc.cells.append(session.handle(mod, handle_name))
+        if out is not None:
+            doc.out = session.handle(out, "out")
+        self.docs[name] = doc
+        self.opened += 1
+        return doc
+
+    def _bind_handles(self, doc: PooledDoc) -> None:
+        """(Re)bind the wire handles against the session's current input.
+
+        Called at open and again after a rebuild (which replaces the
+        engine and clears the handle registry).
+        """
+        session = doc.session
+        doc.cells = []
+        mods = getattr(session.input_handle, "mods", None)
+        if mods is not None:
+            for i, mod in enumerate(mods):
+                doc.cells.append(session.handle(mod, f"cell:{i}"))
+        from repro.sac.modifiable import Modifiable
+
+        doc.out = None
+        if isinstance(session.output, Modifiable):
+            doc.out = session.handle(session.output, "out")
+
+    async def close(self, name: str) -> dict:
+        doc = self._doc(name)
+        doc.resolve_waiters()
+        self.scheduler.discard(name)
+        del self.docs[name]
+        self.closed += 1
+        return {"doc": name, "closed": True}
+
+    # -- edits ----------------------------------------------------------
+
+    async def edit(self, name: str, cell: str, value: Any) -> dict:
+        """Stage one cell edit; ack when the document is consistent again.
+
+        Lazy documents ack immediately (the edit only marks suspicion;
+        the drain happens at the next read).  Eager documents ack once
+        the pool's pump has fully drained the staged work -- that drain
+        runs in fair slices, so the ack latency is bounded by the ring,
+        not by siblings' queue depths.
+        """
+        doc = self._doc(name)
+        doc.check_usable()
+        dirtied = doc.session.edit(cell, value)
+        doc.edits += 1
+        if doc.mode != "lazy":
+            await self._await_drain(doc)
+        return {"doc": name, "dirtied": dirtied}
+
+    async def batch(self, name: str, edits: Sequence[Sequence[Any]]) -> dict:
+        """Stage many ``(cell, value)`` edits; one coalesced drain."""
+        doc = self._doc(name)
+        doc.check_usable()
+        with doc.session.batch() as b:
+            for cell, value in edits:
+                doc.session.edit(cell, value)
+        doc.edits += len(edits)
+        doc.batches += 1
+        if doc.mode != "lazy":
+            await self._await_drain(doc)
+        return {"doc": name, "changed": b.changed}
+
+    async def _await_drain(self, doc: PooledDoc) -> None:
+        """Eager path: wait until the document's dirty queue is empty."""
+        if not doc.session.engine.queue:
+            doc.resolve_waiters()
+            return
+        if not self._running:
+            # No pump (pool used synchronously, e.g. in tests): drain
+            # inline with recovery, still sliced to bound each await.
+            await self._drain_inline(doc)
+            return
+        fut = asyncio.get_running_loop().create_future()
+        doc.waiters.append(fut)
+        self.scheduler.enqueue(doc.name)
+        await fut
+
+    async def _drain_inline(self, doc: PooledDoc) -> None:
+        while doc.session.engine.queue:
+            done = await self._run_slice(doc)
+            if done:
+                break
+            await asyncio.sleep(0)
+        doc.resolve_waiters()
+
+    # -- reads ----------------------------------------------------------
+
+    async def get(self, name: str, cell: str) -> dict:
+        """Up-to-date value of one handle (sliced demand under lazy)."""
+        doc = self._doc(name)
+        doc.check_usable()
+        doc.reads += 1
+        if doc.mode == "lazy":
+            value = await self._demand_sliced(doc, target=cell, single=True)
+        else:
+            await self._await_drain(doc)
+            value = doc.session.get(cell)
+        return {"doc": name, "value": value}
+
+    async def demand(
+        self, name: str, cells: Optional[Sequence[str]] = None
+    ) -> dict:
+        """Bring cells (or the whole output) up to date in one drain.
+
+        With ``cells``, all of them are demanded in a single
+        reachability-filtered pass (multi-target demand) and their values
+        returned in order.  Without, the whole output value is demanded
+        and returned via the app's readback.
+        """
+        doc = self._doc(name)
+        doc.check_usable()
+        doc.reads += 1
+        session = doc.session
+        if cells is not None:
+            if doc.mode == "lazy":
+                values = await self._demand_sliced(
+                    doc, target=list(cells), single=False
+                )
+            else:
+                await self._await_drain(doc)
+                values = [session.get(c) for c in cells]
+            return {"doc": name, "values": values}
+        if doc.mode == "lazy":
+            await self._demand_sliced(doc, target=None, single=False)
+        else:
+            await self._await_drain(doc)
+        value = session.output
+        if session.app is not None:
+            value = session.app.readback(value)
+        return {"doc": name, "value": value}
+
+    async def _demand_sliced(
+        self, doc: PooledDoc, *, target: Any, single: bool
+    ) -> Any:
+        """Run a lazy demand in ``slice_budget`` chunks, yielding between
+        chunks and recovering per-document on faults."""
+        session = doc.session
+        while True:
+            doc.check_usable()
+            try:
+                if single or target is not None:
+                    value = session.engine.demand(
+                        session.resolve(target)
+                        if isinstance(target, str)
+                        else [session.resolve(t) for t in target],
+                        budget=self.slice_budget,
+                    )
+                else:
+                    session.demand(budget=self.slice_budget)
+                    value = None
+            except PropagationBudgetExceeded:
+                doc.slices += 1
+                await asyncio.sleep(0)
+                continue
+            except (ReexecutionError, EnginePoisonedError) as exc:
+                self._recover(doc, exc)
+                await asyncio.sleep(0)
+                continue
+            doc.consecutive_rollbacks = 0
+            doc.drains += 1
+            if not session.engine.queue:
+                doc.resolve_waiters()
+            return value
+
+    # -- stats ----------------------------------------------------------
+
+    def stats(self, name: Optional[str] = None) -> dict:
+        if name is not None:
+            doc = self._doc(name)
+            snap = doc.snapshot()
+            snap["session"] = doc.session.stats()
+            return snap
+        return {
+            "documents": len(self.docs),
+            "opened": self.opened,
+            "closed": self.closed,
+            "failed": sum(1 for d in self.docs.values() if d.failed),
+            "scheduler": self.scheduler.stats(),
+            "docs": {n: d.snapshot() for n, d in self.docs.items()},
+        }
+
+    # -- the pump: sliced, fair, recovering drains ----------------------
+
+    async def _pump(self) -> None:
+        """Background task: round-robin one propagation slice at a time."""
+        while self._running:
+            await self.scheduler.wait()
+            if not self._running:
+                return
+            name = self.scheduler.next()
+            if name is None:
+                continue
+            doc = self.docs.get(name)
+            if doc is None or doc.failed:
+                continue
+            try:
+                done = await self._run_slice(doc)
+            except DocFailedError:
+                continue  # recorded on the doc; siblings unaffected
+            if not done:
+                self.scheduler.requeue(name)
+            # The yield that makes hundreds of documents share one loop:
+            # between every slice, control returns to the event loop so
+            # pending frames and other clients' work interleave.
+            await asyncio.sleep(0)
+
+    async def _run_slice(self, doc: PooledDoc) -> bool:
+        """One bounded propagation slice; ``True`` when the doc drained."""
+        session = doc.session
+        try:
+            session.propagate(budget=self.slice_budget)
+        except PropagationBudgetExceeded:
+            doc.slices += 1
+            return False
+        except (ReexecutionError, EnginePoisonedError) as exc:
+            self._recover(doc, exc)  # raises DocFailedError if terminal
+            return not session.engine.queue
+        doc.consecutive_rollbacks = 0
+        doc.drains += 1
+        doc.resolve_waiters()
+        return True
+
+    def _recover(self, doc: PooledDoc, exc: BaseException) -> str:
+        """Apply the per-document recovery policy; contain the fault.
+
+        Rollback undoes the staged edits back to the document's last-good
+        state and re-stages them for retry (a one-shot fault then drains
+        clean on the next slice).  After ``max_rollbacks`` consecutive
+        rollbacks -- or when the engine is poisoned -- escalate to a
+        from-scratch rebuild, which replaces the engine and re-binds the
+        wire handles.  If nothing applies, the document (and only the
+        document) is marked failed.
+        """
+        doc.faults += 1
+        session = doc.session
+        policy = self.on_error
+        rollback_ok = (
+            policy == "rollback"
+            and isinstance(exc, ReexecutionError)
+            and getattr(exc, "consistent", False)
+            and doc.consecutive_rollbacks < self.max_rollbacks
+        )
+        if rollback_ok:
+            try:
+                session.engine.rollback()
+            except (ReexecutionError, EnginePoisonedError):
+                rollback_ok = False
+            else:
+                doc.rollbacks += 1
+                doc.consecutive_rollbacks += 1
+                return "rollback"
+        if policy in ("rollback", "rebuild") and session.app is not None:
+            try:
+                session.rebuild()
+            except BaseException as rebuild_exc:  # noqa: BLE001
+                self._fail(doc, rebuild_exc)
+            doc.rebuilds += 1
+            doc.consecutive_rollbacks = 0
+            self._bind_handles(doc)
+            doc.resolve_waiters()
+            return "rebuild"
+        self._fail(doc, exc)
+        return "failed"  # pragma: no cover - _fail always raises
+
+    def _fail(self, doc: PooledDoc, exc: BaseException) -> None:
+        doc.failed = True
+        doc.error = f"{type(exc).__name__}: {exc}"
+        self.scheduler.discard(doc.name)
+        failure = DocFailedError(doc.name, doc.error)
+        doc.resolve_waiters(failure)
+        raise failure from exc

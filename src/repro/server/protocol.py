@@ -1,0 +1,224 @@
+"""Newline-delimited JSON frame protocol over TCP or a unix socket.
+
+One frame per line, UTF-8 JSON, both directions.  Every request carries
+an ``op`` plus its operands; every response echoes the request's ``id``
+(when present) and carries ``ok``:
+
+== ======================================================= =====================================
+op request fields                                          response fields
+== ======================================================= =====================================
+open    doc, app?, n?, seed?, data?, mode?, backend?       ok, doc, mode, backend, cells, value
+edit    doc, cell, value                                   ok, doc, dirtied
+batch   doc, edits=[[cell, value], ...]                    ok, doc, changed
+get     doc, cell                                          ok, doc, value
+demand  doc, cells? (list; absent = whole output)          ok, doc, values / value
+stats   doc?                                               ok, stats
+close   doc                                                ok, doc, closed
+== ======================================================= =====================================
+
+Failures answer ``{"ok": false, "error": <message>, "type": <exc class>}``
+on the same connection instead of tearing it down -- one client's bad
+frame (or failed document) must not cost anyone their connection.
+Frames on one connection are handled in order; concurrency comes from
+many connections interleaving on the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Optional
+
+from repro.server.pool import SessionPool
+
+__all__ = ["Client", "ServerError", "encode_frame", "decode_frame", "serve"]
+
+#: Generous per-frame line limit: ``open`` can carry an inline data vector.
+_LIMIT = 2**22
+
+
+def encode_frame(obj: Any) -> bytes:
+    return json.dumps(obj, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_frame(line: bytes) -> Any:
+    return json.loads(line)
+
+
+async def _handle_frame(pool: SessionPool, frame: dict) -> dict:
+    op = frame.get("op")
+    if op == "open":
+        kwargs = {
+            key: frame[key]
+            for key in ("app", "n", "seed", "data", "mode", "backend")
+            if key in frame
+        }
+        return pool.open(frame["doc"], **kwargs)
+    if op == "edit":
+        return await pool.edit(frame["doc"], frame["cell"], frame["value"])
+    if op == "batch":
+        return await pool.batch(frame["doc"], frame["edits"])
+    if op == "get":
+        return await pool.get(frame["doc"], frame["cell"])
+    if op == "demand":
+        return await pool.demand(frame["doc"], frame.get("cells"))
+    if op == "stats":
+        return {"stats": pool.stats(frame.get("doc"))}
+    if op == "close":
+        return await pool.close(frame["doc"])
+    raise ValueError(f"unknown op {op!r}")
+
+
+async def _serve_connection(
+    pool: SessionPool,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        while True:
+            try:
+                line = await reader.readline()
+            except (asyncio.IncompleteReadError, ConnectionError):
+                break
+            if not line:
+                break
+            if not line.strip():
+                continue
+            frame_id = None
+            try:
+                frame = decode_frame(line)
+                frame_id = frame.get("id") if isinstance(frame, dict) else None
+                if not isinstance(frame, dict):
+                    raise ValueError("frame must be a JSON object")
+                response = await _handle_frame(pool, frame)
+                response["ok"] = True
+            except Exception as exc:  # noqa: BLE001 - protocol boundary
+                response = {
+                    "ok": False,
+                    "error": str(exc),
+                    "type": type(exc).__name__,
+                }
+            if frame_id is not None:
+                response["id"] = frame_id
+            writer.write(encode_frame(response))
+            try:
+                await writer.drain()
+            except ConnectionError:
+                break
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+
+async def serve(
+    pool: SessionPool,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    path: Optional[str] = None,
+    start_pump: bool = True,
+) -> asyncio.AbstractServer:
+    """Start serving ``pool`` over TCP (``host``/``port``) or a unix
+    socket (``path``); returns the running ``asyncio`` server.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.sockets[0].getsockname()``) -- the form the tests and the
+    benchmark use.  The pool's drain pump is started alongside unless
+    ``start_pump=False``.
+    """
+    if start_pump:
+        await pool.start()
+
+    async def handler(reader, writer):
+        await _serve_connection(pool, reader, writer)
+
+    if path is not None:
+        return await asyncio.start_unix_server(handler, path=path, limit=_LIMIT)
+    return await asyncio.start_server(handler, host=host, port=port, limit=_LIMIT)
+
+
+class Client:
+    """Minimal asyncio client for the frame protocol.
+
+    One request in flight per client; run many clients for concurrency
+    (that is also what the throughput benchmark does).  Raises
+    :class:`ServerError` when a response comes back ``ok: false``.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._seq = 0
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "Client":
+        reader, writer = await asyncio.open_connection(host, port, limit=_LIMIT)
+        return cls(reader, writer)
+
+    @classmethod
+    async def connect_unix(cls, path: str) -> "Client":
+        reader, writer = await asyncio.open_unix_connection(path, limit=_LIMIT)
+        return cls(reader, writer)
+
+    async def request(self, op: str, **fields: Any) -> dict:
+        self._seq += 1
+        frame = {"op": op, "id": self._seq, **fields}
+        self._writer.write(encode_frame(frame))
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = decode_frame(line)
+        if not response.get("ok"):
+            raise ServerError(
+                response.get("error", "unknown error"),
+                response.get("type", "Exception"),
+            )
+        return response
+
+    # -- conveniences ---------------------------------------------------
+
+    async def open(self, doc: str, **kwargs: Any) -> dict:
+        return await self.request("open", doc=doc, **kwargs)
+
+    async def edit(self, doc: str, cell: str, value: Any) -> dict:
+        return await self.request("edit", doc=doc, cell=cell, value=value)
+
+    async def batch(self, doc: str, edits: Any) -> dict:
+        return await self.request("batch", doc=doc, edits=edits)
+
+    async def get(self, doc: str, cell: str) -> Any:
+        return (await self.request("get", doc=doc, cell=cell))["value"]
+
+    async def demand(self, doc: str, cells: Any = None) -> dict:
+        if cells is None:
+            return await self.request("demand", doc=doc)
+        return await self.request("demand", doc=doc, cells=list(cells))
+
+    async def stats(self, doc: Optional[str] = None) -> dict:
+        if doc is None:
+            return (await self.request("stats"))["stats"]
+        return (await self.request("stats", doc=doc))["stats"]
+
+    async def close_doc(self, doc: str) -> dict:
+        return await self.request("close", doc=doc)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+
+
+class ServerError(RuntimeError):
+    """An ``ok: false`` response from the server."""
+
+    def __init__(self, message: str, exc_type: str) -> None:
+        super().__init__(f"{exc_type}: {message}")
+        self.exc_type = exc_type

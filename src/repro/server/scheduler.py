@@ -1,0 +1,99 @@
+"""Fair round-robin scheduling of propagation slices across pooled docs.
+
+One asyncio process hosts many engines, and change propagation is
+synchronous CPU work: whoever holds the loop starves everyone else.  The
+pool therefore never drains a document to completion in one go -- it runs
+*slices* (``propagate(budget=...)``) and yields between them -- and this
+scheduler decides whose slice runs next.
+
+The discipline is plain round-robin over the set of documents with
+pending work: a document that exhausts its budget goes to the *back* of
+the ring, so a pathological client with an enormous dirty queue delays
+its siblings by at most one slice each, while small edits on quiet
+documents keep completing in one slice.  Admission is idempotent (a
+document already in the ring is not enqueued twice), and
+:meth:`discard` drops a closed document wherever it sits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Deque, Optional, Set
+
+__all__ = ["FairScheduler"]
+
+
+class FairScheduler:
+    """Round-robin ring of document keys with pending propagation work."""
+
+    def __init__(self) -> None:
+        self._ring: Deque[str] = deque()
+        self._queued: Set[str] = set()
+        self._wakeup = asyncio.Event()
+        #: total scheduling decisions (enqueues + requeues), for stats
+        self.scheduled = 0
+        #: slices that ran out of budget and went to the back of the ring
+        self.rotations = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._queued
+
+    def enqueue(self, key: str) -> bool:
+        """Admit ``key`` at the back of the ring (idempotent)."""
+        if key in self._queued:
+            return False
+        self._queued.add(key)
+        self._ring.append(key)
+        self.scheduled += 1
+        self._wakeup.set()
+        return True
+
+    def requeue(self, key: str) -> None:
+        """Rotate ``key`` to the back: its slice ran out of budget."""
+        if key in self._queued:  # pragma: no cover - defensive
+            return
+        self._queued.add(key)
+        self._ring.append(key)
+        self.scheduled += 1
+        self.rotations += 1
+        self._wakeup.set()
+
+    def next(self) -> Optional[str]:
+        """Pop the next key to run, or ``None`` if the ring is idle."""
+        if not self._ring:
+            self._wakeup.clear()
+            return None
+        key = self._ring.popleft()
+        self._queued.discard(key)
+        return key
+
+    def discard(self, key: str) -> None:
+        """Forget ``key`` entirely (document closed)."""
+        if key in self._queued:
+            self._queued.discard(key)
+            try:
+                self._ring.remove(key)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+
+    async def wait(self) -> None:
+        """Block until at least one key is (or becomes) schedulable."""
+        if self._ring:
+            return
+        self._wakeup.clear()
+        await self._wakeup.wait()
+
+    def kick(self) -> None:
+        """Wake a pump blocked in :meth:`wait` (e.g. for shutdown)."""
+        self._wakeup.set()
+
+    def stats(self) -> dict:
+        return {
+            "pending": len(self._ring),
+            "scheduled": self.scheduled,
+            "rotations": self.rotations,
+        }

@@ -83,7 +83,7 @@ def test_map_propagation_is_constant_work():
     session.run(data=app.make_data(400, rng))
     before = engine.meter.reads_executed
     for step in range(10):
-        app.apply_change(session.handle, rng, step)
+        app.apply_change(session.input_handle, rng, step)
         session.propagate()
     # ~1 read per insert/delete, independent of n.
     assert engine.meter.reads_executed - before <= 20
@@ -112,7 +112,7 @@ def test_msort_speedup_grows_with_input_size():
         run_reads = engine.meter.reads_executed
         before = engine.meter.reads_executed
         for step in range(8):
-            app.apply_change(session.handle, rng, step)
+            app.apply_change(session.input_handle, rng, step)
             session.propagate()
         prop_reads = (engine.meter.reads_executed - before) / 8
         return run_reads / prop_reads

@@ -51,12 +51,12 @@ def _drive(app, n, *, backend, batch, seed=31):
     if batch:
         with session.batch():
             for step in range(EDITS):
-                app.apply_change(session.handle, rng, step)
+                app.apply_change(session.input_handle, rng, step)
     else:
         for step in range(EDITS):
-            app.apply_change(session.handle, rng, step)
+            app.apply_change(session.input_handle, rng, step)
             session.propagate()
-    return app.readback(output), session.trace_size(), session.handle
+    return app.readback(output), session.trace_size(), session.input_handle
 
 
 @pytest.mark.parametrize("backend", ["interp", "compiled", "stack"])
@@ -90,10 +90,10 @@ def test_batched_propagation_does_less_work(backend):
         if batch:
             with session.batch():
                 for step in range(8):
-                    app.apply_change(session.handle, rng, step)
+                    app.apply_change(session.input_handle, rng, step)
         else:
             for step in range(8):
-                app.apply_change(session.handle, rng, step)
+                app.apply_change(session.input_handle, rng, step)
                 session.propagate()
         return session.engine.meter.edges_reexecuted - before
 
@@ -112,10 +112,10 @@ def test_trace_size_bounded_over_many_batched_edits():
     for _round in range(125):
         with session.batch():
             for _ in range(4):  # 125 rounds x 4 edits = 500 edits
-                app.apply_change(session.handle, rng, step)
+                app.apply_change(session.input_handle, rng, step)
                 step += 1
 
-    final_data = app.handle_data(session.handle)
+    final_data = app.handle_data(session.input_handle)
     fresh = Session(app)
     fresh.run(data=final_data)
 
@@ -148,13 +148,13 @@ def test_batch_records_partial_reexecuted_on_budget():
     with pytest.raises(PropagationBudgetExceeded) as exc_info:
         with session.batch(budget=1) as b:
             for step in range(3):
-                app.apply_change(session.handle, rng, step)
+                app.apply_change(session.input_handle, rng, step)
     assert b.reexecuted == exc_info.value.reexecuted == 1
     assert b.changed >= 1  # the edit count was recorded too
 
     # The staged work survives: an unbounded propagate finishes the pass.
     session.propagate()
-    assert app.readback(output) == app.reference(app.handle_data(session.handle))
+    assert app.readback(output) == app.reference(app.handle_data(session.input_handle))
 
 
 def test_batch_records_partial_reexecuted_on_reader_failure():
@@ -172,13 +172,13 @@ def test_batch_records_partial_reexecuted_on_reader_failure():
     with pytest.raises(ReexecutionError) as exc_info:
         with session.batch() as b:
             for step in range(3):
-                app.apply_change(session.handle, rng, step)
+                app.apply_change(session.input_handle, rng, step)
     assert b.reexecuted == exc_info.value.reexecuted
     assert exc_info.value.pending > 0
 
     # The injector is one-shot: retrying converges on the edited data.
     session.propagate()
-    assert app.readback(output) == app.reference(app.handle_data(session.handle))
+    assert app.readback(output) == app.reference(app.handle_data(session.input_handle))
 
 
 def test_staged_edits_survive_batch_body_exception():
@@ -192,11 +192,11 @@ def test_staged_edits_survive_batch_body_exception():
 
     with pytest.raises(RuntimeError, match="host bug"):
         with session.batch():
-            app.apply_change(session.handle, rng, 0)
+            app.apply_change(session.input_handle, rng, 0)
             raise RuntimeError("host bug")
     # Nothing propagated at scope exit...
     assert app.readback(output) == before
     assert len(session.engine.queue) > 0
     # ...but the edit is staged, not lost: propagate applies it.
     session.propagate()
-    assert app.readback(output) == app.reference(app.handle_data(session.handle))
+    assert app.readback(output) == app.reference(app.handle_data(session.input_handle))

@@ -65,14 +65,6 @@ def test_resolve_backend_precedence(monkeypatch):
     assert set(BACKENDS) == {"interp", "compiled", "stack"}
 
 
-def test_default_backend_shim_warns(monkeypatch):
-    monkeypatch.setenv("REPRO_BACKEND", "compiled")
-    from repro.core.pipeline import default_backend
-
-    with pytest.deprecated_call():
-        assert default_backend() == "compiled"
-
-
 def test_unknown_backend_rejected(monkeypatch):
     monkeypatch.setenv("REPRO_BACKEND", "jit")
     with pytest.raises(ValueError):

@@ -133,7 +133,7 @@ def test_injector_fires_at_exact_position():
         data = app.make_data(12, rng)
         session = Session(app, backend="interp", hook=hook)
         session.run(data=data)
-        app.apply_change(session.handle, rng, 0)
+        app.apply_change(session.input_handle, rng, 0)
         return session
 
     counter = SiteCounter()

@@ -87,8 +87,8 @@ def test_lazy_matches_eager_stepwise(name, backend):
     out_l = lazy.run(data=app.make_data(n, rng_l))
     assert values_close(app.readback(out_e), app.readback(out_l))
     for step in range(changes):
-        app.apply_change(eager.handle, rng_e, step)
-        app.apply_change(lazy.handle, rng_l, step)
+        app.apply_change(eager.input_handle, rng_e, step)
+        app.apply_change(lazy.input_handle, rng_l, step)
         eager.propagate()
         stats = lazy.demand()
         assert stats.path == "demand"
@@ -111,7 +111,7 @@ def test_lazy_meter_parity_between_backends(name):
         out = session.run(data=app.make_data(n, rng))
         snaps = [session.engine.meter.snapshot()]
         for step in range(changes):
-            app.apply_change(session.handle, rng, step)
+            app.apply_change(session.input_handle, rng, step)
             session.demand()
             snaps.append((app.readback(out), session.engine.meter.snapshot()))
         return snaps
@@ -139,9 +139,9 @@ def test_demand_after_edit_burst_matches_eager(name):
     out_e = eager.run(data=app.make_data(n, rng_e))
     out_l = lazy.run(data=app.make_data(n, rng_l))
     for step in range(changes):
-        app.apply_change(eager.handle, rng_e, step)
+        app.apply_change(eager.input_handle, rng_e, step)
         eager.propagate()
-        app.apply_change(lazy.handle, rng_l, step)
+        app.apply_change(lazy.input_handle, rng_l, step)
     lazy.demand()
     assert values_close(app.readback(out_e), app.readback(out_l))
 
@@ -157,7 +157,7 @@ def test_second_demand_is_free(name, backend):
     session = Session(app, backend=backend, mode="lazy")
     session.run(data=app.make_data(n, rng))
     for step in range(changes):
-        app.apply_change(session.handle, rng, step)
+        app.apply_change(session.input_handle, rng, step)
     session.demand()
 
     meter = session.engine.meter
@@ -234,8 +234,9 @@ def test_demand_requires_lazy_engine_and_session():
         Session("map", engine=Engine(), mode="lazy")
     with pytest.raises(ValueError):
         Session("map", mode="sometimes")
-    with pytest.raises(ValueError):
-        verify_app("map", 8, 2, mode="lazy", batch=2)
+    # batch > 1 under lazy mode is supported: the batch stages, the
+    # following demand drains (see test_lazy_batch_* below).
+    verify_app("map", 8, 2, mode="lazy", batch=2)
 
 
 def test_session_adopts_engine_mode():
@@ -281,10 +282,10 @@ def test_sibling_cone_stays_suspect_after_partial_demand():
     out = session.run(data=app.make_data(16, random.Random(0)))
     rng = random.Random(1)
     for step in range(4):
-        app.apply_change(session.handle, rng, step)
+        app.apply_change(session.input_handle, rng, step)
     session.demand()
     got = app.readback(out)
-    expected = app.reference(app.handle_data(session.handle))
+    expected = app.reference(app.handle_data(session.input_handle))
     assert got == expected, f"stale cell served: {got} != {expected}"
     # And nothing is left half-marked: a second demand is free...
     stats = session.demand()
@@ -419,9 +420,9 @@ def test_deep_demand_burst_converges_on_shared_feeders():
     out_e = eager.run(data=app.make_data(128, rng_e))
     out_l = lazy.run(data=app.make_data(128, rng_l))
     for step in range(32):
-        app.apply_change(eager.handle, rng_e, step)
+        app.apply_change(eager.input_handle, rng_e, step)
         eager.propagate()
-        app.apply_change(lazy.handle, rng_l, step)
+        app.apply_change(lazy.input_handle, rng_l, step)
     lazy.demand()
     assert values_close(app.readback(out_e), app.readback(out_l))
     again = lazy.demand()
@@ -438,7 +439,7 @@ def test_get_is_a_shallow_force():
     session = Session(app, mode="lazy")
     output = session.run(data=app.make_data(64, rng))
     for step in range(16):
-        app.apply_change(session.handle, rng, step)
+        app.apply_change(session.input_handle, rng, step)
     head = session.get(output)
     assert head is not None
     assert not output.suspect  # the forced cell itself is consistent
@@ -470,9 +471,9 @@ def test_demand_unwinds_stale_reads_outside_the_cone():
     out_e = eager.run(data=app.make_data(64, rng_e))
     out_l = lazy.run(data=app.make_data(64, rng_l))
     for step in range(16):
-        app.apply_change(eager.handle, rng_e, step)
+        app.apply_change(eager.input_handle, rng_e, step)
         eager.propagate()
-        app.apply_change(lazy.handle, rng_l, step)
+        app.apply_change(lazy.input_handle, rng_l, step)
     lazy.get(out_l)
     # The widen-and-retry path must have fired -- this pins the scenario
     # as a live reproducer, not a vacuous pass.
@@ -480,3 +481,169 @@ def test_demand_unwinds_stale_reads_outside_the_cone():
     check_trace(lazy.engine)  # every unwind left the trace whole
     lazy.demand()
     assert values_close(app.readback(out_e), app.readback(out_l))
+
+
+# ----------------------------------------------------------------------
+# 4. Multi-target demand and lazy batches (the server-facing surface)
+
+
+def test_multi_target_demand_returns_values_in_order():
+    engine = Engine(mode="lazy")
+    calls = {}
+    x1, x2 = engine.make_input(1), engine.make_input(2)
+    y1 = _cone(engine, x1, "y1", calls)
+    y2 = _cone(engine, x2, "y2", calls)
+    engine.change(x1, 5)
+    engine.change(x2, 7)
+    assert engine.demand([y2, y1]) == [70, 50]
+    assert not engine.queue
+    # Single-target form still returns the bare value.
+    assert engine.demand(y1) == 50
+    with pytest.raises(PropagationError):
+        engine.demand([])
+
+
+def test_multi_target_demand_serves_clean_targets_for_free():
+    engine = Engine(mode="lazy")
+    calls = {}
+    x1, x2 = engine.make_input(1), engine.make_input(2)
+    y1 = _cone(engine, x1, "y1", calls)
+    y2 = _cone(engine, x2, "y2", calls)
+    engine.change(x1, 5)  # only y1's cone goes suspect
+    before = engine.meter.snapshot()
+    assert engine.demand([y1, y2]) == [50, 20]
+    after = engine.meter.snapshot()
+    assert after["demands"] - before["demands"] == 2
+    assert after["demands_clean"] - before["demands_clean"] == 1
+    assert calls["y2"] == 1  # never re-ran
+
+
+def test_multi_target_demand_leaves_undemanded_cone_suspect():
+    """A multi-target drain is still relevance-filtered: cones feeding
+    neither target stay dirty, queued, and suspect."""
+    engine = Engine(mode="lazy")
+    calls = {}
+    xs = [engine.make_input(i) for i in range(3)]
+    ys = [_cone(engine, x, f"y{i}", calls) for i, x in enumerate(xs)]
+    for x in xs:
+        engine.change(x, 100)
+    assert engine.demand([ys[0], ys[1]]) == [1000, 1000]
+    assert ys[2].suspect
+    assert len(engine.queue) == 1
+    check_trace(engine)
+
+
+def test_one_drain_at_most_sum_of_per_target_drains():
+    """Meter pin: demanding k targets in one drain re-executes (and
+    drains) no more than k separate per-target demands on an identical
+    twin engine -- shared feeders re-run once, not once per target."""
+
+    def build(engine, calls):
+        src = engine.make_input(1)
+        shared = _cone(engine, src, "shared", calls)
+        outs = [_cone(engine, shared, f"out{i}", calls) for i in range(4)]
+        return src, outs
+
+    calls_multi, calls_single = {}, {}
+    multi, single = Engine(mode="lazy"), Engine(mode="lazy")
+    src_m, outs_m = build(multi, calls_multi)
+    src_s, outs_s = build(single, calls_single)
+    multi.change(src_m, 7)
+    single.change(src_s, 7)
+
+    values_multi = multi.demand(outs_m)
+    values_single = [single.demand(o) for o in outs_s]
+    assert values_multi == values_single == [700] * 4
+
+    snap_multi = multi.meter.snapshot()
+    snap_single = single.meter.snapshot()
+    assert (
+        snap_multi["edges_reexecuted"] <= snap_single["edges_reexecuted"]
+    )
+    assert snap_multi["queue_drained"] <= snap_single["queue_drained"]
+    # And the win is real on this shape: every reader once, exactly.
+    assert calls_multi == {
+        "shared": 2,
+        "out0": 2,
+        "out1": 2,
+        "out2": 2,
+        "out3": 2,
+    }
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_session_demand_list_of_handles(backend):
+    """Session.demand accepts handle strings and lists; one drain serves
+    the whole read batch and matches the reference."""
+    from repro.apps.vectors import tree_sum
+
+    app = REGISTRY["vec-reduce"]
+    rng = random.Random(11)
+    session = Session(app, backend=backend, mode="lazy")
+    out = session.run(data=app.make_data(16, rng))
+    out_handle = session.handle(out, "out")
+    cell0 = session.handle(session.input_handle.mods[0], "cell:0")
+    session.edit("cell:0", 2.5)
+    stats = session.demand([out_handle, cell0])
+    assert stats.path == "demand"
+    data = app.handle_data(session.input_handle)
+    assert values_close(session.get("out"), tree_sum(data))
+    assert session.get(cell0) == 2.5
+
+
+def test_lazy_batch_defers_the_drain():
+    """A batch scope under mode="lazy" stages without propagating: the
+    scope's reexecuted count is 0 and the queue keeps the edits until
+    the next demand."""
+    engine = Engine(mode="lazy")
+    calls = {}
+    x = engine.make_input(1)
+    y = _cone(engine, x, "y", calls)
+    with engine.batch() as b:
+        engine.change(x, 2)
+        engine.change(x, 3)
+    assert b.changed == 2
+    assert b.reexecuted == 0
+    assert engine.queue  # still staged
+    assert y.suspect
+    assert engine.demand(y) == 30
+    assert calls["y"] == 2  # once initially, once for the whole batch
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("name", PROPERTY_APPS)
+def test_lazy_batched_matches_eager_batched_and_scratch(name, backend):
+    """Differential pin for the lifted restriction: lazy-batched ==
+    eager-batched == from-scratch, batch by batch."""
+    app = REGISTRY[name]
+    n, changes = APP_SIZES[name]
+    rng_e, rng_l = random.Random(29), random.Random(29)
+    eager = Session(app, backend=backend)
+    lazy = Session(app, backend=backend, mode="lazy")
+    out_e = eager.run(data=app.make_data(n, rng_e))
+    out_l = lazy.run(data=app.make_data(n, rng_l))
+    step = 0
+    for _round in range(3):
+        with eager.batch():
+            for _ in range(4):
+                app.apply_change(eager.input_handle, rng_e, step)
+                step += 1
+        step -= 4
+        with lazy.batch() as b:
+            for _ in range(4):
+                app.apply_change(lazy.input_handle, rng_l, step)
+                step += 1
+        assert b.reexecuted == 0
+        lazy.demand()
+        got_e = app.readback(out_e)
+        got_l = app.readback(out_l)
+        assert values_close(got_e, got_l)
+        scratch = app.reference(app.handle_data(lazy.input_handle))
+        assert values_close(got_l, scratch)
+
+
+def test_verify_app_lazy_batched():
+    """verify_app's own lazy+batch path oracle-checks every batch."""
+    for name in ("map", "msort", "vec-reduce"):
+        n, changes = APP_SIZES[name]
+        verify_app(name, n, changes, mode="lazy", batch=3)

@@ -37,7 +37,7 @@ def _run_map(hook, n=12, changes=2):
     engine = session.engine
     output = session.run(data=list(range(1, n + 1)))
     for step in range(changes):
-        session.handle.insert(step, 100 + step)
+        session.input_handle.insert(step, 100 + step)
         engine.propagate()
     return engine, output
 

@@ -373,7 +373,7 @@ def test_session_rollback_path():
     session = Session(app, backend="interp", hook=injector)
     output = session.run(data=data)
 
-    app.apply_change(session.handle, rng, 0)
+    app.apply_change(session.input_handle, rng, 0)
     stats = session.propagate(on_error="rollback")
     assert stats.path == "rollback"
     assert stats.undone >= 1
@@ -384,7 +384,7 @@ def test_session_rollback_path():
 
     # The edits were re-staged; a plain propagate applies them now.
     session.propagate()
-    current = app.handle_data(session.handle)
+    current = app.handle_data(session.input_handle)
     assert current != original
     assert app.readback(output) == app.reference(current)
     check_trace(session.engine, expect_quiescent=True, expect_empty_queue=True)
@@ -410,7 +410,7 @@ def test_session_rebuild_path_escapes_persistent_fault():
     session.run(data=data)
     old_engine = session.engine
 
-    app.apply_change(session.handle, rng, 0)
+    app.apply_change(session.input_handle, rng, 0)
     stats = session.propagate(on_error="rebuild")
     assert stats.path == "rebuild"
     assert isinstance(stats.error, ReexecutionError)
@@ -419,12 +419,12 @@ def test_session_rebuild_path_escapes_persistent_fault():
     # The faulty hook is deliberately left behind on the old engine.
     assert session.engine.hook is None
 
-    current = app.handle_data(session.handle)
+    current = app.handle_data(session.input_handle)
     assert app.readback(session.output) == app.reference(current)
     # The rebuilt session keeps working incrementally.
-    app.apply_change(session.handle, rng, 1)
+    app.apply_change(session.input_handle, rng, 1)
     assert session.propagate().path == "propagate"
-    current = app.handle_data(session.handle)
+    current = app.handle_data(session.input_handle)
     assert app.readback(session.output) == app.reference(current)
     assert session.stats()["rebuilds"] == 1
 
@@ -439,7 +439,7 @@ def test_persistent_fault_rollback_poisons_then_rebuild_recovers():
     session = Session(app, backend="interp", hook=injector)
     session.run(data=data)
 
-    app.apply_change(session.handle, rng, 0)
+    app.apply_change(session.input_handle, rng, 0)
     # Rollback's recovery propagation re-hits the persistent fault: the
     # engine cannot restore any consistent state and poisons itself.
     with pytest.raises(ReexecutionError):
@@ -453,7 +453,7 @@ def test_persistent_fault_rollback_poisons_then_rebuild_recovers():
     assert stats.path == "rebuild"
     assert isinstance(stats.error, EnginePoisonedError)
     assert not session.engine.poisoned
-    current = app.handle_data(session.handle)
+    current = app.handle_data(session.input_handle)
     assert app.readback(session.output) == app.reference(current)
 
 
@@ -478,7 +478,7 @@ def _staged_session(app, backend, *, n=24, seed=3):
     data = app.make_data(n, rng)
     session = Session(app, backend=backend)
     session.run(data=data)
-    app.apply_change(session.handle, rng, 0)
+    app.apply_change(session.input_handle, rng, 0)
     return session
 
 

@@ -1,0 +1,438 @@
+"""The SessionPool server: pool semantics, frame protocol, fairness, and
+multi-session fault isolation.
+
+Everything here runs real asyncio (via ``asyncio.run`` -- no plugin
+dependency) against in-process servers on ephemeral ports or unix
+sockets.  The correctness bar throughout is the app's reference function
+over the document's *current* marshalled data (``app.handle_data``), the
+same oracle the chaos harness uses, so a drained document is checked
+against from-scratch truth, not against itself.
+"""
+
+import asyncio
+import json
+import random
+
+import pytest
+
+from repro.api import Session, values_close
+from repro.apps import REGISTRY
+from repro.obs.faults import FaultInjector, PlantedFault
+from repro.obs.invariants import check_trace
+from repro.server import (
+    Client,
+    DocFailedError,
+    FairScheduler,
+    ServerError,
+    SessionPool,
+    UnknownDocError,
+    serve,
+)
+
+
+def _expected(pool, name):
+    """From-scratch reference value of a pooled document's output."""
+    session = pool.docs[name].session
+    return session.app.reference(session.app.handle_data(session.input_handle))
+
+
+# ----------------------------------------------------------------------
+# The handle layer (Session API the wire builds on)
+
+
+def test_handle_bind_resolve_roundtrip():
+    session = Session("vec-reduce", mode="lazy")
+    rng = random.Random(0)
+    out = session.run(data=session.app.make_data(8, rng))
+    name = session.handle(session.input_handle.mods[3], "cell:3")
+    assert name == "cell:3"
+    assert session.resolve("cell:3") is session.input_handle.mods[3]
+    # Idempotent: rebinding the same mod returns the same handle.
+    assert session.handle(session.input_handle.mods[3]) == "cell:3"
+    # Generated names are stable and fresh.
+    auto = session.handle(out)
+    assert auto.startswith("mod:")
+    assert session.resolve(auto) is out
+    assert set(session.handles()) == {"cell:3", auto}
+
+
+def test_handle_conflicts_and_unknowns_raise():
+    session = Session("vec-reduce", mode="lazy")
+    rng = random.Random(0)
+    session.run(data=session.app.make_data(4, rng))
+    mods = session.input_handle.mods
+    session.handle(mods[0], "a")
+    with pytest.raises(ValueError):
+        session.handle(mods[0], "b")  # already bound under another name
+    with pytest.raises(ValueError):
+        session.handle(mods[1], "a")  # name taken by a different mod
+    with pytest.raises(KeyError):
+        session.resolve("nope")
+    with pytest.raises(TypeError):
+        session.handle(42)
+
+
+def test_edit_and_get_accept_handles():
+    from repro.apps.vectors import tree_sum
+
+    session = Session("vec-reduce", mode="lazy")
+    rng = random.Random(1)
+    out = session.run(data=session.app.make_data(8, rng))
+    session.handle(session.input_handle.mods[0], "cell:0")
+    session.handle(out, "out")
+    assert session.edit("cell:0", 3.5) > 0
+    data = session.app.handle_data(session.input_handle)
+    assert values_close(session.get("out"), tree_sum(data))
+    assert session.get("cell:0") == 3.5
+
+
+# ----------------------------------------------------------------------
+# The fair scheduler
+
+
+def test_scheduler_round_robin_order():
+    sched = FairScheduler()
+    assert sched.next() is None
+    sched.enqueue("a")
+    sched.enqueue("b")
+    assert sched.enqueue("a") is False  # idempotent admission
+    assert len(sched) == 2
+    assert sched.next() == "a"
+    sched.requeue("a")  # budget ran out: back of the ring
+    assert sched.next() == "b"
+    assert sched.next() == "a"
+    assert sched.next() is None
+    assert sched.stats()["rotations"] == 1
+
+
+def test_scheduler_discard_removes_everywhere():
+    sched = FairScheduler()
+    for key in ("a", "b", "c"):
+        sched.enqueue(key)
+    sched.discard("b")
+    assert [sched.next(), sched.next(), sched.next()] == ["a", "c", None]
+
+
+# ----------------------------------------------------------------------
+# Pool semantics (no sockets)
+
+
+def test_pool_open_edit_demand_oracle():
+    async def main():
+        pool = SessionPool(mode="lazy", slice_budget=64)
+        info = pool.open("doc", app="vec-reduce", n=32, seed=7)
+        assert info["cells"] == 32
+        await pool.edit("doc", "cell:4", 2.0)
+        await pool.edit("doc", "cell:9", 0.5)
+        result = await pool.demand("doc")
+        assert values_close(result["value"], _expected(pool, "doc"))
+        one = await pool.get("doc", "cell:4")
+        assert one["value"] == 2.0
+        both = await pool.demand("doc", ["out", "cell:9"])
+        assert values_close(both["values"][0], _expected(pool, "doc"))
+        assert both["values"][1] == 0.5
+        await pool.close("doc")
+        with pytest.raises(UnknownDocError):
+            await pool.get("doc", "out")
+
+    asyncio.run(main())
+
+
+def test_pool_eager_doc_drains_inline_without_pump():
+    async def main():
+        pool = SessionPool(mode="eager", slice_budget=8)
+        pool.open("doc", app="vec-reduce", n=16, seed=2)
+        await pool.edit("doc", "cell:0", 1.25)
+        assert not pool.docs["doc"].session.engine.queue
+        got = await pool.get("doc", "out")
+        assert values_close(got["value"], _expected(pool, "doc"))
+
+    asyncio.run(main())
+
+
+def test_pool_batch_coalesces_and_lazy_defers():
+    async def main():
+        pool = SessionPool(mode="lazy", slice_budget=64)
+        pool.open("doc", app="vec-reduce", n=16, seed=3)
+        result = await pool.batch(
+            "doc", [["cell:0", 1.0], ["cell:1", 2.0], ["cell:2", 3.0]]
+        )
+        assert result["changed"] == 3
+        # Lazy: the batch staged without draining.
+        assert pool.docs["doc"].session.engine.queue
+        got = await pool.demand("doc")
+        assert values_close(got["value"], _expected(pool, "doc"))
+
+    asyncio.run(main())
+
+
+def test_pool_many_sessions_fairly_sliced():
+    """Many eager documents with staged work and a tiny slice budget:
+    every ack arrives, every doc matches its oracle, and the scheduler
+    actually rotated (no document drained in one monopoly)."""
+
+    async def main():
+        pool = SessionPool(mode="eager", slice_budget=4)
+        await pool.start()
+        docs = [f"doc{i}" for i in range(12)]
+        for i, name in enumerate(docs):
+            pool.open(name, app="vec-reduce", n=32, seed=i)
+
+        async def hammer(name, seed):
+            rng = random.Random(seed)
+            for _ in range(4):
+                cell = f"cell:{rng.randrange(32)}"
+                await pool.edit(name, cell, 0.5 + rng.random())
+
+        await asyncio.gather(*(hammer(n, i) for i, n in enumerate(docs)))
+        for name in docs:
+            got = await pool.get(name, "out")
+            assert values_close(got["value"], _expected(pool, name))
+        assert pool.scheduler.stats()["rotations"] > 0
+        await pool.stop()
+
+    asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# The frame protocol over real sockets
+
+
+def test_protocol_roundtrip_tcp():
+    async def main():
+        pool = SessionPool(mode="lazy", slice_budget=64)
+        server = await serve(pool)
+        host, port = server.sockets[0].getsockname()[:2]
+        client = await Client.connect(host, port)
+
+        info = await client.open("sheet", app="vec-reduce", n=16, seed=5)
+        assert info["cells"] == 16 and info["mode"] == "lazy"
+        r = await client.edit("sheet", "cell:3", 1.5)
+        assert r["dirtied"] >= 1
+        assert values_close(
+            await client.get("sheet", "out"), _expected(pool, "sheet")
+        )
+        r = await client.batch("sheet", [["cell:0", 2.0], ["cell:1", 0.25]])
+        assert r["changed"] == 2
+        r = await client.demand("sheet", ["out", "cell:0"])
+        assert values_close(r["values"][0], _expected(pool, "sheet"))
+        stats = await client.stats("sheet")
+        assert stats["edits"] == 3 and stats["batches"] == 1
+        pool_stats = await client.stats()
+        assert pool_stats["documents"] == 1
+        r = await client.close_doc("sheet")
+        assert r["closed"] is True
+
+        await client.close()
+        server.close()
+        await server.wait_closed()
+        await pool.stop()
+
+    asyncio.run(main())
+
+
+def test_protocol_roundtrip_unix_socket(tmp_path):
+    async def main():
+        pool = SessionPool(mode="lazy")
+        path = str(tmp_path / "repro.sock")
+        server = await serve(pool, path=path)
+        client = await Client.connect_unix(path)
+        await client.open("doc", app="vec-reduce", n=8, seed=1)
+        await client.edit("doc", "cell:2", 0.75)
+        assert values_close(
+            await client.get("doc", "out"), _expected(pool, "doc")
+        )
+        await client.close()
+        server.close()
+        await server.wait_closed()
+        await pool.stop()
+
+    asyncio.run(main())
+
+
+def test_protocol_errors_keep_the_connection_alive():
+    async def main():
+        pool = SessionPool(mode="lazy")
+        server = await serve(pool)
+        host, port = server.sockets[0].getsockname()[:2]
+        reader, writer = await asyncio.open_connection(host, port)
+
+        async def roundtrip(raw: bytes) -> dict:
+            writer.write(raw)
+            await writer.drain()
+            return json.loads(await reader.readline())
+
+        # Malformed JSON, unknown op, unknown doc: each answers ok=false
+        # on the same connection instead of dropping it.
+        bad = await roundtrip(b"{nope\n")
+        assert bad["ok"] is False
+        bad = await roundtrip(b'{"op":"warp","doc":"d","id":7}\n')
+        assert bad["ok"] is False and bad["id"] == 7
+        bad = await roundtrip(b'{"op":"get","doc":"ghost","cell":"out"}\n')
+        assert bad["ok"] is False and bad["type"] == "UnknownDocError"
+        # ... and the connection still serves real work.
+        good = await roundtrip(
+            b'{"op":"open","doc":"d","app":"vec-reduce","n":8}\n'
+        )
+        assert good["ok"] is True and good["cells"] == 8
+
+        writer.close()
+        await writer.wait_closed()
+        server.close()
+        await server.wait_closed()
+        await pool.stop()
+
+    asyncio.run(main())
+
+
+def test_many_concurrent_clients_oracle_checked():
+    """The spreadsheet-service shape in miniature: concurrent clients on
+    separate connections hammer separate documents; every document's
+    final output matches its from-scratch reference."""
+
+    async def main():
+        pool = SessionPool(mode="lazy", slice_budget=32)
+        server = await serve(pool)
+        host, port = server.sockets[0].getsockname()[:2]
+
+        async def client_task(idx: int):
+            client = await Client.connect(host, port)
+            doc = f"doc{idx}"
+            await client.open(doc, app="vec-reduce", n=24, seed=idx)
+            rng = random.Random(1000 + idx)
+            for _ in range(6):
+                cell = f"cell:{rng.randrange(24)}"
+                await client.edit(doc, cell, 0.5 + rng.random())
+                if rng.random() < 0.5:
+                    await client.get(doc, "out")
+            value = await client.get(doc, "out")
+            await client.close()
+            return doc, value
+
+        results = await asyncio.gather(*(client_task(i) for i in range(10)))
+        for doc, value in results:
+            assert values_close(value, _expected(pool, doc))
+        server.close()
+        await server.wait_closed()
+        await pool.stop()
+
+    asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# Multi-session fault isolation (the chaos satellite)
+
+
+def test_faulted_doc_recovers_and_siblings_stay_consistent():
+    """One pooled document gets a planted fault mid-drain; it recovers by
+    rollback, the retry drains clean, and every sibling document stays
+    oracle-consistent with an unpoisoned engine."""
+
+    async def main():
+        pool = SessionPool(mode="lazy", slice_budget=64, on_error="rollback")
+        docs = [f"doc{i}" for i in range(5)]
+        for i, name in enumerate(docs):
+            pool.open(name, app="vec-reduce", n=16, seed=i)
+
+        victim = pool.docs["doc2"]
+        injector = FaultInjector("read", at=1, during="propagate")
+        victim.session.engine.attach_hook(injector)
+
+        rng = random.Random(99)
+        for name in docs:
+            for _ in range(3):
+                await pool.edit(name, f"cell:{rng.randrange(16)}", rng.random())
+        for name in docs:
+            got = await pool.demand(name)
+            assert values_close(got["value"], _expected(pool, name))
+
+        assert injector.fired == 1
+        assert victim.rollbacks >= 1 and not victim.failed
+        snap = pool.stats()
+        assert snap["failed"] == 0
+        # The fault stayed where it was planted.
+        for name in docs:
+            doc = pool.docs[name]
+            if name != "doc2":
+                assert doc.rollbacks == 0 and doc.faults == 0
+            assert not doc.session.engine.poisoned
+            check_trace(doc.session.engine)
+
+    asyncio.run(main())
+
+
+def test_persistent_fault_escalates_to_rebuild():
+    """A fault that refires on every retry exhausts the rollback budget
+    and escalates to a from-scratch rebuild; the document ends healthy
+    (rebuild drops the injecting hook) and its handles are re-bound."""
+
+    async def main():
+        pool = SessionPool(
+            mode="lazy", slice_budget=64, on_error="rollback", max_rollbacks=2
+        )
+        pool.open("doc", app="vec-reduce", n=16, seed=4)
+        doc = pool.docs["doc"]
+        doc.session.engine.attach_hook(
+            FaultInjector("read", at=0, during="propagate", repeat=True)
+        )
+        await pool.edit("doc", "cell:5", 2.5)
+        got = await pool.demand("doc")
+        assert doc.rebuilds == 1
+        assert doc.rollbacks <= 2
+        assert not doc.failed
+        # Handles survived the rebuild by re-binding.
+        assert values_close(got["value"], _expected(pool, "doc"))
+        await pool.edit("doc", "cell:1", 1.0)
+        got = await pool.demand("doc")
+        assert values_close(got["value"], _expected(pool, "doc"))
+
+    asyncio.run(main())
+
+
+def test_unrecoverable_doc_fails_alone():
+    """With on_error="raise" a faulting document fails permanently -- and
+    only that document: siblings keep serving."""
+
+    async def main():
+        pool = SessionPool(mode="lazy", slice_budget=64, on_error="raise")
+        pool.open("bad", app="vec-reduce", n=8, seed=0)
+        pool.open("good", app="vec-reduce", n=8, seed=1)
+        pool.docs["bad"].session.engine.attach_hook(
+            FaultInjector("read", at=0, during="propagate", exc=PlantedFault)
+        )
+        await pool.edit("bad", "cell:0", 2.0)
+        await pool.edit("good", "cell:0", 3.0)
+        with pytest.raises(DocFailedError):
+            await pool.demand("bad")
+        assert pool.docs["bad"].failed
+        with pytest.raises(DocFailedError):
+            await pool.get("bad", "out")
+        got = await pool.demand("good")
+        assert values_close(got["value"], _expected(pool, "good"))
+        assert pool.stats()["failed"] == 1
+
+    asyncio.run(main())
+
+
+def test_server_error_surfaces_doc_failure_to_client():
+    async def main():
+        pool = SessionPool(mode="lazy", on_error="raise")
+        server = await serve(pool)
+        host, port = server.sockets[0].getsockname()[:2]
+        client = await Client.connect(host, port)
+        await client.open("doc", app="vec-reduce", n=8, seed=0)
+        pool.docs["doc"].session.engine.attach_hook(
+            FaultInjector("read", at=0, during="propagate")
+        )
+        await client.edit("doc", "cell:0", 9.0)
+        with pytest.raises(ServerError):
+            await client.demand("doc")
+        # The connection -- and the rest of the pool -- keeps working.
+        info = await client.open("doc2", app="vec-reduce", n=8, seed=1)
+        assert info["ok"] is True
+        await client.close()
+        server.close()
+        await server.wait_closed()
+        await pool.stop()
+
+    asyncio.run(main())

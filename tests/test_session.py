@@ -137,7 +137,7 @@ def test_edit_returns_dirtied_count_and_propagate_reports_stats():
 def test_session_stats_shape():
     session = Session("map", backend="interp")
     session.run(data=[1, 2, 3])
-    session.handle.insert(0, 9)
+    session.input_handle.insert(0, 9)
     session.propagate()
     stats = session.stats()
     assert stats["backend"] == "interp"
@@ -151,7 +151,7 @@ def test_session_stats_shape():
 def test_prepare_then_run():
     session = Session("map")
     session.prepare([5, 6])
-    assert session.handle is not None
+    assert session.input_handle is not None
     out = session.run()
     assert session.app.readback(out) == REGISTRY["map"].reference([5, 6])
 
@@ -244,9 +244,9 @@ def test_trace_compact_event_and_stats():
     session = Session("map", hook=log)
     session.run(data=list(range(16)))
     for step in range(8):
-        session.handle.insert(0, 100 + step)
+        session.input_handle.insert(0, 100 + step)
         session.propagate()
-        session.handle.remove(0)
+        session.input_handle.remove(0)
         session.propagate()
     removed = session.compact()
     assert removed["memo"] >= 0 and removed["alloc"] >= 0
@@ -271,17 +271,12 @@ def test_verify_app_batched_matches_sequential():
 
 
 # ----------------------------------------------------------------------
-# Deprecation shims
+# Removed deprecation shims stay removed
 
 
-def test_self_adjusting_instance_deprecated():
+def test_deprecation_shims_are_gone():
+    import repro.core.pipeline as pipeline
+
     program = compile_program(SQUARES)
-    with pytest.deprecated_call():
-        program.self_adjusting_instance()
-
-
-def test_default_backend_deprecated():
-    from repro.core.pipeline import default_backend
-
-    with pytest.deprecated_call():
-        default_backend()
+    assert not hasattr(program, "self_adjusting_instance")
+    assert not hasattr(pipeline, "default_backend")
