@@ -11,6 +11,9 @@ Usage::
     python -m repro trace <app> [-n N] [--changes K] [--out DIR]
     python -m repro chaos <app> [-n N] [--site S] [--mode M]  # fault inject
     python -m repro profile <app> [-n N] [--changes K]  # engine hot-path profile
+    python -m repro snapshot save <app> <file> [-n N] [--changes K]
+    python -m repro snapshot load <file> [--check]
+    python -m repro snapshot inspect <file>
     python -m repro apps                           # list benchmark apps
 
 The ``verify`` subcommand runs the paper's random-change correctness
@@ -255,6 +258,83 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    import json as _json
+    import random
+
+    from repro.api import Session
+    from repro.apps import REGISTRY
+    from repro.persist import PersistError, inspect_snapshot
+
+    try:
+        if args.action == "inspect":
+            print(_json.dumps(inspect_snapshot(args.file), indent=2))
+            return 0
+        if args.action == "save":
+            if args.app not in REGISTRY:
+                print(
+                    f"error: unknown app {args.app!r}; see "
+                    f"`python -m repro apps`",
+                    file=sys.stderr,
+                )
+                return 1
+            app = REGISTRY[args.app]
+            rng = random.Random(args.seed)
+            session = Session(app, backend=args.backend, mode=args.mode)
+            session.run(data=app.make_data(args.n, rng))
+            for step in range(args.changes):
+                app.apply_change(session.input_handle, rng, step)
+                if args.mode == "lazy":
+                    session.demand()
+                else:
+                    session.propagate()
+            header = session.snapshot(args.file)
+            meta = header["meta"]
+            print(
+                f"saved {args.app} [{session.backend}/{session.mode}] "
+                f"n={args.n} changes={args.changes} -> {args.file}: "
+                f"{meta['objects']} objects, {meta['stamps']} stamps, "
+                f"{meta['live_edges']} edges, key "
+                f"{header['content']['program_key'][:12]}.."
+            )
+            return 0
+        # load
+        session = Session.restore(
+            args.file, args.app, backend=args.backend
+        )
+        name = session.app.name if session.app is not None else "<source>"
+        print(
+            f"restored {name} [{session.backend}/{session.mode}] "
+            f"from {args.file}: trace={session.trace_size()}, "
+            f"queued={len(session.engine.queue)}"
+        )
+        if args.check:
+            from repro.api import values_close
+
+            app = session.app
+            if session.engine.queue:
+                if session.mode == "lazy":
+                    session.demand()
+                else:
+                    session.propagate()
+            got = app.readback(session.output)
+            expected = app.reference(app.handle_data(session.input_handle))
+            if not values_close(got, expected):
+                print(
+                    f"CHECK FAILED: restored output {got!r} != "
+                    f"reference {expected!r}",
+                    file=sys.stderr,
+                )
+                return 1
+            print("check OK: restored output matches the reference")
+        return 0
+    except BrokenPipeError:
+        raise  # handled by main(): downstream pager closed the pipe
+    except (PersistError, OSError) as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+
 def _cmd_apps(_args: argparse.Namespace) -> int:
     from repro.apps import REGISTRY
 
@@ -275,18 +355,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             slice_budget=args.slice_budget,
             on_error=args.on_error,
             max_sessions=args.max_sessions,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            journal_fsync=not args.no_journal_fsync,
+            max_edits_per_round=args.max_edits_per_round,
+            max_bytes_per_round=args.max_bytes_per_round,
         )
         if args.unix:
-            server = await serve(pool, path=args.unix)
+            server = await serve(
+                pool, path=args.unix, max_frame=args.max_frame
+            )
             where = args.unix
         else:
-            server = await serve(pool, host=args.host, port=args.port)
+            server = await serve(
+                pool, host=args.host, port=args.port,
+                max_frame=args.max_frame,
+            )
             sock = server.sockets[0].getsockname()
             where = f"{sock[0]}:{sock[1]}"
         print(
             f"serving session pool on {where} "
             f"(mode={args.mode}, slice_budget={args.slice_budget}, "
-            f"on_error={args.on_error})",
+            f"on_error={args.on_error}"
+            + (
+                f", checkpoint_dir={args.checkpoint_dir}"
+                if args.checkpoint_dir
+                else ""
+            )
+            + ")",
             flush=True,
         )
         try:
@@ -436,6 +532,49 @@ def main(argv=None) -> int:
     )
     p_profile.set_defaults(fn=_cmd_profile)
 
+    p_snapshot = sub.add_parser(
+        "snapshot",
+        help="save, restore, or inspect content-addressed session "
+             "snapshots (DESIGN.md Section 10)",
+    )
+    snap_sub = p_snapshot.add_subparsers(dest="action", required=True)
+    p_snap_save = snap_sub.add_parser(
+        "save", help="run an app and snapshot the live session"
+    )
+    p_snap_save.add_argument("app")
+    p_snap_save.add_argument("file")
+    p_snap_save.add_argument("-n", type=int, default=64, help="input size")
+    p_snap_save.add_argument("--changes", type=int, default=0,
+                             help="random changes to absorb before saving")
+    p_snap_save.add_argument("--seed", type=int, default=0)
+    p_snap_save.add_argument(
+        "--backend", choices=list(BACKENDS), default=None,
+        help="self-adjusting execution backend (default: $REPRO_BACKEND, "
+             "else interp)",
+    )
+    p_snap_save.add_argument("--mode", choices=["eager", "lazy"],
+                             default="eager")
+    p_snap_save.set_defaults(fn=_cmd_snapshot)
+    p_snap_load = snap_sub.add_parser(
+        "load", help="restore a session from a snapshot file"
+    )
+    p_snap_load.add_argument("file")
+    p_snap_load.add_argument("--app", default=None,
+                             help="override the app recorded in the header")
+    p_snap_load.add_argument(
+        "--backend", choices=list(BACKENDS), default=None,
+        help="must match the snapshot's backend (content-addressed)",
+    )
+    p_snap_load.add_argument("--check", action="store_true",
+                             help="verify the restored output against the "
+                                  "app's reference function")
+    p_snap_load.set_defaults(fn=_cmd_snapshot)
+    p_snap_inspect = snap_sub.add_parser(
+        "inspect", help="print a snapshot's header without decoding it"
+    )
+    p_snap_inspect.add_argument("file")
+    p_snap_inspect.set_defaults(fn=_cmd_snapshot)
+
     p_apps = sub.add_parser("apps", help="list the bundled benchmark apps")
     p_apps.set_defaults(fn=_cmd_apps)
 
@@ -459,6 +598,26 @@ def main(argv=None) -> int:
                          default="rollback",
                          help="per-document recovery policy")
     p_serve.add_argument("--max-sessions", type=int, default=1024)
+    p_serve.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                         help="durably checkpoint documents here: snapshots "
+                              "+ fsync'd write-ahead edit journals; reopened "
+                              "documents recover warm after a crash")
+    p_serve.add_argument("--checkpoint-every", type=int, default=64,
+                         help="acknowledged edits between snapshots "
+                              "(default 64)")
+    p_serve.add_argument("--no-journal-fsync", action="store_true",
+                         help="skip the per-edit fsync (faster acks; a "
+                              "crash may lose edits the OS had not flushed)")
+    p_serve.add_argument("--max-edits-per-round", type=int, default=None,
+                         help="per-document admission quota: staged edits "
+                              "per scheduling round")
+    p_serve.add_argument("--max-bytes-per-round", type=int, default=None,
+                         help="per-document admission quota: staged JSON "
+                              "bytes per scheduling round")
+    p_serve.add_argument("--max-frame", type=int, default=2**22,
+                         help="per-request frame size limit in bytes; "
+                              "larger frames get a FrameTooLargeError "
+                              "error frame (default 4 MiB)")
     p_serve.set_defaults(fn=_cmd_serve)
 
     args = parser.parse_args(argv)

@@ -228,6 +228,8 @@ class Session:
         self._handles: Dict[str, Modifiable] = {}
         self._handle_names: Dict[int, str] = {}
         self._handle_seq = 0
+        #: Optional write-ahead journal (see :meth:`enable_journal`).
+        self._journal = None
 
     # -- running --------------------------------------------------------
 
@@ -296,7 +298,21 @@ class Session:
         :meth:`handle`.  Nothing re-executes until :meth:`propagate` (or
         the enclosing :meth:`batch` scope closes).  A return of 0 means
         the new value compared equal and the edit cut off immediately.
+
+        With a write-ahead journal enabled (:meth:`enable_journal`) the
+        edit is durably appended *before* this method returns -- callers
+        may acknowledge it to clients as soon as they see the result --
+        and the edit must address a named handle with a
+        JSON-representable value so recovery can replay it.
         """
+        if self._journal is not None:
+            # Resolve the journal name *before* staging: an edit that
+            # recovery could never replay (no named handle) is refused
+            # with the engine untouched.
+            name = self._journal_name(mod)
+            dirtied = self.engine.change(self.resolve(mod), value)
+            self._journal.append([(name, value)])
+            return dirtied
         return self.engine.change(self.resolve(mod), value)
 
     def batch(
@@ -698,6 +714,97 @@ class Session:
     def handles(self) -> Dict[str, Modifiable]:
         """A snapshot of the current handle registry (name -> modifiable)."""
         return dict(self._handles)
+
+    # -- durability (DESIGN.md Section 10) -------------------------------
+
+    def snapshot(self, path: str) -> dict:
+        """Write a content-addressed snapshot of this session to ``path``.
+
+        The engine must be quiescent (no propagation/batch in flight);
+        staged lazy edits are fine and round-trip.  Returns the snapshot
+        header (content address, sizes).  Restore with :meth:`restore`.
+        """
+        from repro.persist import save_session
+
+        return save_session(self, path)
+
+    @classmethod
+    def restore(
+        cls,
+        path: str,
+        app: Any = None,
+        *,
+        backend: Optional[str] = None,
+        hook: Optional[Any] = None,
+    ) -> "Session":
+        """Rebuild a session from a snapshot written by :meth:`snapshot`.
+
+        Recompiles the program (from ``app`` or the snapshot's recorded
+        app name) and verifies the snapshot's content address against it;
+        corrupt or mismatched snapshots raise typed
+        :class:`repro.persist.PersistError` subclasses and never produce a
+        half-restored session.  The restored session is meter-equivalent
+        to the one that was saved: subsequent ``edit``/``propagate``/
+        ``demand`` perform identical work.
+        """
+        from repro.persist import load_session
+
+        return load_session(path, app, backend=backend, hook=hook)
+
+    def enable_journal(self, path: str, *, fsync: bool = True):
+        """Turn on the write-ahead edit journal at ``path``.
+
+        Every subsequent :meth:`edit` (including edits inside
+        :meth:`batch` scopes) is durably appended before it returns.
+        Journaled edits must address named handles with
+        JSON-representable values -- the handles are how replay finds the
+        cells in a restored session.  Returns the
+        :class:`repro.persist.EditJournal`.
+        """
+        from repro.persist import EditJournal
+
+        self._journal = EditJournal(path, fsync=fsync)
+        return self._journal
+
+    def disable_journal(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+
+    def replay_journal(self, path: str) -> int:
+        """Re-stage the edits recorded in a journal file; returns the
+        number of records applied.
+
+        Recovery = :meth:`restore` the last snapshot, replay the journal,
+        then propagate (or let the next demand drain).  Records the
+        snapshot already absorbed re-apply as no-ops (absolute values cut
+        off on equality), so an un-truncated journal is harmless.
+        Journaling is suspended during the replay itself.
+        """
+        from repro.persist import replay_journal
+
+        journal, self._journal = self._journal, None
+        try:
+            records = replay_journal(path)
+            for _seq, edits in records:
+                for handle, value in edits:
+                    self.engine.change(self.resolve(handle), value)
+        finally:
+            self._journal = journal
+        return len(records)
+
+    def _journal_name(self, mod: Union[str, Modifiable]) -> str:
+        if isinstance(mod, str):
+            return mod
+        name = self._handle_names.get(id(mod))
+        if name is None:
+            from repro.persist import JournalError
+
+            raise JournalError(
+                "journaled sessions must edit through named handles "
+                "(bind one with Session.handle) so recovery can replay"
+            )
+        return name
 
     # -- metering -------------------------------------------------------
 

@@ -43,9 +43,13 @@ from repro.obs.faults import (
     ChaosError,
     ChaosResult,
     FaultInjector,
+    PersistChaosResult,
     PlantedFault,
     SiteCounter,
     chaos_app,
+    chaos_journal,
+    chaos_persist,
+    corrupt_file,
 )
 from repro.obs.invariants import (
     InvariantChecker,
@@ -63,6 +67,7 @@ __all__ = [
     "FaultInjector",
     "InvariantChecker",
     "InvariantViolation",
+    "PersistChaosResult",
     "PhaseProfile",
     "PlantedFault",
     "ProfileReport",
@@ -71,7 +76,10 @@ __all__ = [
     "TraceEvent",
     "TraceHook",
     "chaos_app",
+    "chaos_journal",
+    "chaos_persist",
     "check_trace",
+    "corrupt_file",
     "profile_app",
     "ddg_dot",
     "ddg_json",

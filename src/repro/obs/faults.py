@@ -36,12 +36,16 @@ from repro.obs.invariants import InvariantChecker, check_trace
 
 __all__ = [
     "SITES",
+    "CORRUPTIONS",
     "ChaosError",
     "ChaosResult",
     "FaultInjector",
+    "PersistChaosResult",
     "PlantedFault",
     "SiteCounter",
     "chaos_app",
+    "chaos_persist",
+    "corrupt_file",
 ]
 
 
@@ -369,3 +373,323 @@ def chaos_app(
         skipped_sites=skipped,
         invariant_checks=invariant_checks,
     )
+
+
+# ----------------------------------------------------------------------
+# Persistence chaos: corrupt snapshots and journals, prove detection
+#
+# The durability layer's failure model (DESIGN.md Section 10) is the
+# mirror image of the propagation one: a snapshot or journal damaged at
+# *any* byte must either restore correctly (damage past the live data),
+# fail with a typed :class:`repro.persist.PersistError` -- never a wrong
+# value, never a crash of the host -- or, for a journal, replay exactly a
+# clean *prefix* of the acknowledged edits.  These fault sites drive
+# those promises the way :class:`FaultInjector` drives the engine's.
+
+
+def _corrupt_truncate_half(blob: bytes, rng: "random.Random") -> bytes:
+    return blob[: len(blob) // 2]
+
+def _corrupt_truncate_tail(blob: bytes, rng: "random.Random") -> bytes:
+    return blob[: max(0, len(blob) - rng.randrange(1, 64))]
+
+def _corrupt_flip_byte(blob: bytes, rng: "random.Random") -> bytes:
+    if not blob:
+        return blob
+    # Flip inside the payload (past the magic + most of the header) so
+    # the damage lands in CRC-guarded bytes, not trivially in the magic.
+    i = rng.randrange(len(blob) // 4, len(blob))
+    return blob[:i] + bytes([blob[i] ^ 0x40]) + blob[i + 1 :]
+
+def _corrupt_magic(blob: bytes, rng: "random.Random") -> bytes:
+    return b"#not-a-snapshot 9\n" + blob[18:]
+
+def _corrupt_empty(blob: bytes, rng: "random.Random") -> bytes:
+    return b""
+
+
+#: Corruption kinds for :func:`corrupt_file`: name -> bytes transformer.
+CORRUPTIONS: Dict[str, Any] = {
+    "truncate-half": _corrupt_truncate_half,
+    "truncate-tail": _corrupt_truncate_tail,
+    "flip-byte": _corrupt_flip_byte,
+    "bad-magic": _corrupt_magic,
+    "empty": _corrupt_empty,
+}
+
+
+def corrupt_file(path: str, kind: str, seed: int = 0) -> None:
+    """Damage ``path`` in place with the named corruption (deterministic
+    in ``seed``)."""
+    with open(path, "rb") as f:
+        blob = f.read()
+    with open(path, "wb") as f:
+        f.write(CORRUPTIONS[kind](blob, random.Random(seed)))
+
+
+@dataclass
+class PersistChaosResult:
+    """Outcome of one :func:`chaos_persist` sweep."""
+
+    name: str
+    backend: str
+    mode: str
+    n: int
+    scenarios: int
+    detected: int
+    survived: int  # corruptions the restore legitimately shrugged off
+
+    def __str__(self) -> str:
+        return (
+            f"persist-chaos {self.name} [{self.backend}/{self.mode}] "
+            f"n={self.n}: {self.scenarios} corruption scenarios, "
+            f"{self.detected} detected, {self.survived} harmless"
+        )
+
+
+def chaos_persist(
+    app: Any,
+    n: int,
+    *,
+    backend: Optional[str] = None,
+    mode: str = "eager",
+    changes: int = 2,
+    seed: int = 0,
+    kinds: Optional[Sequence[str]] = None,
+    dir: Optional[str] = None,
+) -> PersistChaosResult:
+    """Corrupt a live snapshot every way we know and prove each outcome.
+
+    One session runs ``changes`` random edits and snapshots.  First the
+    *intact* snapshot must restore to a session whose output matches the
+    live one and the app's reference (the oracle for everything after).
+    Then, per corruption kind, a damaged copy must either raise a typed
+    :class:`repro.persist.PersistError` (detection) or -- when the damage
+    misses the live bytes -- restore to the oracle output.  Any other
+    outcome (wrong value, foreign exception) is a :class:`ChaosError`.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.api import Session, values_close
+    from repro.apps import REGISTRY
+    from repro.persist import PersistError
+
+    if isinstance(app, str):
+        app = REGISTRY[app]
+    kinds = tuple(kinds) if kinds is not None else tuple(CORRUPTIONS)
+    for kind in kinds:
+        if kind not in CORRUPTIONS:
+            raise ValueError(f"unknown corruption {kind!r}")
+
+    tmp = dir or tempfile.mkdtemp(prefix="repro-chaos-persist-")
+    try:
+        rng = random.Random(seed)
+        session = Session(app, backend=backend, mode=mode)
+        session.run(data=app.make_data(n, rng))
+        for step in range(changes):
+            app.apply_change(session.input_handle, rng, step)
+            if mode == "lazy":
+                session.demand()
+            else:
+                session.propagate()
+        snap = os.path.join(tmp, f"{app.name}.snap")
+        session.snapshot(snap)
+        oracle = app.readback(session.output)
+        expected = app.reference(app.handle_data(session.input_handle))
+        if not values_close(oracle, expected):
+            raise ChaosError(
+                f"persist-chaos {app.name}: live session diverges from "
+                f"reference before any corruption"
+            )
+
+        # The intact snapshot is the baseline: restore must reproduce it.
+        restored = Session.restore(snap, app)
+        got = app.readback(restored.output)
+        if not values_close(got, oracle):
+            raise ChaosError(
+                f"persist-chaos {app.name} [{session.backend}]: intact "
+                f"snapshot restored to {got!r}, live session has {oracle!r}"
+            )
+        if restored.engine.meter.snapshot() != session.engine.meter.snapshot():
+            raise ChaosError(
+                f"persist-chaos {app.name} [{session.backend}]: intact "
+                f"restore is not meter-exact"
+            )
+
+        scenarios = detected = survived = 0
+        for kind in kinds:
+            scenarios += 1
+            damaged = os.path.join(tmp, f"{app.name}.{kind}.snap")
+            shutil.copyfile(snap, damaged)
+            corrupt_file(damaged, kind, seed=seed + scenarios)
+            try:
+                recovered = Session.restore(damaged, app)
+            except PersistError:
+                detected += 1
+                continue
+            except Exception as exc:  # noqa: BLE001 - the failed promise
+                raise ChaosError(
+                    f"persist-chaos {app.name} [{session.backend}] "
+                    f"kind={kind}: restore escaped the typed error model "
+                    f"with {type(exc).__name__}: {exc}"
+                ) from exc
+            got = app.readback(recovered.output)
+            if not values_close(got, oracle):
+                raise ChaosError(
+                    f"persist-chaos {app.name} [{session.backend}] "
+                    f"kind={kind}: corruption went UNDETECTED and "
+                    f"restored a wrong value\n  got:    {got!r}\n"
+                    f"  oracle: {oracle!r}"
+                )
+            survived += 1
+        return PersistChaosResult(
+            name=app.name,
+            backend=session.backend,
+            mode=mode,
+            n=n,
+            scenarios=scenarios,
+            detected=detected,
+            survived=survived,
+        )
+    finally:
+        if dir is None:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+def chaos_journal(
+    app: Any,
+    n: int,
+    *,
+    backend: Optional[str] = None,
+    mode: str = "eager",
+    edits: int = 6,
+    seed: int = 0,
+    kinds: Optional[Sequence[str]] = None,
+    dir: Optional[str] = None,
+) -> PersistChaosResult:
+    """Damage a write-ahead journal every way we know and prove each outcome.
+
+    A session runs, snapshots, then journals ``edits`` acknowledged cell
+    edits and settles: that readback is the oracle.  Per corruption kind,
+    a damaged copy of the journal is replayed onto a fresh restore of the
+    snapshot.  The journal's promise is *prefix integrity*: replay must
+    yield exactly a clean prefix of the acknowledged records -- either
+    silently (torn tail, truncation) or via
+    :class:`repro.persist.JournalCorruptError` carrying the prefix
+    (mid-file damage, counted as ``detected``).  Re-applying the lost
+    suffix by hand must then land the restored session on the oracle,
+    meter-exact -- proving damage can only ever *shorten* the replay,
+    never corrupt a value.  Requires a scalar-cell app (``vec-reduce``):
+    journaled edits go through named ``cell:<i>`` handles, as on the
+    server.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.api import Session, values_close
+    from repro.apps import REGISTRY
+    from repro.persist import JournalCorruptError, replay_journal
+
+    if isinstance(app, str):
+        app = REGISTRY[app]
+    kinds = tuple(kinds) if kinds is not None else tuple(CORRUPTIONS)
+    for kind in kinds:
+        if kind not in CORRUPTIONS:
+            raise ValueError(f"unknown corruption {kind!r}")
+
+    def settle(s: Session) -> Any:
+        return s.demand() if mode == "lazy" else s.propagate() or s.output
+
+    def bind(s: Session) -> None:
+        for i, mod in enumerate(s.input_handle.mods):
+            s.handle(mod, f"cell:{i}")
+
+    tmp = dir or tempfile.mkdtemp(prefix="repro-chaos-journal-")
+    try:
+        rng = random.Random(seed)
+        session = Session(app, backend=backend, mode=mode)
+        session.run(data=app.make_data(n, rng))
+        bind(session)
+        snap = os.path.join(tmp, f"{app.name}.snap")
+        wal = os.path.join(tmp, f"{app.name}.wal")
+        session.snapshot(snap)
+        session.enable_journal(wal)
+        n_cells = len(session.input_handle.mods)
+        for _step in range(edits):
+            cell = f"cell:{rng.randrange(n_cells)}"
+            session.edit(cell, round(rng.uniform(-100.0, 100.0), 3))
+        settle(session)
+        session.disable_journal()
+        oracle = app.readback(session.output)
+        meter_oracle = session.engine.meter.snapshot()
+        intact = replay_journal(wal)
+        if len(intact) != edits:
+            raise ChaosError(
+                f"journal-chaos {app.name}: intact journal holds "
+                f"{len(intact)} records, {edits} were acknowledged"
+            )
+
+        scenarios = detected = survived = 0
+        for kind in kinds:
+            scenarios += 1
+            damaged = os.path.join(tmp, f"{app.name}.{kind}.wal")
+            shutil.copyfile(wal, damaged)
+            corrupt_file(damaged, kind, seed=seed + scenarios)
+            restored = Session.restore(snap, app)
+            bind(restored)
+            try:
+                replayed = restored.replay_journal(damaged)
+                prefix = intact[:replayed]
+                survived += 1
+            except JournalCorruptError as exc:
+                prefix = list(exc.records)
+                for _seq, batch in prefix:
+                    for handle, value in batch:
+                        restored.edit(handle, value)
+                detected += 1
+            except Exception as exc:  # noqa: BLE001 - the failed promise
+                raise ChaosError(
+                    f"journal-chaos {app.name} [{session.backend}] "
+                    f"kind={kind}: replay escaped the typed error model "
+                    f"with {type(exc).__name__}: {exc}"
+                ) from exc
+            if prefix != intact[: len(prefix)]:
+                raise ChaosError(
+                    f"journal-chaos {app.name} [{session.backend}] "
+                    f"kind={kind}: surviving records are not a clean "
+                    f"prefix of the acknowledged stream"
+                )
+            # Re-apply the lost suffix: the damage may only have cost us
+            # the tail, never changed a value the prefix carried.
+            for _seq, batch in intact[len(prefix) :]:
+                for handle, value in batch:
+                    restored.edit(handle, value)
+            settle(restored)
+            got = app.readback(restored.output)
+            if not values_close(got, oracle):
+                raise ChaosError(
+                    f"journal-chaos {app.name} [{session.backend}] "
+                    f"kind={kind}: prefix + suffix replay diverged from "
+                    f"the oracle\n  got:    {got!r}\n  oracle: {oracle!r}"
+                )
+            if restored.engine.meter.snapshot() != meter_oracle:
+                raise ChaosError(
+                    f"journal-chaos {app.name} [{session.backend}] "
+                    f"kind={kind}: replay reached the oracle value but "
+                    f"not meter-exactly"
+                )
+        return PersistChaosResult(
+            name=app.name,
+            backend=session.backend,
+            mode=mode,
+            n=n,
+            scenarios=scenarios,
+            detected=detected,
+            survived=survived,
+        )
+    finally:
+        if dir is None:
+            shutil.rmtree(tmp, ignore_errors=True)

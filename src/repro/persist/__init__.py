@@ -1,0 +1,58 @@
+"""Durability for self-adjusting sessions (DESIGN.md Section 10).
+
+Three layers, separable and composable:
+
+* :mod:`repro.persist.codec` -- iterative flat-table serialization of a
+  live engine's object graph (trace, order, memo table, cells, closures);
+* :mod:`repro.persist.snapshot` -- versioned, CRC'd, content-addressed
+  snapshot files plus ``save_session``/``load_session``;
+* :mod:`repro.persist.journal` -- the fsync'd write-ahead edit journal
+  whose replay over a restored snapshot makes acknowledged edits survive
+  ``SIGKILL``.
+
+The server's checkpointing (``SessionPool(checkpoint_dir=...)``) and the
+``python -m repro snapshot`` CLI are thin drivers over these.
+"""
+
+from repro.persist.errors import (
+    CodecError,
+    JournalCorruptError,
+    JournalError,
+    PersistError,
+    SnapshotCorruptError,
+    SnapshotFormatError,
+    SnapshotMismatchError,
+    SnapshotStateError,
+)
+from repro.persist.journal import EditJournal, replay_journal
+from repro.persist.snapshot import (
+    input_digest,
+    inspect_snapshot,
+    load_session,
+    program_key,
+    read_header,
+    read_snapshot,
+    save_session,
+    write_snapshot,
+)
+
+__all__ = [
+    "PersistError",
+    "CodecError",
+    "SnapshotStateError",
+    "SnapshotFormatError",
+    "SnapshotCorruptError",
+    "SnapshotMismatchError",
+    "JournalError",
+    "JournalCorruptError",
+    "EditJournal",
+    "replay_journal",
+    "save_session",
+    "load_session",
+    "inspect_snapshot",
+    "program_key",
+    "input_digest",
+    "read_header",
+    "read_snapshot",
+    "write_snapshot",
+]

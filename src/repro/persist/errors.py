@@ -1,0 +1,66 @@
+"""Typed failures of the durability subsystem.
+
+The distinctions matter operationally: a :class:`SnapshotCorruptError`
+(torn write, flipped bit, truncated section) and a
+:class:`SnapshotMismatchError` (snapshot of a *different* program /
+backend / mode / interpreter) are both recoverable by degrading to a cold
+rebuild, while a :class:`SnapshotStateError` is a caller bug (snapshotting
+mid-propagation) and a :class:`CodecError` means the object graph held
+something the codec cannot round-trip.  The server's recovery ladder
+catches :class:`PersistError` -- the common base -- and never lets any of
+them poison the pool.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PersistError",
+    "CodecError",
+    "SnapshotStateError",
+    "SnapshotFormatError",
+    "SnapshotCorruptError",
+    "SnapshotMismatchError",
+    "JournalError",
+    "JournalCorruptError",
+]
+
+
+class PersistError(Exception):
+    """Base class for all durability failures."""
+
+
+class CodecError(PersistError):
+    """The object graph contains a value the codec cannot serialize or
+    rebuild (with a breadcrumb path to the offending object)."""
+
+
+class SnapshotStateError(PersistError):
+    """Snapshot requested from a non-quiescent engine (mid-propagation,
+    inside a batch/mod scope, or poisoned)."""
+
+
+class SnapshotFormatError(PersistError):
+    """Not a snapshot file at all (bad magic), or an unknown format
+    version."""
+
+
+class SnapshotCorruptError(PersistError):
+    """A snapshot failed an integrity check: truncated file, section CRC
+    mismatch, undecodable object table, or post-restore digest mismatch."""
+
+
+class SnapshotMismatchError(PersistError):
+    """A structurally valid snapshot whose content address does not match
+    what the restorer is running: different compiled program, backend,
+    mode, or an incompatible Python (``marshal`` bytecode is
+    version-specific)."""
+
+
+class JournalError(PersistError):
+    """Base class for edit-journal failures."""
+
+
+class JournalCorruptError(JournalError):
+    """A journal record failed its CRC somewhere *before* the tail.  (A
+    torn final record is the normal signature of a crash and is silently
+    dropped; corruption earlier in the file is reported.)"""

@@ -1,0 +1,148 @@
+"""Write-ahead edit journal: fsync'd, CRC'd, replayable.
+
+One JSON record per line, each carrying its own CRC32::
+
+    {"seq": 17, "edits": [["cell:3", 2.5], ["cell:9", 0.0]]}\\t<crc32 hex>\\n
+
+An edit is *durable* -- and may be acknowledged to a client -- once
+:meth:`EditJournal.append` returns: the record is written, flushed, and
+(by default) fsync'd first.  Recovery loads the last snapshot and replays
+the journal suffix; because records carry absolute cell values (not
+deltas), replaying records the snapshot already absorbed is a harmless
+no-op (the engine's equality cutoff drops them), so the
+checkpoint-then-truncate sequence needs no cross-file atomicity.
+
+A torn final record is the normal signature of a crash mid-append and is
+silently dropped.  A CRC failure *before* the tail is real corruption:
+replay stops there and reports it (:class:`JournalCorruptError` carries
+the records recovered so far), letting the caller keep the prefix or
+degrade to a cold rebuild.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.persist.errors import JournalCorruptError, JournalError
+
+__all__ = ["EditJournal", "replay_journal"]
+
+
+class EditJournal:
+    """Appender for one document's write-ahead journal."""
+
+    def __init__(self, path: str, *, fsync: bool = True) -> None:
+        self.path = path
+        self.fsync = fsync
+        self.seq = 0
+        self.appended = 0
+        self._f = open(path, "ab")
+        if self._f.tell():
+            # Resuming an existing journal: continue the sequence.
+            try:
+                for seq, _edits in replay_journal(path):
+                    self.seq = max(self.seq, seq)
+            except JournalCorruptError as exc:
+                self.seq = max((s for s, _e in exc.records), default=0)
+
+    def append(self, edits: List[Tuple[str, Any]]) -> int:
+        """Durably record one edit batch; returns its sequence number.
+
+        ``edits`` is a list of ``(handle, value)`` pairs with
+        JSON-representable values -- the same constraint the server
+        protocol already imposes on cell values.
+        """
+        if self._f is None:
+            raise JournalError("journal is closed")
+        self.seq += 1
+        try:
+            body = json.dumps(
+                {"seq": self.seq, "edits": [[h, v] for h, v in edits]},
+                separators=(",", ":"),
+            )
+        except (TypeError, ValueError) as exc:
+            self.seq -= 1
+            raise JournalError(
+                f"journal requires JSON-representable edit values: {exc}"
+            ) from exc
+        record = f"{body}\t{zlib.crc32(body.encode()):08x}\n"
+        self._f.write(record.encode())
+        self._f.flush()
+        if self.fsync:
+            os.fsync(self._f.fileno())
+        self.appended += 1
+        return self.seq
+
+    def reset(self) -> None:
+        """Truncate to empty (after a successful snapshot absorbed it)."""
+        if self._f is None:
+            raise JournalError("journal is closed")
+        self._f.truncate(0)
+        self._f.seek(0)
+        self._f.flush()
+        if self.fsync:
+            os.fsync(self._f.fileno())
+        self.seq = 0
+
+    def close(self) -> None:
+        if self._f is not None:
+            self._f.close()
+            self._f = None
+
+    def __enter__(self) -> "EditJournal":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def replay_journal(path: str) -> List[Tuple[int, List[Tuple[str, Any]]]]:
+    """Parse a journal into ``[(seq, [(handle, value), ...]), ...]``.
+
+    Missing file -> empty.  Torn final record -> dropped silently.  CRC or
+    parse failure before the tail -> :class:`JournalCorruptError` with the
+    clean prefix attached as ``exc.records``.
+    """
+    try:
+        with open(path, "rb") as f:
+            blob = f.read()
+    except FileNotFoundError:
+        return []
+    records: List[Tuple[int, List[Tuple[str, Any]]]] = []
+    lines = blob.split(b"\n")
+    # A well-formed file ends with a newline, so the final split element is
+    # empty; anything after the last newline is a torn tail.
+    torn_tail = lines.pop() != b""
+    for i, line in enumerate(lines):
+        if not line:
+            continue
+        parsed = _parse_record(line)
+        if parsed is None:
+            if i == len(lines) - 1:
+                break  # torn last full line (crash mid-write, pre-newline data)
+            exc = JournalCorruptError(
+                f"journal record {i + 1} of {len(lines)} failed its CRC/parse "
+                f"check in {path!r}"
+            )
+            exc.records = records
+            raise exc
+        records.append(parsed)
+    del torn_tail  # (tail bytes after the last newline are ignored by design)
+    return records
+
+
+def _parse_record(line: bytes) -> Optional[Tuple[int, List[Tuple[str, Any]]]]:
+    tab = line.rfind(b"\t")
+    if tab < 0:
+        return None
+    body, crc_hex = line[:tab], line[tab + 1 :]
+    try:
+        if zlib.crc32(body) != int(crc_hex, 16):
+            return None
+        obj = json.loads(body)
+        return int(obj["seq"]), [(str(h), v) for h, v in obj["edits"]]
+    except (ValueError, KeyError, TypeError):
+        return None

@@ -18,10 +18,16 @@ from repro.server.pool import (
     DocError,
     DocFailedError,
     PooledDoc,
+    QuotaExceededError,
     SessionPool,
     UnknownDocError,
 )
-from repro.server.protocol import Client, ServerError, serve
+from repro.server.protocol import (
+    Client,
+    FrameTooLargeError,
+    ServerError,
+    serve,
+)
 from repro.server.scheduler import FairScheduler
 
 __all__ = [
@@ -29,7 +35,9 @@ __all__ = [
     "DocError",
     "DocFailedError",
     "FairScheduler",
+    "FrameTooLargeError",
     "PooledDoc",
+    "QuotaExceededError",
     "ServerError",
     "SessionPool",
     "UnknownDocError",

@@ -17,11 +17,25 @@ three things on top that a lone ``Session`` cannot provide:
   serializable name, never by in-process object.
 * **Per-document recovery.**  A fault inside one document's propagation
   is contained there: the pool rolls the document back
-  (``on_error="rollback"``), escalating to a from-scratch rebuild after
-  ``max_rollbacks`` consecutive rollbacks (or immediately under
-  ``on_error="rebuild"``), and marks the document failed only when no
-  recovery applies.  Sibling documents never see any of it -- their
-  engines share nothing but the event loop.
+  (``on_error="rollback"``), escalating after ``max_rollbacks``
+  consecutive rollbacks -- first to a **restore from the document's last
+  checkpoint** (when ``checkpoint_dir`` is set), then to a from-scratch
+  rebuild -- and marks the document failed only when no recovery
+  applies.  Sibling documents never see any of it -- their engines share
+  nothing but the event loop.
+* **Durability** (``checkpoint_dir=...``).  Every document gets a
+  content-addressed snapshot file plus an fsync'd write-ahead edit
+  journal (:mod:`repro.persist`): edits are journaled before they are
+  acknowledged, snapshots are written every ``checkpoint_every``
+  acknowledged edits (piggybacking on drain completion, so checkpoints
+  never race a propagation), and ``open`` of a previously checkpointed
+  document recovers it warm -- restore the snapshot, replay the journal
+  suffix, carry on.  Corrupt or mismatched checkpoint state degrades to
+  a cold open (counted in stats), never a poisoned pool.
+* **Admission quotas.**  ``max_edits_per_round`` / ``max_bytes_per_round``
+  cap what one document may stage between drains; over-quota edits are
+  rejected with :class:`QuotaExceededError` (a typed, per-request error)
+  so one chatty client cannot starve the ring or balloon the journal.
 
 The pool is asyncio-single-threaded: engine calls happen inline on the
 loop (no locks), and concurrency comes from interleaving slices, not
@@ -31,11 +45,21 @@ threads.
 from __future__ import annotations
 
 import asyncio
+import json
+import logging
+import os
 import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.api import Session
+from repro.persist import (
+    JournalCorruptError,
+    PersistError,
+    SnapshotMismatchError,
+    read_header,
+)
+from repro.persist import replay_journal as _replay_journal
 from repro.sac.exceptions import (
     EnginePoisonedError,
     PropagationBudgetExceeded,
@@ -46,9 +70,12 @@ __all__ = [
     "DocError",
     "DocFailedError",
     "PooledDoc",
+    "QuotaExceededError",
     "SessionPool",
     "UnknownDocError",
 ]
+
+log = logging.getLogger("repro.server.pool")
 
 
 class DocError(Exception):
@@ -73,6 +100,25 @@ class DocFailedError(DocError):
         super().__init__(doc, f"document {doc!r} failed: {message}")
 
 
+class QuotaExceededError(DocError):
+    """The document hit its per-round admission quota.
+
+    Raised *before* the edit is staged or journaled: the request fails,
+    the document stays consistent and usable, and the quota clears when
+    the document's staged work next drains.
+    """
+
+    def __init__(self, doc: str, kind: str, used: int, limit: int) -> None:
+        super().__init__(
+            doc,
+            f"document {doc!r} exceeded its per-round {kind} quota "
+            f"({used} > {limit}); retry after the next drain",
+        )
+        self.kind = kind
+        self.used = used
+        self.limit = limit
+
+
 @dataclass
 class PooledDoc:
     """One hosted document: a session plus pool-side accounting."""
@@ -84,6 +130,8 @@ class PooledDoc:
     out: Optional[str] = None
     #: futures resolved when the document's staged edits are fully drained
     waiters: List[asyncio.Future] = field(default_factory=list)
+    #: write-ahead journal (checkpointing pools only)
+    journal: Optional[Any] = None
     failed: bool = False
     error: Optional[str] = None
     edits: int = 0
@@ -95,6 +143,18 @@ class PooledDoc:
     rebuilds: int = 0
     faults: int = 0
     consecutive_rollbacks: int = 0
+    #: durability accounting (all zero when checkpointing is off)
+    recovered: bool = False
+    replayed: int = 0
+    checkpoints: int = 0
+    restores: int = 0
+    snapshot_failures: int = 0
+    consecutive_restores: int = 0
+    ops_since_checkpoint: int = 0
+    #: admission-quota accounting for the current scheduling round
+    round_edits: int = 0
+    round_bytes: int = 0
+    quota_rejections: int = 0
 
     def check_usable(self) -> None:
         if self.failed:
@@ -125,6 +185,12 @@ class PooledDoc:
             "rollbacks": self.rollbacks,
             "rebuilds": self.rebuilds,
             "faults": self.faults,
+            "recovered": self.recovered,
+            "replayed": self.replayed,
+            "checkpoints": self.checkpoints,
+            "restores": self.restores,
+            "snapshot_failures": self.snapshot_failures,
+            "quota_rejections": self.quota_rejections,
             "trace_size": self.session.engine.trace_size(),
         }
 
@@ -138,7 +204,17 @@ class SessionPool:
     scheduling slice; ``on_error`` is the per-document recovery policy
     (``"rollback"``, ``"rebuild"``, or ``"raise"`` to surface faults to
     the caller); after ``max_rollbacks`` consecutive rollbacks on one
-    document the pool escalates it to a rebuild.
+    document the pool escalates it -- to a restore from the last
+    checkpoint when one exists (at most ``max_restores`` consecutive
+    times), else to a rebuild.
+
+    ``checkpoint_dir`` turns on durability: per-document snapshot +
+    write-ahead journal files live there, edits are fsync'd durable
+    before they are acknowledged (``journal_fsync=False`` trades that
+    for latency), and a fresh snapshot is cut every
+    ``checkpoint_every`` acknowledged edits, at drain boundaries.
+    ``max_edits_per_round`` / ``max_bytes_per_round`` bound what one
+    document may stage between drains (:class:`QuotaExceededError`).
     """
 
     def __init__(
@@ -150,6 +226,12 @@ class SessionPool:
         on_error: str = "rollback",
         max_sessions: int = 1024,
         max_rollbacks: int = 3,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 64,
+        journal_fsync: bool = True,
+        max_restores: int = 1,
+        max_edits_per_round: Optional[int] = None,
+        max_bytes_per_round: Optional[int] = None,
     ) -> None:
         if on_error not in ("raise", "rollback", "rebuild"):
             raise ValueError(
@@ -158,12 +240,22 @@ class SessionPool:
             )
         if slice_budget < 1:
             raise ValueError("slice_budget must be >= 1")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         self.mode = mode
         self.backend = backend
         self.slice_budget = slice_budget
         self.on_error = on_error
         self.max_sessions = max_sessions
         self.max_rollbacks = max_rollbacks
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        self.journal_fsync = journal_fsync
+        self.max_restores = max_restores
+        self.max_edits_per_round = max_edits_per_round
+        self.max_bytes_per_round = max_bytes_per_round
+        if checkpoint_dir is not None:
+            os.makedirs(checkpoint_dir, exist_ok=True)
         self.docs: Dict[str, PooledDoc] = {}
         from repro.server.scheduler import FairScheduler
 
@@ -172,6 +264,10 @@ class SessionPool:
         self._running = False
         self.opened = 0
         self.closed = 0
+        self.checkpoints = 0
+        self.restores = 0
+        self.snapshot_failures = 0
+        self.quota_rejections = 0
 
     # -- lifecycle ------------------------------------------------------
 
@@ -185,7 +281,12 @@ class SessionPool:
         return self
 
     async def stop(self) -> None:
-        """Stop the pump; open documents stay queryable synchronously."""
+        """Stop the pump; open documents stay queryable synchronously.
+
+        With checkpointing on, every document that absorbed edits since
+        its last checkpoint is snapshotted (best effort) so a graceful
+        shutdown restarts warm without any journal replay.
+        """
         self._running = False
         if self._pump_task is not None:
             self.scheduler.kick()
@@ -195,6 +296,10 @@ class SessionPool:
             except asyncio.CancelledError:
                 pass
             self._pump_task = None
+        if self.checkpoint_dir is not None:
+            for doc in self.docs.values():
+                if not doc.failed and doc.ops_since_checkpoint:
+                    self._checkpoint(doc)
 
     # -- documents ------------------------------------------------------
 
@@ -221,6 +326,15 @@ class SessionPool:
         ``app.make_data(n, seed)``), and binds the wire handles: one
         ``"cell:<i>"`` per addressable input cell, plus ``"out"`` when the
         output is a single modifiable.
+
+        With ``checkpoint_dir`` set, a document that was checkpointed by
+        a previous process recovers **warm**: its snapshot is restored,
+        the journal suffix replayed, and only the resulting dirty work
+        re-executed -- the durable state (every acknowledged edit) wins
+        over the ``data``/``seed`` arguments.  A corrupt, torn, or
+        mismatched snapshot degrades to a cold open (re-run on ``data``,
+        then replay the journal so acknowledged edits still win),
+        counted under ``snapshot_failures``.
         """
         if name in self.docs:
             raise DocError(name, f"document {name!r} is already open")
@@ -229,24 +343,46 @@ class SessionPool:
                 name, f"pool is full ({self.max_sessions} documents)"
             )
         doc_mode = mode or self.mode
-        session = Session(
-            app,
-            mode=doc_mode,
-            backend=backend if backend is not None else self.backend,
-        )
-        if data is None:
-            data = session.app.make_data(n, random.Random(seed))
-        value = session.run(data=data)
+        doc_backend = backend if backend is not None else self.backend
+        session = None
+        if self.checkpoint_dir is not None:
+            snap, _wal = self._doc_paths(name)
+            if os.path.exists(snap):
+                session = self._try_restore(name, app, doc_backend, doc_mode)
+        recovered = session is not None
+        if session is None:
+            session = Session(app, mode=doc_mode, backend=doc_backend)
+            if data is None:
+                data = session.app.make_data(n, random.Random(seed))
+            session.run(data=data)
         doc = PooledDoc(name=name, session=session, mode=doc_mode)
+        doc.recovered = recovered
         self._bind_handles(doc)
+        if self.checkpoint_dir is not None:
+            _snap, wal = self._doc_paths(name)
+            doc.replayed = self._replay_into(doc, wal)
+            if session.engine.queue:
+                if doc_mode == "lazy":
+                    session.demand()
+                else:
+                    session.propagate()
+            doc.journal = session.enable_journal(
+                wal, fsync=self.journal_fsync
+            )
+            self._checkpoint(doc)
         self.docs[name] = doc
         self.opened += 1
+        value = session.output
+        if session.app is not None:
+            value = session.app.readback(value)
         return {
             "doc": name,
             "mode": doc_mode,
             "backend": session.backend,
             "cells": len(doc.cells),
-            "value": session.app.readback(value),
+            "value": value,
+            "recovered": recovered,
+            "replayed": doc.replayed,
         }
 
     def adopt(
@@ -296,10 +432,207 @@ class SessionPool:
     async def close(self, name: str) -> dict:
         doc = self._doc(name)
         doc.resolve_waiters()
+        if (
+            self.checkpoint_dir is not None
+            and not doc.failed
+            and doc.ops_since_checkpoint
+        ):
+            self._checkpoint(doc)
+        if doc.journal is not None:
+            doc.session.disable_journal()
+            doc.journal = None
         self.scheduler.discard(name)
         del self.docs[name]
         self.closed += 1
         return {"doc": name, "closed": True}
+
+    # -- durability -----------------------------------------------------
+
+    def _doc_paths(self, name: str) -> Tuple[str, str]:
+        """Snapshot and journal paths for a document (name sanitized)."""
+        safe = "".join(
+            c if c.isalnum() or c in "-_." else "%%%02x" % ord(c)
+            for c in name
+        )
+        base = os.path.join(self.checkpoint_dir, safe)
+        return base + ".snap", base + ".wal"
+
+    def _try_restore(
+        self,
+        name: str,
+        app: str,
+        backend: Optional[str],
+        mode: str,
+    ) -> Optional[Session]:
+        """Restore a session from the document's checkpoint, or ``None``.
+
+        Every persistence failure -- bad magic, failed CRC, truncated
+        section, program/backend/mode/Python mismatch -- degrades to a
+        cold open here; nothing a stale checkpoint contains can keep a
+        document from opening.
+        """
+        snap, _wal = self._doc_paths(name)
+        try:
+            content = read_header(snap).get("content", {})
+            if content.get("app") != app or content.get("mode") != mode:
+                raise SnapshotMismatchError(
+                    f"checkpoint is for app={content.get('app')!r} "
+                    f"mode={content.get('mode')!r}, open requested "
+                    f"app={app!r} mode={mode!r}"
+                )
+            return Session.restore(snap, app, backend=backend)
+        except (PersistError, OSError) as exc:
+            self.snapshot_failures += 1
+            log.warning(
+                "document %r: checkpoint restore failed (%s: %s); "
+                "degrading to cold open",
+                name,
+                type(exc).__name__,
+                exc,
+            )
+            return None
+
+    def _replay_into(self, doc: PooledDoc, wal: str) -> int:
+        """Re-stage the journal's edits into the document's session.
+
+        Absolute values make replay idempotent (records the snapshot
+        already absorbed cut off on equality), a torn tail is the normal
+        crash signature and is dropped, and corruption earlier in the
+        file keeps the clean prefix -- every acknowledged-and-durable
+        edit that can be recovered, is.
+        """
+        session = doc.session
+        try:
+            records = _replay_journal(wal)
+        except JournalCorruptError as exc:
+            doc.snapshot_failures += 1
+            self.snapshot_failures += 1
+            log.warning(
+                "document %r: journal corrupt after %d record(s); "
+                "replaying the clean prefix",
+                doc.name,
+                len(exc.records),
+            )
+            records = exc.records
+        applied = 0
+        for _seq, edits in records:
+            for handle, value in edits:
+                try:
+                    session.engine.change(session.resolve(handle), value)
+                except (KeyError, ValueError, TypeError) as exc:
+                    log.warning(
+                        "document %r: journal edit %r -> %r not "
+                        "replayable (%s); skipped",
+                        doc.name,
+                        handle,
+                        value,
+                        exc,
+                    )
+                    continue
+                applied += 1
+        return applied
+
+    def _checkpoint(self, doc: PooledDoc) -> bool:
+        """Cut a snapshot and truncate the absorbed journal (best effort).
+
+        Runs at drain boundaries, so the engine is quiescent (staged
+        lazy edits are fine and round-trip).  Failure is contained: the
+        journal is retained, the previous snapshot file is untouched
+        (writes are atomic), and the document keeps serving.
+        """
+        snap, _wal = self._doc_paths(doc.name)
+        try:
+            doc.session.snapshot(snap)
+        except (PersistError, OSError) as exc:
+            doc.snapshot_failures += 1
+            self.snapshot_failures += 1
+            log.warning(
+                "document %r: checkpoint failed (%s: %s); journal retained",
+                doc.name,
+                type(exc).__name__,
+                exc,
+            )
+            return False
+        if doc.journal is not None:
+            doc.journal.reset()
+        doc.ops_since_checkpoint = 0
+        doc.checkpoints += 1
+        self.checkpoints += 1
+        return True
+
+    def _maybe_checkpoint(self, doc: PooledDoc) -> None:
+        if (
+            self.checkpoint_dir is not None
+            and not doc.failed
+            and doc.ops_since_checkpoint >= self.checkpoint_every
+        ):
+            self._checkpoint(doc)
+
+    def _round_complete(self, doc: PooledDoc) -> None:
+        """A drain finished: clear the admission quotas, maybe checkpoint."""
+        doc.round_edits = 0
+        doc.round_bytes = 0
+        self._maybe_checkpoint(doc)
+
+    def _restore_doc(self, doc: PooledDoc) -> None:
+        """Recovery-ladder rung: replace the document's session with its
+        last checkpoint plus the journal suffix (raises ``PersistError``
+        when the checkpoint cannot be used; the caller escalates)."""
+        snap, wal = self._doc_paths(doc.name)
+        old = doc.session
+        app = old.app if old.app is not None else old.program
+        session = Session.restore(snap, app, backend=old.backend)
+        old.disable_journal()
+        doc.session = session
+        doc.journal = None
+        self._bind_handles(doc)
+        doc.replayed += self._replay_into(doc, wal)
+        doc.journal = session.enable_journal(wal, fsync=self.journal_fsync)
+
+    # -- admission quotas -----------------------------------------------
+
+    def _admit(self, doc: PooledDoc, n_edits: int, payload: Any) -> None:
+        """Charge an incoming edit batch against the per-round quotas.
+
+        Raises :class:`QuotaExceededError` *before* anything is staged
+        or journaled; the quotas clear when the document next drains."""
+        if (
+            self.max_edits_per_round is None
+            and self.max_bytes_per_round is None
+        ):
+            return
+        cost = 0
+        if self.max_bytes_per_round is not None:
+            try:
+                cost = len(json.dumps(payload, separators=(",", ":")))
+            except (TypeError, ValueError):
+                cost = len(repr(payload))
+        if (
+            self.max_edits_per_round is not None
+            and doc.round_edits + n_edits > self.max_edits_per_round
+        ):
+            doc.quota_rejections += 1
+            self.quota_rejections += 1
+            raise QuotaExceededError(
+                doc.name,
+                "edit",
+                doc.round_edits + n_edits,
+                self.max_edits_per_round,
+            )
+        if (
+            self.max_bytes_per_round is not None
+            and doc.round_bytes + cost > self.max_bytes_per_round
+        ):
+            doc.quota_rejections += 1
+            self.quota_rejections += 1
+            raise QuotaExceededError(
+                doc.name,
+                "byte",
+                doc.round_bytes + cost,
+                self.max_bytes_per_round,
+            )
+        doc.round_edits += n_edits
+        doc.round_bytes += cost
 
     # -- edits ----------------------------------------------------------
 
@@ -314,29 +647,41 @@ class SessionPool:
         """
         doc = self._doc(name)
         doc.check_usable()
+        self._admit(doc, 1, value)
         dirtied = doc.session.edit(cell, value)
         doc.edits += 1
+        doc.ops_since_checkpoint += 1
         if doc.mode != "lazy":
             await self._await_drain(doc)
+        else:
+            # Lazy documents may never be read; checkpoint on the edit
+            # cadence too so the journal stays bounded (staged edits
+            # snapshot fine -- they round-trip as staged).
+            self._maybe_checkpoint(doc)
         return {"doc": name, "dirtied": dirtied}
 
     async def batch(self, name: str, edits: Sequence[Sequence[Any]]) -> dict:
         """Stage many ``(cell, value)`` edits; one coalesced drain."""
         doc = self._doc(name)
         doc.check_usable()
+        self._admit(doc, len(edits), edits)
         with doc.session.batch() as b:
             for cell, value in edits:
                 doc.session.edit(cell, value)
         doc.edits += len(edits)
         doc.batches += 1
+        doc.ops_since_checkpoint += len(edits)
         if doc.mode != "lazy":
             await self._await_drain(doc)
+        else:
+            self._maybe_checkpoint(doc)
         return {"doc": name, "changed": b.changed}
 
     async def _await_drain(self, doc: PooledDoc) -> None:
         """Eager path: wait until the document's dirty queue is empty."""
         if not doc.session.engine.queue:
             doc.resolve_waiters()
+            self._round_complete(doc)
             return
         if not self._running:
             # No pump (pool used synchronously, e.g. in tests): drain
@@ -383,7 +728,6 @@ class SessionPool:
         doc = self._doc(name)
         doc.check_usable()
         doc.reads += 1
-        session = doc.session
         if cells is not None:
             if doc.mode == "lazy":
                 values = await self._demand_sliced(
@@ -391,12 +735,15 @@ class SessionPool:
                 )
             else:
                 await self._await_drain(doc)
-                values = [session.get(c) for c in cells]
+                values = [doc.session.get(c) for c in cells]
             return {"doc": name, "values": values}
         if doc.mode == "lazy":
             await self._demand_sliced(doc, target=None, single=False)
         else:
             await self._await_drain(doc)
+        # Re-read after the drain: a restore-from-snapshot recovery
+        # replaces the session object mid-drain.
+        session = doc.session
         value = session.output
         if session.app is not None:
             value = session.app.readback(value)
@@ -407,9 +754,11 @@ class SessionPool:
     ) -> Any:
         """Run a lazy demand in ``slice_budget`` chunks, yielding between
         chunks and recovering per-document on faults."""
-        session = doc.session
         while True:
             doc.check_usable()
+            # Re-read each iteration: a restore-from-snapshot recovery
+            # replaces the session object mid-demand.
+            session = doc.session
             try:
                 if single or target is not None:
                     value = session.engine.demand(
@@ -430,9 +779,11 @@ class SessionPool:
                 await asyncio.sleep(0)
                 continue
             doc.consecutive_rollbacks = 0
+            doc.consecutive_restores = 0
             doc.drains += 1
             if not session.engine.queue:
                 doc.resolve_waiters()
+            self._round_complete(doc)
             return value
 
     # -- stats ----------------------------------------------------------
@@ -448,6 +799,11 @@ class SessionPool:
             "opened": self.opened,
             "closed": self.closed,
             "failed": sum(1 for d in self.docs.values() if d.failed),
+            "checkpoint_dir": self.checkpoint_dir,
+            "checkpoints": self.checkpoints,
+            "restores": self.restores,
+            "snapshot_failures": self.snapshot_failures,
+            "quota_rejections": self.quota_rejections,
             "scheduler": self.scheduler.stats(),
             "docs": {n: d.snapshot() for n, d in self.docs.items()},
         }
@@ -487,10 +843,17 @@ class SessionPool:
             return False
         except (ReexecutionError, EnginePoisonedError) as exc:
             self._recover(doc, exc)  # raises DocFailedError if terminal
-            return not session.engine.queue
+            # doc.session may have been replaced (restore rung); a
+            # recovery that left nothing queued counts as drained.
+            done = not doc.session.engine.queue
+            if done:
+                doc.resolve_waiters()
+            return done
         doc.consecutive_rollbacks = 0
+        doc.consecutive_restores = 0
         doc.drains += 1
         doc.resolve_waiters()
+        self._round_complete(doc)
         return True
 
     def _recover(self, doc: PooledDoc, exc: BaseException) -> str:
@@ -499,9 +862,13 @@ class SessionPool:
         Rollback undoes the staged edits back to the document's last-good
         state and re-stages them for retry (a one-shot fault then drains
         clean on the next slice).  After ``max_rollbacks`` consecutive
-        rollbacks -- or when the engine is poisoned -- escalate to a
-        from-scratch rebuild, which replaces the engine and re-binds the
-        wire handles.  If nothing applies, the document (and only the
+        rollbacks -- or when the engine is poisoned -- escalate: first to
+        a **restore from the last checkpoint** (checkpointing pools only;
+        the snapshot is decoded into a fresh session, the journal suffix
+        replayed, so no acknowledged edit is lost -- and it works even
+        when the live engine is poisoned), then to a from-scratch
+        rebuild, which replaces the engine and re-binds the wire
+        handles.  If nothing applies, the document (and only the
         document) is marked failed.
         """
         doc.faults += 1
@@ -522,6 +889,31 @@ class SessionPool:
                 doc.rollbacks += 1
                 doc.consecutive_rollbacks += 1
                 return "rollback"
+        if (
+            policy in ("rollback", "rebuild")
+            and self.checkpoint_dir is not None
+            and doc.consecutive_restores < self.max_restores
+        ):
+            snap, _wal = self._doc_paths(doc.name)
+            if os.path.exists(snap):
+                try:
+                    self._restore_doc(doc)
+                except (PersistError, OSError) as restore_exc:
+                    doc.snapshot_failures += 1
+                    self.snapshot_failures += 1
+                    log.warning(
+                        "document %r: restore-from-snapshot failed "
+                        "(%s: %s); escalating to rebuild",
+                        doc.name,
+                        type(restore_exc).__name__,
+                        restore_exc,
+                    )
+                else:
+                    doc.restores += 1
+                    self.restores += 1
+                    doc.consecutive_restores += 1
+                    doc.consecutive_rollbacks = 0
+                    return "restore"
         if policy in ("rollback", "rebuild") and session.app is not None:
             try:
                 session.rebuild()
@@ -529,7 +921,12 @@ class SessionPool:
                 self._fail(doc, rebuild_exc)
             doc.rebuilds += 1
             doc.consecutive_rollbacks = 0
+            doc.consecutive_restores = 0
             self._bind_handles(doc)
+            if self.checkpoint_dir is not None:
+                # Re-base durable state on the rebuilt trace so the next
+                # restore rung starts from it, not the pre-fault world.
+                self._checkpoint(doc)
             doc.resolve_waiters()
             return "rebuild"
         self._fail(doc, exc)

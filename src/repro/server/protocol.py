@@ -18,7 +18,12 @@ close   doc                                                ok, doc, closed
 
 Failures answer ``{"ok": false, "error": <message>, "type": <exc class>}``
 on the same connection instead of tearing it down -- one client's bad
-frame (or failed document) must not cost anyone their connection.
+frame (or failed document) must not cost anyone their connection.  That
+includes *oversized* frames: a line longer than the server's
+``max_frame`` is drained to its terminating newline and answered with a
+``FrameTooLargeError`` error frame, so a fat-fingered (or hostile) frame
+costs one request, not the connection -- and never a
+multi-frame-buffering blowup server-side.
 Frames on one connection are handled in order; concurrency comes from
 many connections interleaving on the loop.
 """
@@ -27,14 +32,25 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Any, Optional
+from typing import Any, Optional, Tuple
 
 from repro.server.pool import SessionPool
 
-__all__ = ["Client", "ServerError", "encode_frame", "decode_frame", "serve"]
+__all__ = [
+    "Client",
+    "FrameTooLargeError",
+    "ServerError",
+    "encode_frame",
+    "decode_frame",
+    "serve",
+]
 
 #: Generous per-frame line limit: ``open`` can carry an inline data vector.
 _LIMIT = 2**22
+
+
+class FrameTooLargeError(ValueError):
+    """A request frame exceeded the server's ``max_frame`` byte limit."""
 
 
 def encode_frame(obj: Any) -> bytes:
@@ -69,17 +85,68 @@ async def _handle_frame(pool: SessionPool, frame: dict) -> dict:
     raise ValueError(f"unknown op {op!r}")
 
 
+async def _read_frame(
+    reader: asyncio.StreamReader,
+) -> Tuple[bytes, bool]:
+    """One frame line, plus an *oversized* flag.
+
+    ``readuntil`` raises ``LimitOverrunError`` when a line overruns the
+    stream's buffer limit (our ``max_frame``), leaving the buffer in
+    place and reporting how much may be consumed.  Discard exactly that
+    (``readexactly`` is not limit-bounded, but we feed it at most
+    buffer-resident byte counts, so nothing accumulates) until the
+    oversized line's terminating newline goes by, then report
+    ``(b"", True)`` -- the caller answers an error frame and the
+    connection keeps framing cleanly at the next line.
+    """
+    try:
+        return await reader.readuntil(b"\n"), False
+    except asyncio.IncompleteReadError as exc:
+        return exc.partial, False  # EOF, possibly mid-line
+    except asyncio.LimitOverrunError as exc:
+        consumed = exc.consumed
+        while True:
+            try:
+                await reader.readexactly(consumed)
+                await reader.readuntil(b"\n")
+                break
+            except asyncio.LimitOverrunError as more:
+                consumed = more.consumed
+            except asyncio.IncompleteReadError:
+                break  # EOF while draining; next read reports it
+        return b"", True
+
+
 async def _serve_connection(
     pool: SessionPool,
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
+    max_frame: int,
 ) -> None:
     try:
         while True:
             try:
-                line = await reader.readline()
+                line, oversized = await _read_frame(reader)
             except (asyncio.IncompleteReadError, ConnectionError):
                 break
+            if oversized:
+                writer.write(
+                    encode_frame(
+                        {
+                            "ok": False,
+                            "error": (
+                                f"frame exceeds the {max_frame}-byte "
+                                f"limit"
+                            ),
+                            "type": "FrameTooLargeError",
+                        }
+                    )
+                )
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+                continue
             if not line:
                 break
             if not line.strip():
@@ -120,6 +187,7 @@ async def serve(
     port: int = 0,
     path: Optional[str] = None,
     start_pump: bool = True,
+    max_frame: int = _LIMIT,
 ) -> asyncio.AbstractServer:
     """Start serving ``pool`` over TCP (``host``/``port``) or a unix
     socket (``path``); returns the running ``asyncio`` server.
@@ -127,17 +195,25 @@ async def serve(
     ``port=0`` binds an ephemeral port (read it back from
     ``server.sockets[0].getsockname()``) -- the form the tests and the
     benchmark use.  The pool's drain pump is started alongside unless
-    ``start_pump=False``.
+    ``start_pump=False``.  ``max_frame`` bounds one request line's size
+    (and therefore per-connection buffering); longer frames are answered
+    with a ``FrameTooLargeError`` error frame, not a dropped connection.
     """
+    if max_frame < 2:
+        raise ValueError("max_frame must be >= 2")
     if start_pump:
         await pool.start()
 
     async def handler(reader, writer):
-        await _serve_connection(pool, reader, writer)
+        await _serve_connection(pool, reader, writer, max_frame)
 
     if path is not None:
-        return await asyncio.start_unix_server(handler, path=path, limit=_LIMIT)
-    return await asyncio.start_server(handler, host=host, port=port, limit=_LIMIT)
+        return await asyncio.start_unix_server(
+            handler, path=path, limit=max_frame
+        )
+    return await asyncio.start_server(
+        handler, host=host, port=port, limit=max_frame
+    )
 
 
 class Client:

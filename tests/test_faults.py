@@ -16,12 +16,15 @@ from repro.api import Session
 from repro.apps import REGISTRY
 from repro.obs import EventLog, FanoutHook
 from repro.obs.faults import (
+    CORRUPTIONS,
     SITES,
     ChaosResult,
     FaultInjector,
     PlantedFault,
     SiteCounter,
     chaos_app,
+    chaos_journal,
+    chaos_persist,
 )
 from repro.sac import Engine, ReexecutionError
 
@@ -269,3 +272,67 @@ def test_chaos_recovers_under_lazy_demand(name, backend):
 def test_chaos_rejects_unknown_propagation():
     with pytest.raises(ValueError):
         chaos_app(REGISTRY["map"], 8, propagation="sometimes")
+
+
+# ----------------------------------------------------------------------
+# Persistence chaos: corrupt snapshots and torn journals vs the oracle
+
+#: Snapshot-corruption sweep apps: keyed sharing over a Cons spine
+#: (msort), scalar cells as the server documents use (vec-reduce), and
+#: the deepest/widest trace in the registry (raytracer).
+PERSIST_CHAOS_APPS = ["msort", "vec-reduce", "raytracer"]
+PERSIST_CHAOS_SIZES = {"msort": 12, "vec-reduce": 12, "raytracer": 4}
+
+
+@pytest.mark.parametrize("backend", ["interp", "compiled", "stack"])
+@pytest.mark.parametrize("name", PERSIST_CHAOS_APPS)
+def test_persist_chaos_every_corruption_detected_or_survived(
+    tmp_path, name, backend
+):
+    """Every corruption kind either raises a typed PersistError or
+    restores to the oracle output -- never a wrong value, never a foreign
+    exception (chaos_persist raises ChaosError on any other outcome)."""
+    result = chaos_persist(
+        REGISTRY[name],
+        PERSIST_CHAOS_SIZES[name],
+        backend=backend,
+        changes=2,
+        seed=SEEDS.get(name, 0),
+        dir=str(tmp_path),
+    )
+    assert result.scenarios == result.detected + result.survived
+    assert result.scenarios > 0
+    # Structural damage (bad magic, emptied file, halved file) can never
+    # slip past the header checks, whatever the app or backend.
+    assert result.detected >= 3
+
+
+@pytest.mark.parametrize("mode", ["eager", "lazy"])
+def test_persist_chaos_lazy_matches_eager_promise(tmp_path, mode):
+    result = chaos_persist(
+        REGISTRY["msort"], 12, mode=mode, changes=2, dir=str(tmp_path)
+    )
+    assert result.scenarios == result.detected + result.survived
+    assert result.detected >= 3
+
+
+@pytest.mark.parametrize("backend", ["interp", "compiled", "stack"])
+@pytest.mark.parametrize("mode", ["eager", "lazy"])
+def test_journal_chaos_prefix_integrity(tmp_path, backend, mode):
+    """Damaged journals replay exactly a clean prefix of the acknowledged
+    edits; re-applying the lost suffix reaches the oracle meter-exactly
+    (chaos_journal raises ChaosError on any divergence)."""
+    result = chaos_journal(
+        "vec-reduce",
+        12,
+        backend=backend,
+        mode=mode,
+        edits=6,
+        seed=3,
+        dir=str(tmp_path),
+    )
+    assert result.scenarios == result.detected + result.survived
+    assert result.scenarios == len(CORRUPTIONS)
+    # Mid-file damage (flip-byte past the first quarter) must be caught
+    # by the per-record CRC, not silently replayed.
+    assert result.detected >= 1

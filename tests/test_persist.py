@@ -1,0 +1,399 @@
+"""Durability (DESIGN.md Section 10): snapshots, journals, restores.
+
+The headline property is *meter-exact restoration*: a session saved to
+disk and decoded into a fresh process must not only compute the same
+values afterwards, it must do the same **work** -- identical meter
+counters after identical post-restore edit streams, across all three
+backends and both propagation modes, including snapshots taken with
+lazy edits staged but unpropagated.  The rest covers the file format's
+typed failure model (corrupt/mismatched snapshots never half-restore),
+the write-ahead journal's replay semantics (torn tails dropped, corrupt
+prefix preserved, replay idempotent), and the end-to-end crash story:
+snapshot + journal suffix reproduces every acknowledged edit.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.api import Session, values_close
+from repro.apps import REGISTRY
+from repro.persist import (
+    EditJournal,
+    JournalCorruptError,
+    JournalError,
+    PersistError,
+    SnapshotCorruptError,
+    SnapshotFormatError,
+    SnapshotMismatchError,
+    inspect_snapshot,
+    program_key,
+    read_header,
+    replay_journal,
+)
+
+BACKENDS = ["interp", "compiled", "stack"]
+MODES = ["eager", "lazy"]
+
+# Scalar-cell app used wherever edits go through wire handles (its
+# ``cell:<i>`` mods hold plain floats, like the server's documents).
+SCALAR_APP = "vec-reduce"
+
+
+def _run_session(app_name, n, seed, backend, mode):
+    app = REGISTRY[app_name]
+    rng = random.Random(seed)
+    session = Session(app, backend=backend, mode=mode)
+    session.run(data=app.make_data(n, rng))
+    return session, app, rng
+
+
+def _settle(session):
+    if session.mode == "lazy":
+        session.demand()
+    else:
+        session.propagate()
+
+
+def _bind_cells(session):
+    handles = []
+    for i, mod in enumerate(session.input_handle.mods):
+        handles.append(session.handle(mod, f"cell:{i}"))
+    return handles
+
+
+# ----------------------------------------------------------------------
+# Meter-exact restore, every backend x mode
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("mode", MODES)
+def test_restore_is_meter_exact_under_random_edits(tmp_path, backend, mode):
+    """save -> restore -> k random edits: identical meters and outputs."""
+    app_name = "msort"
+    session, app, rng = _run_session(app_name, 16, 7, backend, mode)
+    for step in range(2):
+        app.apply_change(session.input_handle, rng, step)
+        _settle(session)
+
+    path = str(tmp_path / "s.snap")
+    header = session.snapshot(path)
+    assert header["content"]["backend"] == session.backend
+    restored = Session.restore(path, app_name)
+    assert restored.backend == session.backend
+    assert restored.mode == session.mode
+
+    # Identical meters at the restore point...
+    assert (
+        restored.engine.meter.snapshot() == session.engine.meter.snapshot()
+    )
+    # ...and after an identical stream of further random edits.  The two
+    # sessions share no state, so this holds only if the restored trace
+    # (order, queue, memo table, closures) is behaviourally identical.
+    rng_live = random.Random(99)
+    rng_rest = random.Random(99)
+    for step in range(4):
+        app.apply_change(session.input_handle, rng_live, step)
+        app.apply_change(restored.input_handle, rng_rest, step)
+        _settle(session)
+        _settle(restored)
+        assert values_close(
+            app.readback(session.output), app.readback(restored.output)
+        )
+    assert (
+        restored.engine.meter.snapshot() == session.engine.meter.snapshot()
+    )
+    expected = app.reference(app.handle_data(restored.input_handle))
+    assert values_close(app.readback(restored.output), expected)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_lazy_snapshot_round_trips_staged_edits(tmp_path, backend):
+    """A lazy session with staged-but-unpropagated edits snapshots, and
+    the restored session owes exactly the same deferred work."""
+    session, app, rng = _run_session("msort", 16, 3, backend, "lazy")
+    app.apply_change(session.input_handle, rng, 0)
+    app.apply_change(session.input_handle, rng, 1)
+    assert session.engine.queue  # staged, not yet demanded
+
+    path = str(tmp_path / "staged.snap")
+    session.snapshot(path)
+    restored = Session.restore(path, "msort")
+    assert len(restored.engine.queue) == len(session.engine.queue)
+
+    session.demand()
+    restored.demand()
+    assert values_close(
+        app.readback(restored.output), app.readback(session.output)
+    )
+    assert (
+        restored.engine.meter.snapshot() == session.engine.meter.snapshot()
+    )
+
+
+def test_snapshot_preserves_handles_and_session_counters(tmp_path):
+    session, app, _rng = _run_session(SCALAR_APP, 8, 0, "interp", "eager")
+    cells = _bind_cells(session)
+    session.edit(cells[2], 5.5)
+    session.propagate()
+    path = str(tmp_path / "h.snap")
+    session.snapshot(path)
+
+    restored = Session.restore(path, SCALAR_APP)
+    assert set(restored.handles()) == set(session.handles())
+    assert restored.get("cell:2") == 5.5
+    assert restored.propagations == session.propagations
+    # The handle registry is live, not just present: edits through it work.
+    assert restored.edit("cell:2", -1.0) >= 0
+    restored.propagate()
+    assert restored.get("cell:2") == -1.0
+
+
+def test_snapshot_requires_quiescence(tmp_path):
+    from repro.persist.errors import SnapshotStateError
+
+    session, app, _rng = _run_session(SCALAR_APP, 8, 0, "interp", "eager")
+    path = str(tmp_path / "q.snap")
+    with session.batch():
+        session.edit(session.input_handle.mods[0], 9.0)
+        with pytest.raises(SnapshotStateError):
+            session.snapshot(path)
+    session.propagate()
+    session.snapshot(path)  # quiescent again: fine
+
+
+# ----------------------------------------------------------------------
+# The typed failure model
+
+
+def _saved(tmp_path, name="f.snap"):
+    session, app, rng = _run_session("msort", 12, 1, "interp", "eager")
+    path = str(tmp_path / name)
+    session.snapshot(path)
+    return session, path
+
+
+def test_corrupt_snapshot_raises_typed_errors(tmp_path):
+    _session, path = _saved(tmp_path)
+    blob = open(path, "rb").read()
+
+    open(path, "wb").write(b"not a snapshot at all\n" + blob[22:])
+    with pytest.raises(SnapshotFormatError):
+        Session.restore(path, "msort")
+
+    open(path, "wb").write(blob[: len(blob) // 2])
+    with pytest.raises(SnapshotCorruptError):
+        Session.restore(path, "msort")
+
+    i = len(blob) - 100
+    open(path, "wb").write(blob[:i] + bytes([blob[i] ^ 1]) + blob[i + 1 :])
+    with pytest.raises(SnapshotCorruptError):
+        Session.restore(path, "msort")
+
+    open(path, "wb").write(b"")
+    with pytest.raises(SnapshotFormatError):
+        Session.restore(path, "msort")
+
+
+def test_mismatched_snapshot_refused(tmp_path):
+    _session, path = _saved(tmp_path)
+    # Different program: the content address catches it before decode.
+    with pytest.raises(SnapshotMismatchError):
+        Session.restore(path, "qsort")
+    # Different backend, same program text: also part of the address.
+    with pytest.raises(SnapshotMismatchError):
+        Session.restore(path, "msort", backend="compiled")
+
+
+def test_program_key_covers_backend_and_mode():
+    s1 = Session(REGISTRY["msort"], backend="interp", mode="eager")
+    keys = {
+        program_key(s1.program, "interp", "eager"),
+        program_key(s1.program, "interp", "lazy"),
+        program_key(s1.program, "stack", "eager"),
+    }
+    assert len(keys) == 3
+
+
+def test_inspect_and_header_do_not_decode(tmp_path):
+    session, path = _saved(tmp_path)
+    info = inspect_snapshot(path)
+    assert info["format"] == 1
+    assert info["content"]["app"] == "msort"
+    assert info["content"]["program_key"] == program_key(
+        session.program, session.backend, session.mode
+    )
+    assert info["meta"]["stamps"] == session.engine.order.n_live
+    header = read_header(path)
+    assert header["sections"][0]["name"] == "objects"
+
+
+# ----------------------------------------------------------------------
+# The write-ahead journal
+
+
+def test_journal_append_replay_round_trip(tmp_path):
+    path = str(tmp_path / "j.wal")
+    with EditJournal(path) as journal:
+        assert journal.append([("cell:0", 1.5)]) == 1
+        assert journal.append([("cell:1", None), ("cell:2", [1, 2])]) == 2
+    assert replay_journal(path) == [
+        (1, [("cell:0", 1.5)]),
+        (2, [("cell:1", None), ("cell:2", [1, 2])]),
+    ]
+    # Reopening resumes the sequence (no seq reuse after restart).
+    with EditJournal(path) as journal:
+        assert journal.append([("cell:0", 2.0)]) == 3
+    assert len(replay_journal(path)) == 3
+
+
+def test_journal_torn_tail_dropped_and_prefix_kept(tmp_path):
+    path = str(tmp_path / "torn.wal")
+    with EditJournal(path) as journal:
+        for i in range(5):
+            journal.append([(f"cell:{i}", float(i))])
+    blob = open(path, "rb").read()
+
+    # Crash mid-append: truncation near the end loses at most the
+    # record(s) it tore, and replay keeps the contiguous prefix.
+    record_len = len(blob) // 5
+    for cut in (1, 7, record_len + 3):
+        open(path, "wb").write(blob[: len(blob) - cut])
+        records = replay_journal(path)
+        assert 3 <= len(records) <= 4
+        assert [s for s, _ in records] == list(range(1, len(records) + 1))
+
+    # Corruption *before* the tail is not a torn write: typed error, and
+    # the clean prefix rides on the exception for the caller to keep.
+    lines = blob.splitlines(keepends=True)
+    bad = lines[1]
+    lines[1] = bad[:10] + bytes([bad[10] ^ 1]) + bad[11:]
+    open(path, "wb").write(b"".join(lines))
+    with pytest.raises(JournalCorruptError) as exc_info:
+        replay_journal(path)
+    assert [s for s, _ in exc_info.value.records] == [1]
+
+
+def test_journal_missing_file_and_bad_values(tmp_path):
+    assert replay_journal(str(tmp_path / "absent.wal")) == []
+    with EditJournal(str(tmp_path / "v.wal")) as journal:
+        with pytest.raises(JournalError):
+            journal.append([("cell:0", object())])
+        # The failed append must not burn a sequence number.
+        assert journal.append([("cell:0", 1.0)]) == 1
+
+
+def test_session_journals_edits_and_replay_is_idempotent(tmp_path):
+    wal = str(tmp_path / "s.wal")
+    session, app, _rng = _run_session(SCALAR_APP, 8, 0, "interp", "eager")
+    cells = _bind_cells(session)
+    session.enable_journal(wal)
+    session.edit("cell:0", 4.25)
+    with session.batch():
+        session.edit("cell:1", 1.0)
+        session.edit("cell:2", 2.0)
+    session.propagate()
+    assert len(replay_journal(wal)) == 3
+
+    # Unnamed modifiables cannot be journaled (recovery could not
+    # address them), and the edit is refused before it stages.
+    fresh = session.engine.make_input(0.0)
+    with pytest.raises(JournalError):
+        session.edit(fresh, 1.0)
+
+    # Replay over the already-final state: absolute values cut off.
+    before = app.readback(session.output)
+    dirtied = session.replay_journal(wal)
+    assert dirtied == 3
+    session.propagate()
+    assert app.readback(session.output) == before
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_crash_recovery_loses_no_acknowledged_edit(tmp_path, mode):
+    """snapshot + journal suffix == every acknowledged edit survives."""
+    snap = str(tmp_path / "c.snap")
+    wal = str(tmp_path / "c.wal")
+
+    session, app, _rng = _run_session(SCALAR_APP, 10, 2, "interp", mode)
+    _bind_cells(session)
+    session.snapshot(snap)
+    session.enable_journal(wal)
+    rng = random.Random(5)
+    acked = {}
+    for _ in range(7):
+        cell = f"cell:{rng.randrange(10)}"
+        value = round(rng.uniform(-2, 2), 3)
+        session.edit(cell, value)  # durable once edit() returns
+        acked[cell] = value
+    _settle(session)
+    live_out = app.readback(session.output)
+    del session  # the "crash": nothing of the live process survives
+
+    recovered = Session.restore(snap, SCALAR_APP)
+    assert recovered.replay_journal(wal) == 7
+    _settle(recovered)
+    assert values_close(app.readback(recovered.output), live_out)
+    for cell, value in acked.items():
+        assert recovered.get(cell) == value
+    expected = app.reference(app.handle_data(recovered.input_handle))
+    assert values_close(app.readback(recovered.output), expected)
+
+
+def test_journal_fsync_off_still_replays(tmp_path):
+    wal = str(tmp_path / "nf.wal")
+    with EditJournal(wal, fsync=False) as journal:
+        journal.append([("cell:0", 1.0)])
+    assert len(replay_journal(wal)) == 1
+
+
+def test_journal_reset_after_checkpoint(tmp_path):
+    wal = str(tmp_path / "r.wal")
+    with EditJournal(wal) as journal:
+        journal.append([("cell:0", 1.0)])
+        journal.reset()
+        assert replay_journal(wal) == []
+        assert journal.append([("cell:1", 2.0)]) == 1
+
+
+# ----------------------------------------------------------------------
+# Raytracer: the deep-trace app with non-list inputs round-trips too
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_raytracer_snapshot_round_trip(tmp_path, backend):
+    session, app, rng = _run_session("raytracer", 6, 1, backend, "eager")
+    app.apply_change(session.input_handle, rng, 0)
+    session.propagate()
+    path = str(tmp_path / "rt.snap")
+    session.snapshot(path)
+    restored = Session.restore(path, "raytracer")
+    assert (
+        restored.engine.meter.snapshot() == session.engine.meter.snapshot()
+    )
+    app.apply_change(session.input_handle, rng, 1)
+    app.apply_change(restored.input_handle, random.Random(1), 1)
+    # Drive the restored copy with an identical change: same rng state is
+    # not reproducible here, so instead compare against the reference.
+    session.propagate()
+    restored.propagate()
+    assert values_close(
+        app.readback(restored.output),
+        app.reference(app.handle_data(restored.input_handle)),
+    )
+
+
+# ----------------------------------------------------------------------
+# PersistError taxonomy sanity
+
+
+def test_all_persist_errors_are_persist_errors():
+    for exc in (
+        SnapshotCorruptError,
+        SnapshotFormatError,
+        SnapshotMismatchError,
+        JournalError,
+        JournalCorruptError,
+    ):
+        assert issubclass(exc, PersistError)

@@ -23,6 +23,7 @@ from repro.server import (
     Client,
     DocFailedError,
     FairScheduler,
+    QuotaExceededError,
     ServerError,
     SessionPool,
     UnknownDocError,
@@ -431,6 +432,184 @@ def test_server_error_surfaces_doc_failure_to_client():
         info = await client.open("doc2", app="vec-reduce", n=8, seed=1)
         assert info["ok"] is True
         await client.close()
+        server.close()
+        await server.wait_closed()
+        await pool.stop()
+
+    asyncio.run(main())
+
+
+# ----------------------------------------------------------------------
+# Durability: checkpoints, warm restarts, degraded opens, quotas, frames
+
+
+@pytest.mark.parametrize("mode", ["eager", "lazy"])
+def test_pool_warm_restart_recovers_checkpointed_state(tmp_path, mode):
+    """Stop a checkpointing pool, boot a fresh one on the same directory:
+    the document comes back warm (snapshot restored, nothing replayed)
+    and oracle-consistent, ignoring the cold-open seed arguments."""
+
+    async def main():
+        pool = SessionPool(mode=mode, checkpoint_dir=str(tmp_path))
+        pool.open("doc", app="vec-reduce", n=16, seed=3)
+        await pool.edit("doc", "cell:2", 41.5)
+        await pool.edit("doc", "cell:7", -3.25)
+        before = (await pool.demand("doc"))["value"]
+        await pool.stop()  # final checkpoint absorbs the journal
+
+        reborn = SessionPool(mode=mode, checkpoint_dir=str(tmp_path))
+        info = reborn.open("doc", app="vec-reduce", n=16, seed=999)
+        assert info["recovered"] is True
+        assert info["replayed"] == 0
+        got = await reborn.demand("doc")
+        assert values_close(got["value"], before)
+        assert values_close(got["value"], _expected(reborn, "doc"))
+        assert (await reborn.get("doc", "cell:2"))["value"] == 41.5
+        # The restored document keeps serving edits durably.
+        await reborn.edit("doc", "cell:0", 7.0)
+        got = await reborn.demand("doc")
+        assert values_close(got["value"], _expected(reborn, "doc"))
+        await reborn.stop()
+
+    asyncio.run(main())
+
+
+def test_pool_replays_journal_suffix_after_simulated_kill(tmp_path):
+    """A pool abandoned without stop() (the SIGKILL stand-in: every append
+    was fsync'd, no final checkpoint ran) loses zero acknowledged edits:
+    the next open replays the journal suffix on top of the snapshot."""
+
+    async def main():
+        pool = SessionPool(
+            mode="lazy", checkpoint_dir=str(tmp_path), checkpoint_every=10_000
+        )
+        pool.open("doc", app="vec-reduce", n=16, seed=3)
+        await pool.edit("doc", "cell:1", 99.5)
+        await pool.edit("doc", "cell:8", -2.0)
+        # No stop(), no close(): the process just dies here.
+
+        reborn = SessionPool(mode="lazy", checkpoint_dir=str(tmp_path))
+        info = reborn.open("doc", app="vec-reduce", n=16, seed=3)
+        assert info["recovered"] is True
+        assert info["replayed"] == 2
+        assert (await reborn.get("doc", "cell:1"))["value"] == 99.5
+        got = await reborn.demand("doc")
+        assert values_close(got["value"], _expected(reborn, "doc"))
+        await reborn.stop()
+
+    asyncio.run(main())
+
+
+def test_pool_corrupt_snapshot_degrades_to_cold_open(tmp_path):
+    """A corrupted snapshot is detected, counted, and degraded around: the
+    document cold-opens and still replays the journal suffix, so the
+    acknowledged edits survive even though the snapshot did not."""
+    from repro.obs.faults import corrupt_file
+
+    async def main():
+        pool = SessionPool(mode="lazy", checkpoint_dir=str(tmp_path))
+        pool.open("doc", app="vec-reduce", n=16, seed=3)
+        await pool.edit("doc", "cell:1", 99.5)
+        snap, _wal = pool._doc_paths("doc")
+        corrupt_file(snap, "flip-byte", seed=5)
+
+        reborn = SessionPool(mode="lazy", checkpoint_dir=str(tmp_path))
+        info = reborn.open("doc", app="vec-reduce", n=16, seed=3)
+        assert info["recovered"] is False
+        assert info["replayed"] == 1  # the journal suffix still won
+        assert reborn.snapshot_failures == 1
+        assert (await reborn.get("doc", "cell:1"))["value"] == 99.5
+        got = await reborn.demand("doc")
+        assert values_close(got["value"], _expected(reborn, "doc"))
+        # The degraded open did not poison the pool: a sibling opens fine.
+        reborn.open("doc2", app="vec-reduce", n=8, seed=1)
+        got = await reborn.demand("doc2")
+        assert values_close(got["value"], _expected(reborn, "doc2"))
+        await reborn.stop()
+
+    asyncio.run(main())
+
+
+def test_pool_recovery_ladder_uses_restore_rung(tmp_path):
+    """A persistent fault exhausts the rollback budget; with a checkpoint
+    on disk the pool restores from the snapshot (shedding the faulting
+    hook with it) instead of rebuilding from scratch."""
+
+    async def main():
+        pool = SessionPool(
+            mode="lazy",
+            checkpoint_dir=str(tmp_path),
+            on_error="rollback",
+            max_rollbacks=1,
+        )
+        pool.open("doc", app="vec-reduce", n=16, seed=4)
+        doc = pool.docs["doc"]
+        doc.session.engine.attach_hook(
+            FaultInjector("read", at=0, during="propagate", repeat=True)
+        )
+        await pool.edit("doc", "cell:5", 2.5)
+        got = await pool.demand("doc")
+        assert doc.restores == 1
+        assert doc.rebuilds == 0
+        assert not doc.failed
+        assert values_close(got["value"], _expected(pool, "doc"))
+        # The journaled edit survived the restore.
+        assert (await pool.get("doc", "cell:5"))["value"] == 2.5
+        await pool.stop()
+
+    asyncio.run(main())
+
+
+def test_pool_quota_rejects_before_staging_and_clears_on_drain(tmp_path):
+    async def main():
+        pool = SessionPool(mode="lazy", max_edits_per_round=2)
+        pool.open("doc", app="vec-reduce", n=16, seed=0)
+        await pool.edit("doc", "cell:0", 1.0)
+        await pool.batch("doc", [["cell:1", 2.0]])
+        with pytest.raises(QuotaExceededError):
+            await pool.edit("doc", "cell:2", 3.0)
+        # The rejected edit never touched the engine or the counters.
+        assert pool.docs["doc"].round_edits == 2
+        assert pool.stats()["quota_rejections"] == 1
+        # Draining completes the round and re-opens the window.
+        await pool.demand("doc")
+        await pool.edit("doc", "cell:2", 3.0)
+        got = await pool.demand("doc")
+        assert values_close(got["value"], _expected(pool, "doc"))
+
+        tight = SessionPool(mode="lazy", max_bytes_per_round=8)
+        tight.open("doc", app="vec-reduce", n=8, seed=0)
+        with pytest.raises(QuotaExceededError) as exc:
+            await tight.edit("doc", "cell:0", 0.12345678901234567)
+        assert exc.value.kind == "byte"
+
+    asyncio.run(main())
+
+
+def test_protocol_oversized_frame_gets_error_not_disconnect():
+    """A frame past max_frame draws a typed error frame; the connection
+    survives and keeps serving well-formed requests."""
+
+    async def main():
+        pool = SessionPool(mode="lazy")
+        server = await serve(pool, max_frame=1024)
+        host, port = server.sockets[0].getsockname()[:2]
+        reader, writer = await asyncio.open_connection(host, port)
+
+        writer.write(b"x" * 4096 + b"\n")
+        await writer.drain()
+        err = json.loads(await reader.readline())
+        assert err["ok"] is False
+        assert err["type"] == "FrameTooLargeError"
+
+        req = {"op": "open", "doc": "d", "app": "vec-reduce", "n": 8}
+        writer.write(json.dumps(req).encode() + b"\n")
+        await writer.drain()
+        resp = json.loads(await reader.readline())
+        assert resp["ok"] is True and resp["cells"] == 8
+
+        writer.close()
+        await writer.wait_closed()
         server.close()
         await server.wait_closed()
         await pool.stop()
