@@ -306,12 +306,29 @@ class Session:
         JSON-representable value so recovery can replay it.
         """
         if self._journal is not None:
-            # Resolve the journal name *before* staging: an edit that
-            # recovery could never replay (no named handle) is refused
-            # with the engine untouched.
+            # Resolve the journal name and serialize the record *before*
+            # staging: an edit that recovery could never replay (no named
+            # handle, non-JSON value) is refused with the engine
+            # untouched.
             name = self._journal_name(mod)
-            dirtied = self.engine.change(self.resolve(mod), value)
-            self._journal.append([(name, value)])
+            target = self.resolve(mod)
+            record = self._journal.encode([(name, value)])
+            restore = target.value
+            dirtied = self.engine.change(target, value)
+            try:
+                self._journal.commit(record)
+            except BaseException:
+                # The durable write failed after the edit was staged:
+                # undo it, so the state the caller sees (and any later
+                # checkpoint) agrees with the failure they are told
+                # about.  The re-dirtied reads cut off on equality at
+                # the next propagation.
+                if dirtied:
+                    try:
+                        self.engine.change(target, restore)
+                    except Exception:
+                        pass  # the journal failure is the primary error
+                raise
             return dirtied
         return self.engine.change(self.resolve(mod), value)
 

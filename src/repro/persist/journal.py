@@ -13,22 +13,32 @@ no-op (the engine's equality cutoff drops them), so the
 checkpoint-then-truncate sequence needs no cross-file atomicity.
 
 A torn final record is the normal signature of a crash mid-append and is
-silently dropped.  A CRC failure *before* the tail is real corruption:
-replay stops there and reports it (:class:`JournalCorruptError` carries
-the records recovered so far), letting the caller keep the prefix or
-degrade to a cold rebuild.
+dropped (with a log line when it parses as a complete line, since that
+can also be corruption of an acknowledged record).  A CRC failure
+*before* the tail is real corruption: replay stops there and reports it
+(:class:`JournalCorruptError` carries the records recovered so far),
+letting the caller keep the prefix or degrade to a cold rebuild.
+
+Resuming an existing journal first truncates it back to the end of its
+last clean record: appending after torn crash bytes would otherwise
+merge the new record into one CRC-failing line, turning a recoverable
+tail into what replay must treat as mid-file corruption -- silently
+losing every record written after the resume.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 import zlib
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.persist.errors import JournalCorruptError, JournalError
 
 __all__ = ["EditJournal", "replay_journal"]
+
+log = logging.getLogger("repro.persist.journal")
 
 
 class EditJournal:
@@ -40,13 +50,74 @@ class EditJournal:
         self.seq = 0
         self.appended = 0
         self._f = open(path, "ab")
-        if self._f.tell():
-            # Resuming an existing journal: continue the sequence.
+        size = os.fstat(self._f.fileno()).st_size
+        if size:
+            # Resuming an existing journal: continue the sequence, and
+            # cut the file back to the last clean record boundary so the
+            # next append starts a fresh line (see the module docstring).
+            with open(path, "rb") as existing:
+                records, keep, _bad = _scan(existing.read())
+            self.seq = max((s for s, _e in records), default=0)
+            if keep != size:
+                log.warning(
+                    "journal %r: resuming past a torn/corrupt tail; "
+                    "truncating %d byte(s) back to the last clean record "
+                    "boundary (%d record(s) kept)",
+                    path,
+                    size - keep,
+                    len(records),
+                )
+                self._f.truncate(keep)
+                if self.fsync:
+                    os.fsync(self._f.fileno())
+
+    def encode(self, edits: List[Tuple[str, Any]]) -> bytes:
+        """Serialize one edit batch to a complete journal record.
+
+        Splitting :meth:`append` into encode + :meth:`commit` lets a
+        caller validate serializability *before* mutating its own state:
+        encode raises :class:`JournalError` on a non-JSON value with
+        nothing written and no sequence number consumed.  The record is
+        built for the *next* sequence number -- commit (or discard) it
+        before encoding another.
+        """
+        if self._f is None:
+            raise JournalError("journal is closed")
+        try:
+            body = json.dumps(
+                {"seq": self.seq + 1, "edits": [[h, v] for h, v in edits]},
+                separators=(",", ":"),
+            )
+        except (TypeError, ValueError) as exc:
+            raise JournalError(
+                f"journal requires JSON-representable edit values: {exc}"
+            ) from exc
+        return f"{body}\t{zlib.crc32(body.encode()):08x}\n".encode()
+
+    def commit(self, record: bytes) -> int:
+        """Durably write a record from :meth:`encode`; returns its seq.
+
+        On an I/O failure any torn bytes of this record are truncated
+        away (best effort) so the next append still starts on a clean
+        record boundary, and the sequence number is not consumed.
+        """
+        if self._f is None:
+            raise JournalError("journal is closed")
+        start = os.fstat(self._f.fileno()).st_size
+        try:
+            self._f.write(record)
+            self._f.flush()
+            if self.fsync:
+                os.fsync(self._f.fileno())
+        except OSError:
             try:
-                for seq, _edits in replay_journal(path):
-                    self.seq = max(self.seq, seq)
-            except JournalCorruptError as exc:
-                self.seq = max((s for s, _e in exc.records), default=0)
+                self._f.truncate(start)
+            except OSError:
+                pass  # the write failure is the primary error
+            raise
+        self.seq += 1
+        self.appended += 1
+        return self.seq
 
     def append(self, edits: List[Tuple[str, Any]]) -> int:
         """Durably record one edit batch; returns its sequence number.
@@ -55,26 +126,7 @@ class EditJournal:
         JSON-representable values -- the same constraint the server
         protocol already imposes on cell values.
         """
-        if self._f is None:
-            raise JournalError("journal is closed")
-        self.seq += 1
-        try:
-            body = json.dumps(
-                {"seq": self.seq, "edits": [[h, v] for h, v in edits]},
-                separators=(",", ":"),
-            )
-        except (TypeError, ValueError) as exc:
-            self.seq -= 1
-            raise JournalError(
-                f"journal requires JSON-representable edit values: {exc}"
-            ) from exc
-        record = f"{body}\t{zlib.crc32(body.encode()):08x}\n"
-        self._f.write(record.encode())
-        self._f.flush()
-        if self.fsync:
-            os.fsync(self._f.fileno())
-        self.appended += 1
-        return self.seq
+        return self.commit(self.encode(edits))
 
     def reset(self) -> None:
         """Truncate to empty (after a successful snapshot absorbed it)."""
@@ -102,8 +154,12 @@ class EditJournal:
 def replay_journal(path: str) -> List[Tuple[int, List[Tuple[str, Any]]]]:
     """Parse a journal into ``[(seq, [(handle, value), ...]), ...]``.
 
-    Missing file -> empty.  Torn final record -> dropped silently.  CRC or
-    parse failure before the tail -> :class:`JournalCorruptError` with the
+    Missing file -> empty.  A torn tail (trailing bytes with no
+    newline) -> dropped silently.  A complete final line that fails its
+    CRC is also dropped -- a torn multi-page write can persist the
+    trailing newline without the middle -- but logged, because it may
+    instead be corruption of an acknowledged record.  CRC or parse
+    failure *before* the tail -> :class:`JournalCorruptError` with the
     clean prefix attached as ``exc.records``.
     """
     try:
@@ -111,27 +167,57 @@ def replay_journal(path: str) -> List[Tuple[int, List[Tuple[str, Any]]]]:
             blob = f.read()
     except FileNotFoundError:
         return []
-    records: List[Tuple[int, List[Tuple[str, Any]]]] = []
-    lines = blob.split(b"\n")
-    # A well-formed file ends with a newline, so the final split element is
-    # empty; anything after the last newline is a torn tail.
-    torn_tail = lines.pop() != b""
-    for i, line in enumerate(lines):
-        if not line:
-            continue
-        parsed = _parse_record(line)
-        if parsed is None:
-            if i == len(lines) - 1:
-                break  # torn last full line (crash mid-write, pre-newline data)
+    records, _keep, bad = _scan(blob)
+    if bad is not None:
+        line_no, at_tail = bad
+        if not at_tail:
             exc = JournalCorruptError(
-                f"journal record {i + 1} of {len(lines)} failed its CRC/parse "
+                f"journal record at line {line_no} failed its CRC/parse "
                 f"check in {path!r}"
             )
             exc.records = records
             raise exc
-        records.append(parsed)
-    del torn_tail  # (tail bytes after the last newline are ignored by design)
+        log.warning(
+            "journal %r: final record (line %d) failed its CRC check and "
+            "was dropped; this is the torn-tail crash signature, but it "
+            "may be corruption of an acknowledged record",
+            path,
+            line_no,
+        )
     return records
+
+
+def _scan(
+    blob: bytes,
+) -> Tuple[
+    List[Tuple[int, List[Tuple[str, Any]]]], int, Optional[Tuple[int, bool]]
+]:
+    """Walk a journal's bytes; return ``(records, keep, bad)``.
+
+    ``records`` is the parsed clean prefix; ``keep`` is the byte offset
+    just past its last record -- the clean boundary a resuming appender
+    must truncate back to; ``bad`` is ``None`` for a clean file or
+    ``(line_no, at_tail)`` for the first complete line failing its
+    CRC/parse check (``at_tail``: no later newline exists, i.e. it is
+    the file's final complete line).
+    """
+    records: List[Tuple[int, List[Tuple[str, Any]]]] = []
+    pos = keep = line_no = 0
+    bad: Optional[Tuple[int, bool]] = None
+    while pos < len(blob):
+        nl = blob.find(b"\n", pos)
+        if nl < 0:
+            break  # torn tail: trailing bytes without a newline
+        line = blob[pos:nl]
+        line_no += 1
+        if line:
+            parsed = _parse_record(line)
+            if parsed is None:
+                bad = (line_no, blob.find(b"\n", nl + 1) < 0)
+                break
+            records.append(parsed)
+        keep = pos = nl + 1
+    return records, keep, bad
 
 
 def _parse_record(line: bytes) -> Optional[Tuple[int, List[Tuple[str, Any]]]]:

@@ -105,7 +105,9 @@ class QuotaExceededError(DocError):
 
     Raised *before* the edit is staged or journaled: the request fails,
     the document stays consistent and usable, and the quota clears when
-    the document's staged work next drains.
+    the document's staged work next drains.  On a lazy document (which
+    otherwise drains only at reads) the quota hit itself schedules that
+    drain, so retrying after it is never a dead end.
     """
 
     def __init__(self, doc: str, kind: str, used: int, limit: int) -> None:
@@ -574,6 +576,26 @@ class SessionPool:
         doc.round_bytes = 0
         self._maybe_checkpoint(doc)
 
+    async def _kick_lazy_round(self, doc: PooledDoc) -> None:
+        """Make a lazy document's round actually end after a quota hit.
+
+        Rounds end at drain boundaries, but lazy documents drain only at
+        reads -- a write-only client that hit its quota would otherwise
+        be told to "retry after the next drain" forever, because edits
+        alone never schedule one.  So the quota hit itself schedules the
+        drain (or, without a pump, runs it inline) and the round closes
+        without requiring a read."""
+        if doc.mode != "lazy":
+            return  # eager documents drain on every edit; rounds end there
+        if not doc.session.engine.queue:
+            # Every staged edit cut off (or none are staged): there is
+            # no drain to run, so close the round directly.
+            self._round_complete(doc)
+        elif self._running:
+            self.scheduler.enqueue(doc.name)
+        else:
+            await self._drain_inline(doc)
+
     def _restore_doc(self, doc: PooledDoc) -> None:
         """Recovery-ladder rung: replace the document's session with its
         last checkpoint plus the journal suffix (raises ``PersistError``
@@ -647,7 +669,11 @@ class SessionPool:
         """
         doc = self._doc(name)
         doc.check_usable()
-        self._admit(doc, 1, value)
+        try:
+            self._admit(doc, 1, value)
+        except QuotaExceededError:
+            await self._kick_lazy_round(doc)
+            raise
         dirtied = doc.session.edit(cell, value)
         doc.edits += 1
         doc.ops_since_checkpoint += 1
@@ -664,7 +690,11 @@ class SessionPool:
         """Stage many ``(cell, value)`` edits; one coalesced drain."""
         doc = self._doc(name)
         doc.check_usable()
-        self._admit(doc, len(edits), edits)
+        try:
+            self._admit(doc, len(edits), edits)
+        except QuotaExceededError:
+            await self._kick_lazy_round(doc)
+            raise
         with doc.session.batch() as b:
             for cell, value in edits:
                 doc.session.edit(cell, value)

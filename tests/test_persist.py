@@ -12,6 +12,7 @@ prefix preserved, replay idempotent), and the end-to-end crash story:
 snapshot + journal suffix reproduces every acknowledged edit.
 """
 
+import logging
 import os
 import random
 
@@ -355,6 +356,91 @@ def test_journal_reset_after_checkpoint(tmp_path):
         journal.reset()
         assert replay_journal(wal) == []
         assert journal.append([("cell:1", 2.0)]) == 1
+
+
+def test_journal_resume_truncates_torn_tail(tmp_path):
+    """Appending after a crash must not concatenate onto torn bytes:
+    resume truncates back to the last clean record boundary, so records
+    appended after the resume replay cleanly instead of reading as
+    mid-file corruption (which would silently lose all of them)."""
+    path = str(tmp_path / "resume.wal")
+    with EditJournal(path) as journal:
+        for i in range(3):
+            journal.append([(f"cell:{i}", float(i))])
+    blob = open(path, "rb").read()
+    open(path, "wb").write(blob[:-5])  # the crash tore record 3
+
+    with EditJournal(path) as journal:
+        assert journal.seq == 2  # the torn record was never durable
+        assert journal.append([("cell:7", 7.0)]) == 3
+        assert journal.append([("cell:8", 8.0)]) == 4
+    records = replay_journal(path)  # must not raise JournalCorruptError
+    assert [s for s, _ in records] == [1, 2, 3, 4]
+    assert records[-1] == (4, [("cell:8", 8.0)])
+
+
+def test_journal_resume_truncates_corrupt_tail_line(tmp_path):
+    """A complete final line with a bad CRC (a torn multi-page write can
+    persist its newline) is equally unusable as an append base: resume
+    cuts it off so later appends stay replayable."""
+    path = str(tmp_path / "resume2.wal")
+    with EditJournal(path) as journal:
+        for i in range(3):
+            journal.append([(f"cell:{i}", float(i))])
+    lines = open(path, "rb").read().splitlines(keepends=True)
+    bad = lines[2]
+    lines[2] = bad[:5] + bytes([bad[5] ^ 1]) + bad[6:]
+    open(path, "wb").write(b"".join(lines))
+
+    with EditJournal(path) as journal:
+        assert journal.seq == 2
+        assert journal.append([("cell:9", 9.0)]) == 3
+    assert [s for s, _ in replay_journal(path)] == [1, 2, 3]
+
+
+def test_journal_corrupt_final_line_dropped_but_logged(tmp_path, caplog):
+    """Replay still treats a CRC-failing final complete line as a torn
+    tail (prefix-exact recovery), but the drop is surfaced: it may be
+    corruption of an acknowledged record, not a torn write."""
+    path = str(tmp_path / "tail.wal")
+    with EditJournal(path) as journal:
+        for i in range(3):
+            journal.append([(f"cell:{i}", float(i))])
+    lines = open(path, "rb").read().splitlines(keepends=True)
+    bad = lines[2]
+    lines[2] = bad[:5] + bytes([bad[5] ^ 1]) + bad[6:]
+    open(path, "wb").write(b"".join(lines))
+
+    with caplog.at_level(logging.WARNING, logger="repro.persist.journal"):
+        records = replay_journal(path)
+    assert [s for s, _ in records] == [1, 2]
+    assert any("failed its CRC" in r.message for r in caplog.records)
+
+
+def test_session_edit_rolls_back_when_journal_write_fails(tmp_path):
+    """An edit whose durable append fails is undone before the error
+    surfaces: the caller was told the edit failed, so neither reads nor
+    a later checkpoint may include its value."""
+    wal = str(tmp_path / "fail.wal")
+    session, app, _rng = _run_session(SCALAR_APP, 8, 0, "interp", "eager")
+    _bind_cells(session)
+    journal = session.enable_journal(wal)
+    session.edit("cell:0", 4.25)
+    before = session.get("cell:1")
+
+    def boom(record):
+        raise OSError("disk full")
+
+    journal.commit = boom
+    with pytest.raises(OSError):
+        session.edit("cell:1", before + 9.0)
+    del journal.commit  # back to the real method
+
+    assert session.get("cell:1") == before
+    assert len(replay_journal(wal)) == 1  # only the acknowledged edit
+    session.propagate()
+    expected = app.reference(app.handle_data(session.input_handle))
+    assert values_close(app.readback(session.output), expected)
 
 
 # ----------------------------------------------------------------------

@@ -569,10 +569,13 @@ def test_pool_quota_rejects_before_staging_and_clears_on_drain(tmp_path):
         with pytest.raises(QuotaExceededError):
             await pool.edit("doc", "cell:2", 3.0)
         # The rejected edit never touched the engine or the counters.
-        assert pool.docs["doc"].round_edits == 2
+        assert pool.docs["doc"].edits == 2
         assert pool.stats()["quota_rejections"] == 1
-        # Draining completes the round and re-opens the window.
-        await pool.demand("doc")
+        # The quota hit scheduled the drain it tells the client to wait
+        # for (lazy documents otherwise only drain at reads), so the
+        # round is already closed and the retry goes through without an
+        # intervening read.
+        assert pool.docs["doc"].round_edits == 0
         await pool.edit("doc", "cell:2", 3.0)
         got = await pool.demand("doc")
         assert values_close(got["value"], _expected(pool, "doc"))
@@ -582,6 +585,45 @@ def test_pool_quota_rejects_before_staging_and_clears_on_drain(tmp_path):
         with pytest.raises(QuotaExceededError) as exc:
             await tight.edit("doc", "cell:0", 0.12345678901234567)
         assert exc.value.kind == "byte"
+
+    asyncio.run(main())
+
+
+def test_pool_quota_write_only_lazy_client_is_not_starved():
+    """Lazy documents drain only at reads, so a write-only client that
+    hits its per-round quota must still see the round end: the quota hit
+    itself schedules (or, pump-less, runs) the drain its error message
+    tells the client to wait for."""
+
+    async def main():
+        # Without a pump the drain runs inline on the quota hit, so an
+        # immediate retry succeeds -- repeatedly, with no read ever.
+        pool = SessionPool(mode="lazy", max_edits_per_round=1)
+        pool.open("doc", app="vec-reduce", n=8, seed=0)
+        await pool.edit("doc", "cell:0", 1.0)
+        for i in range(3):
+            with pytest.raises(QuotaExceededError):
+                await pool.edit("doc", "cell:1", float(i + 10))
+            await pool.edit("doc", "cell:1", float(i + 10))
+        got = await pool.demand("doc")
+        assert values_close(got["value"], _expected(pool, "doc"))
+
+        # With the pump running the quota hit enqueues the document; the
+        # pump's drain closes the round without this client reading.
+        pumped = await SessionPool(mode="lazy", max_edits_per_round=1).start()
+        pumped.open("doc", app="vec-reduce", n=8, seed=0)
+        await pumped.edit("doc", "cell:0", 5.0)
+        with pytest.raises(QuotaExceededError):
+            await pumped.edit("doc", "cell:1", 6.0)
+        for _ in range(1000):
+            if pumped.docs["doc"].round_edits == 0:
+                break
+            await asyncio.sleep(0.001)
+        assert pumped.docs["doc"].round_edits == 0
+        await pumped.edit("doc", "cell:1", 6.0)
+        got = await pumped.demand("doc")
+        assert values_close(got["value"], _expected(pumped, "doc"))
+        await pumped.stop()
 
     asyncio.run(main())
 
