@@ -253,6 +253,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         top=args.top,
         callsites=not args.no_callsites,
         events=args.events,
+        mode=args.mode,
     )
     print(report.format())
     return 0
@@ -529,6 +530,12 @@ def main(argv=None) -> int:
         "--backend", choices=list(BACKENDS), default=None,
         help="self-adjusting execution backend (default: $REPRO_BACKEND, "
              "else interp)",
+    )
+    p_profile.add_argument(
+        "--mode", choices=["eager", "lazy"], default="eager",
+        help="propagation mode: lazy follows each change with a demand "
+             "of the output's surface, so the feeds: line shows live "
+             "laziness counters",
     )
     p_profile.set_defaults(fn=_cmd_profile)
 

@@ -55,6 +55,7 @@ class ProfileReport:
     hot_stats: Dict[str, dict]
     intern: Dict[str, int]
     call_sites: List[str] = field(default_factory=list)
+    mode: str = "eager"
 
     #: Meter counters shown as phase columns, in order (a subset: the ones
     #: that distinguish phases; the full snapshot is in ``counters``).
@@ -72,7 +73,8 @@ class ProfileReport:
     def format(self) -> str:
         """Render the report as aligned text."""
         lines = [
-            f"profile: {self.app}  backend={self.backend}  n={self.n}  "
+            f"profile: {self.app}  backend={self.backend}  "
+            f"mode={self.mode}  n={self.n}  "
             f"changes={self.changes}  seed={self.seed}"
         ]
         header = f"{'phase':<18} {'time (s)':>10} " + " ".join(
@@ -87,7 +89,7 @@ class ProfileReport:
                 f"{phase.name:<18} {phase.seconds:>10.5f} {cells}"
             )
         lines.append("")
-        for section in ("order", "queue", "pools"):
+        for section in ("order", "queue", "pools", "feeds"):
             stats = self.hot_stats.get(section, {})
             body = "  ".join(f"{k}={v}" for k, v in stats.items())
             lines.append(f"{section + ':':<7} {body}")
@@ -136,12 +138,18 @@ def profile_app(
     top: int = 10,
     callsites: bool = True,
     events: bool = False,
+    mode: str = "eager",
 ) -> ProfileReport:
     """Profile one application; returns a :class:`ProfileReport`.
 
     ``app`` is an :class:`repro.apps.base.App` or a registry name.  The
     phases are compile, input marshalling, the initial run, ``changes``
     random single-change propagations (aggregated), and readback.
+
+    With ``mode="lazy"`` each change is followed by a *demand* of the
+    output's top-level modifiable(s) instead of a full propagate, so the
+    ``feeds:`` line reports live laziness counters (demands served
+    clean, entries deferred, summary hits) instead of ``impl=n/a``.
     """
     from repro.apps import REGISTRY
     from repro.backends import resolve_backend
@@ -158,7 +166,7 @@ def profile_app(
     backend = resolve_backend(backend)
     rng = random.Random(seed)
 
-    engine = Engine()
+    engine = Engine(mode=mode)
     log = None
     if events:
         from repro.obs.events import EventLog
@@ -208,13 +216,44 @@ def profile_app(
 
     profiler = cProfile.Profile() if callsites else None
 
-    def propagate_all():
-        for step in range(changes):
-            app.apply_change(handle, rng, step)
-            engine.propagate()
+    if engine.lazy:
+        from repro.interp.values import ConValue, RefCell
+        from repro.sac.modifiable import Modifiable
+
+        # The output's top-level modifiable(s): stop at the first
+        # modifiable on each path -- demanding just the surface is the
+        # lazy regime (deeper cells stay staged until someone asks).
+        targets: List[Any] = []
+        seen, stack = set(), [output]
+        while stack:
+            v = stack.pop()
+            if id(v) in seen:
+                continue
+            seen.add(id(v))
+            if isinstance(v, Modifiable):
+                targets.append(v)
+            elif isinstance(v, ConValue):
+                if v.arg is not None:
+                    stack.append(v.arg)
+            elif isinstance(v, tuple):
+                stack.extend(v)
+            elif isinstance(v, RefCell):
+                stack.append(v.value)
+
+        def propagate_all():
+            for step in range(changes):
+                app.apply_change(handle, rng, step)
+                engine.demand(targets)
+
+    else:
+
+        def propagate_all():
+            for step in range(changes):
+                app.apply_change(handle, rng, step)
+                engine.propagate()
 
     run_phase(
-        f"propagate x{changes}",
+        f"{'demand' if engine.lazy else 'propagate'} x{changes}",
         propagate_all,
         samples=max(changes, 1),
         profiler=profiler,
@@ -238,4 +277,5 @@ def profile_app(
         hot_stats=engine.hot_stats(),
         intern=intern,
         call_sites=_top_call_sites(profiler, top) if profiler else [],
+        mode=mode,
     )

@@ -26,6 +26,7 @@ from repro.persist.errors import (
 )
 from repro.persist.journal import EditJournal, replay_journal
 from repro.persist.snapshot import (
+    FORMAT_VERSION,
     input_digest,
     inspect_snapshot,
     load_session,
@@ -55,4 +56,5 @@ __all__ = [
     "read_header",
     "read_snapshot",
     "write_snapshot",
+    "FORMAT_VERSION",
 ]

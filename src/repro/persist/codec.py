@@ -37,6 +37,7 @@ propagation heap is rebuilt in pop order against those keys.
 from __future__ import annotations
 
 import contextlib
+import os
 import functools
 import gc
 import importlib
@@ -61,7 +62,7 @@ from repro.interp.values import ConValue, RefCell, _MISSING
 __all__ = ["encode_graph", "decode_graph", "CODEC_VERSION"]
 
 #: Bumped whenever the table layout changes incompatibly.
-CODEC_VERSION = 1
+CODEC_VERSION = 2
 
 _INLINE_TYPES = (bool, int, float, str, bytes)
 
@@ -229,12 +230,18 @@ class _Encoder:
         if t is frozenset:
             return ("fset", tuple(self.ref(x) for x in v))
         if t is Modifiable:
+            # fsum is an arbitrary-width int bitset; marshal handles big
+            # ints natively, so the summary state rides along as scalars
+            # (in_edges is rebuilt structurally at decode).
             return (
                 "mod",
                 (
                     self.ref(v.value),
                     tuple(self.ref(e) for e in v.readers),
                     bool(v.suspect),
+                    v.fsum,
+                    bool(v.fsum_valid),
+                    v.root_bit,
                 ),
             )
         if t is ConValue:
@@ -466,6 +473,11 @@ class _Encoder:
                     "_dead_memo_entries": e._dead_memo_entries,
                     "compact_threshold": e.compact_threshold,
                     "_journal_enabled": e._journal_enabled,
+                    "feeds_impl": e.feeds_impl,
+                    "_feeds_summary": e._feeds_summary,
+                    "_next_root_bit": e._next_root_bit,
+                    "_dirty_roots": e._dirty_roots,
+                    "_dirty_roots_exact": e._dirty_roots_exact,
                 },
             },
         )
@@ -787,6 +799,10 @@ class _Decoder:
                         out[s] if s >= 0 else lits[-1 - s] for s in p[1]
                     }
                     obj.suspect = p[2]
+                    obj.fsum = p[3]
+                    obj.fsum_valid = p[4]
+                    obj.root_bit = p[5]
+                    obj.in_edges = None
             elif kind == "ref":
                 for i in idxs:
                     s = payloads[i][0]
@@ -937,6 +953,34 @@ class _Decoder:
         e._batch_changes = 0
         e._poison = None
         e.hook = None
+        e._drain_mask = None
+        e._deferred_deaths = []
+        # Debug-only flag: never persisted, always re-derived from the
+        # restoring process's environment (like Engine.__init__).
+        e.feeds_oracle = os.environ.get(
+            "REPRO_FEEDS_ORACLE", ""
+        ).strip().lower() in ("1", "true", "yes", "on")
+        if e._feeds_summary:
+            # The reverse index is pure structure: every live reader edge
+            # with a destination is a feeder of that destination.  The
+            # serialized fsum/fsum_valid/root_bit fields are meter-exact
+            # state; in_edges is rebuilt rather than serialized because
+            # the edge set is already in the snapshot and a second
+            # per-edge reference table would only bloat the blob.
+            for stamp in e.order:
+                owner = stamp.owner
+                if (
+                    type(owner) is ReadEdge
+                    and not owner.dead
+                    and owner.start is stamp
+                ):
+                    d = owner.dest
+                    if d is not None:
+                        ie = d.in_edges
+                        if ie is None:
+                            d.in_edges = {owner}
+                        else:
+                            ie.add(owner)
 
 
 def _dead_stamp(key: int, gen: int) -> Stamp:

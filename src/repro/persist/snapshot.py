@@ -60,7 +60,7 @@ __all__ = [
     "inspect_snapshot",
 ]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 MAGIC = b"#repro-snapshot 1\n"
 
 _PYTHON = "%d.%d" % sys.version_info[:2]

@@ -37,14 +37,38 @@ class Modifiable:
             demanded cone is clean again.  A modifiable with a clear bit
             can be served without any propagation work.  Eager engines
             never set it.
+        fsum: reverse-reachability summary (lazy ``feeds="summary"`` mode
+            only): an int bitset of the demand roots this modifiable's
+            value can flow into through live reader edges.  Bit 0 is the
+            conservative "feeds everything" bit set when a ``dest=None``
+            edge is reachable; each registered demand root owns one higher
+            bit.  Maintained incrementally as edges appear and die; only
+            meaningful while ``fsum_valid`` is True.
+        fsum_valid: whether ``fsum`` is current.  Invalidation propagates
+            *upstream* (toward inputs) with stop-at-invalid, so the engine
+            keeps the invariant that everything feeding an invalid node is
+            itself invalid; revalidation recomputes whole invalid regions
+            on first query.
+        root_bit: the single bit owned by this modifiable once it has been
+            registered as a demand root (0 = never demanded).  Because the
+            bit is unique, ``other.fsum & root_bit`` decides "does *other*
+            feed this root" in O(1).
+        in_edges: lazily allocated reverse index — the set of live
+            :class:`~repro.sac.trace.ReadEdge` objects whose ``dest`` is
+            this modifiable (i.e. the edges whose owners feed it).  ``None``
+            until first use; eager engines never allocate it.
     """
 
-    __slots__ = ("value", "readers", "suspect")
+    __slots__ = ("value", "readers", "suspect", "fsum", "fsum_valid", "root_bit", "in_edges")
 
     def __init__(self, value: Any = UNWRITTEN) -> None:
         self.value = value
         self.readers: Set[Any] = set()
         self.suspect = False
+        self.fsum = 0
+        self.fsum_valid = True
+        self.root_bit = 0
+        self.in_edges = None
 
     @property
     def written(self) -> bool:

@@ -28,6 +28,7 @@ from repro.persist import (
     SnapshotCorruptError,
     SnapshotFormatError,
     SnapshotMismatchError,
+    FORMAT_VERSION,
     inspect_snapshot,
     program_key,
     read_header,
@@ -220,7 +221,7 @@ def test_program_key_covers_backend_and_mode():
 def test_inspect_and_header_do_not_decode(tmp_path):
     session, path = _saved(tmp_path)
     info = inspect_snapshot(path)
-    assert info["format"] == 1
+    assert info["format"] == FORMAT_VERSION
     assert info["content"]["app"] == "msort"
     assert info["content"]["program_key"] == program_key(
         session.program, session.backend, session.mode
